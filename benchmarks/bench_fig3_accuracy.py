@@ -1,0 +1,63 @@
+"""Reproduces paper Fig. 3 — reconstruction accuracy on noisy hardware.
+
+Paper protocol: 5-qubit and 7-qubit golden-ansatz circuits; weighted
+distance (Eq. 17) of (a) the uncut circuit run on the device and (b) the
+golden-cut reconstruction, both against a noiseless ground-truth sample;
+10 trials × 10 000 shots; 95 % CI.
+
+Expected shape (the paper's finding): the golden-cut bars are statistically
+indistinguishable from the uncut bars — cutting costs no accuracy.
+"""
+
+import pytest
+
+from repro.harness import run_fig3
+from repro.harness.report import format_table
+
+from conftest import paper_scale, register_report
+
+TRIALS = 10 if paper_scale() else 5
+SHOTS = 10_000 if paper_scale() else 5_000
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3(sizes=(5, 7), trials=TRIALS, shots=SHOTS, seed=2023)
+
+
+def test_fig3_accuracy_table(benchmark, fig3_result):
+    """Benchmark one accuracy trial; report the full Fig. 3 table."""
+    from repro.backends import fake_device
+    from repro.backends.ideal import IdealBackend
+    from repro.core import cut_and_run, golden_ansatz
+    from repro.metrics import weighted_distance
+
+    spec = golden_ansatz(5, depth=3, golden_basis="Y", seed=1)
+    truth = IdealBackend().run_one(spec.circuit, shots=SHOTS, seed=2).probabilities()
+
+    def one_trial():
+        device = fake_device(5)
+        run = cut_and_run(
+            spec.circuit, device, cuts=spec.cut_spec, shots=SHOTS,
+            golden="known", golden_map={0: "Y"}, seed=3,
+        )
+        return weighted_distance(run.probabilities, truth)
+
+    benchmark(one_trial)
+
+    rows = fig3_result.rows()
+    register_report(
+        format_table(
+            rows,
+            columns=["label", "n", "mean", "ci95_low", "ci95_high"],
+            title=f"Fig. 3 — weighted distance d_w to noiseless ground truth "
+            f"({TRIALS} trials x {SHOTS} shots; paper: golden cut ≈ uncut "
+            f"within 95% CI)",
+        )
+    )
+    # shape assertions: same order of magnitude, every distance finite
+    by = fig3_result.by_label()
+    for n in (5, 7):
+        uncut = by[f"{n}q uncut on hardware (d_w)"].mean
+        cut = by[f"{n}q golden cut on hardware (d_w)"].mean
+        assert 0 <= cut < 30 * max(uncut, 1e-3)

@@ -1,0 +1,64 @@
+"""Reproduces paper Fig. 4 — algorithm runtime on the simulator.
+
+Paper protocol: time "gathering fragment data and reconstructing them" with
+and without the golden-cutting-point optimisation; 1000 trials × 1000 shots;
+95 % CI.  Expected shape: the golden bars are lower (fewer variants to
+simulate, fewer terms to contract).
+"""
+
+import pytest
+
+from repro.backends import IdealBackend
+from repro.core import cut_and_run, golden_ansatz
+from repro.harness import run_fig4
+from repro.harness.report import format_table
+
+from conftest import paper_scale, register_report
+
+TRIALS = 1000 if paper_scale() else 40
+SHOTS = 1000
+
+_spec = golden_ansatz(5, depth=3, golden_basis="Y", seed=404)
+_backend = IdealBackend()
+
+
+def _standard():
+    return cut_and_run(
+        _spec.circuit, _backend, cuts=_spec.cut_spec, shots=SHOTS,
+        golden="off", seed=1,
+    )
+
+
+def _golden():
+    return cut_and_run(
+        _spec.circuit, _backend, cuts=_spec.cut_spec, shots=SHOTS,
+        golden="known", golden_map={0: "Y"}, seed=1,
+    )
+
+
+@pytest.mark.benchmark(group="fig4-gather+reconstruct")
+def test_fig4_standard(benchmark):
+    result = benchmark(_standard)
+    assert result.costs.num_variants == 9
+
+
+@pytest.mark.benchmark(group="fig4-gather+reconstruct")
+def test_fig4_golden(benchmark):
+    result = benchmark(_golden)
+    assert result.costs.num_variants == 6
+
+
+def test_fig4_trials_table(benchmark):
+    r = benchmark.pedantic(
+        run_fig4, kwargs=dict(trials=TRIALS, shots=SHOTS, seed=404),
+        rounds=1, iterations=1,
+    )
+    register_report(
+        format_table(
+            r.rows(),
+            columns=["series", "label", "n", "mean", "ci95_low", "ci95_high"],
+            title=f"Fig. 4 — simulator runtime, standard vs golden "
+            f"({TRIALS} trials x {SHOTS} shots; paper: golden visibly lower)",
+        )
+    )
+    assert r.speedup > 1.0

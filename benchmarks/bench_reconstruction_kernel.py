@@ -1,0 +1,77 @@
+"""Microbenchmarks of the classical reconstruction kernels.
+
+Separates the two stages of Fig. 4's classical cost: building the fragment
+tensors (Â, B̂) and the final GEMM contraction, across cut counts — useful
+for profiling regressions in the hot path (HPC guide: measure, don't guess).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cutting import bipartition
+from repro.cutting.execution import exact_fragment_data
+from repro.cutting.reconstruction import (
+    build_downstream_tensor,
+    build_upstream_tensor,
+    reconstruct_distribution,
+)
+from repro.harness.scaling import multi_cut_golden_circuit
+
+_CASES = {}
+for K in (1, 2, 3):
+    qc, spec = multi_cut_golden_circuit(K, extra_up=2, extra_down=2, depth=2, seed=900 + K)
+    pair = bipartition(qc, spec)
+    _CASES[K] = (pair, exact_fragment_data(pair))
+
+
+@pytest.mark.benchmark(group="kernel-tensors")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_build_upstream_tensor(benchmark, K):
+    _, data = _CASES[K]
+    A, rows = benchmark(build_upstream_tensor, data)
+    assert A.shape[0] == 4**K
+
+
+@pytest.mark.benchmark(group="kernel-tensors")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_build_downstream_tensor(benchmark, K):
+    _, data = _CASES[K]
+    B, rows = benchmark(build_downstream_tensor, data)
+    assert B.shape[0] == 4**K
+
+
+@pytest.mark.benchmark(group="kernel-full")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_full_reconstruction(benchmark, K):
+    pair, data = _CASES[K]
+    p = benchmark(reconstruct_distribution, data, postprocess="raw")
+    assert np.isclose(p.sum(), 1.0, atol=1e-8)
+
+
+@pytest.mark.benchmark(group="kernel-sampling")
+def test_multinomial_sampling(benchmark):
+    from repro.sim.sampler import sample_counts
+
+    rng = np.random.default_rng(0)
+    probs = rng.random(1 << 7)
+    probs /= probs.sum()
+    benchmark(sample_counts, probs, 10_000, 1)
+
+
+@pytest.mark.benchmark(group="kernel-simulators")
+def test_statevector_7q(benchmark):
+    from repro.circuits import random_circuit
+    from repro.sim import simulate_statevector
+
+    qc = random_circuit(7, 10, seed=3)
+    benchmark(simulate_statevector, qc)
+
+
+@pytest.mark.benchmark(group="kernel-simulators")
+def test_noisy_density_5q(benchmark):
+    from repro.backends import fake_5q_device
+    from repro.circuits import random_circuit
+
+    dev = fake_5q_device()
+    qc = random_circuit(5, 6, seed=4)
+    benchmark(lambda: dev.run_one(qc, shots=100, seed=0))

@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers the paper-style result tables it produced via
+:func:`register_report`; a ``pytest_terminal_summary`` hook prints them all
+after the run, so ``pytest benchmarks/ --benchmark-only | tee ...`` captures
+the reproduced figures alongside pytest-benchmark's timing table.
+
+Scale: defaults are CI-sized.  Set ``REPRO_BENCH_PAPER_SCALE=1`` to run the
+paper's full protocol (10 trials × 10k shots for Fig. 3, 1000 × 1000 for
+Fig. 4, 50 × 1000 for Fig. 5).
+"""
+
+from __future__ import annotations
+
+import os
+
+_REPORTS: list[str] = []
+
+
+def register_report(text: str) -> None:
+    _REPORTS.append(text)
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_PAPER_SCALE", "") == "1"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper results")
+    for block in _REPORTS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,74 @@
+"""The paper's hardware experiment in miniature (Figs. 3 and 5).
+
+A 5-qubit golden-ansatz circuit is executed on a fake IBM-style 5-qubit
+device (noise model + topology + timing model) three ways:
+
+1. uncut, directly on the device,
+2. cut with the standard 4-basis reconstruction,
+3. cut with the golden point exploited (Y basis neglected).
+
+The script reports the weighted distance to the noiseless ground truth
+(paper Eq. 17) and the modelled device wall time — showing the paper's two
+findings: accuracy is preserved, and the golden run needs ~2/3 of the time.
+
+Run:  python examples/golden_on_hardware.py
+"""
+
+from repro import (
+    IdealBackend,
+    cut_and_run,
+    fake_5q_device,
+    golden_ansatz,
+    weighted_distance,
+)
+
+SHOTS = 10_000
+SEED = 2023
+
+
+def main() -> None:
+    spec = golden_ansatz(5, depth=3, golden_basis="Y", seed=SEED)
+    qc = spec.circuit
+    # the paper's ground truth is itself a 10k-shot noiseless sample; an
+    # exact reference would put vanishing-probability bins into Eq. 17's
+    # support and the metric would diverge on noise mass there
+    truth = IdealBackend().run_one(qc, shots=SHOTS, seed=SEED + 999).probabilities()
+    print(f"workload: {qc.name}, {qc.num_qubits} qubits, {len(qc)} gates, "
+          f"golden basis {spec.golden_basis} at wire {spec.cut_wire}")
+
+    # 1. uncut on hardware
+    device = fake_5q_device()
+    uncut = device.run_one(qc, shots=SHOTS, seed=SEED)
+    d_uncut = weighted_distance(uncut.probabilities(), truth)
+    t_uncut = device.clock.now
+
+    # 2. standard cut
+    device_std = fake_5q_device()
+    std = cut_and_run(
+        qc, device_std, cuts=spec.cut_spec, shots=SHOTS, golden="off", seed=SEED
+    )
+    d_std = weighted_distance(std.probabilities, truth)
+
+    # 3. golden cut
+    device_gld = fake_5q_device()
+    gld = cut_and_run(
+        qc, device_gld, cuts=spec.cut_spec, shots=SHOTS,
+        golden="known", golden_map={0: spec.golden_basis}, seed=SEED,
+    )
+    d_gld = weighted_distance(gld.probabilities, truth)
+
+    print()
+    print(f"{'configuration':28s}{'d_w vs truth':>14s}{'device s':>10s}{'executions':>12s}")
+    print(f"{'uncut on device':28s}{d_uncut:>14.4f}{t_uncut:>10.2f}{SHOTS:>12d}")
+    print(f"{'standard cut (9 variants)':28s}{d_std:>14.4f}{std.device_seconds:>10.2f}"
+          f"{std.total_executions:>12d}")
+    print(f"{'golden cut (6 variants)':28s}{d_gld:>14.4f}{gld.device_seconds:>10.2f}"
+          f"{gld.total_executions:>12d}")
+    print()
+    ratio = std.device_seconds / gld.device_seconds
+    print(f"device-time ratio standard/golden = {ratio:.2f} "
+          f"(paper: 18.84 s / 12.61 s = 1.49)")
+
+
+if __name__ == "__main__":
+    main()

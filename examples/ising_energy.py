@@ -1,0 +1,67 @@
+"""Transverse-field Ising energy of a wide ansatz, via circuit cutting.
+
+A VQE-flavoured workload: estimate ``⟨H⟩`` for
+
+    H = J Σ Z_i Z_{i+1}  −  h Σ X_i
+
+on an 8-qubit hardware-efficient ansatz that does not fit a 5-qubit device.
+The Hamiltonian mixes diagonal (ZZ) and off-diagonal (X) terms, so this
+exercises the general Eq. 14 machinery: each qubit-wise-commuting group of
+terms shares one set of fragment executions, with basis-change rotations
+appended to the fragments' output wires.
+
+Run:  python examples/ising_energy.py
+"""
+
+from repro import IdealBackend, bipartition, find_cuts
+from repro.circuits import hardware_efficient_ansatz
+from repro.cutting import cut_pauli_sum_expectation
+from repro.observables import PauliSumObservable
+
+N = 8
+DEVICE_LIMIT = 5
+J, H_FIELD = 1.0, 0.6
+SHOTS = 40_000
+SEED = 21
+
+
+def ising_hamiltonian(n: int, j: float, h: float) -> PauliSumObservable:
+    terms = []
+    for i in range(n - 1):
+        lbl = ["I"] * n
+        lbl[i] = lbl[i + 1] = "Z"
+        terms.append((j, "".join(lbl)))
+    for i in range(n):
+        lbl = ["I"] * n
+        lbl[i] = "X"
+        terms.append((-h, "".join(lbl)))
+    return PauliSumObservable.from_list(terms)
+
+
+def main() -> None:
+    qc = hardware_efficient_ansatz(N, reps=1, seed=SEED)
+    ham = ising_hamiltonian(N, J, H_FIELD)
+    print(f"workload: {qc.name} ({N} qubits, {len(qc)} gates); "
+          f"H has {ham.num_terms} terms in "
+          f"{len(ham.measurement_groups())} measurement groups")
+
+    exact = ham.expectation_exact(qc)
+
+    cuts = find_cuts(qc, max_fragment_qubits=DEVICE_LIMIT, max_cuts=2)
+    pair = bipartition(qc, cuts)
+    print(f"cut: {cuts.num_cuts} wire(s) {cuts.wires}; {pair.describe()}")
+
+    energy, info = cut_pauli_sum_expectation(
+        qc, cuts, IdealBackend(), ham, shots=SHOTS, seed=SEED
+    )
+    print(f"\n⟨H⟩ exact        = {exact:+.4f}")
+    print(f"⟨H⟩ from cutting = {energy:+.4f}")
+    print(f"fragment executions: {info['total_executions']} "
+          f"({info['num_groups']} groups x variants x shots)")
+    assert abs(energy - exact) < 0.15
+    print("\nOK: mixed diagonal/off-diagonal Hamiltonian evaluated on "
+          f"{DEVICE_LIMIT}-qubit fragments.")
+
+
+if __name__ == "__main__":
+    main()

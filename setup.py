@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP 517
+editable builds (which require ``bdist_wheel``) fail.  Keeping a ``setup.py``
+and no ``[build-system]`` table lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path, which works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

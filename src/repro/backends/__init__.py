@@ -1,0 +1,18 @@
+"""Execution backends: ideal simulator and noisy fake hardware."""
+
+from repro.backends.base import Backend, ExecutionResult
+from repro.backends.ideal import IdealBackend
+from repro.backends.timing import DeviceTimingModel
+from repro.backends.fake_hardware import FakeHardwareBackend
+from repro.backends.devices import fake_5q_device, fake_7q_device, fake_device
+
+__all__ = [
+    "Backend",
+    "ExecutionResult",
+    "IdealBackend",
+    "DeviceTimingModel",
+    "FakeHardwareBackend",
+    "fake_5q_device",
+    "fake_7q_device",
+    "fake_device",
+]

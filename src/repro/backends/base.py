@@ -1,0 +1,111 @@
+"""Backend abstraction.
+
+A backend turns circuits into measurement counts.  The interface is
+deliberately tiny — ``run(circuits, shots, seed) -> [ExecutionResult]`` —
+because that is all wire cutting needs: the cutter submits fragment
+variants, the reconstructor consumes counts.
+
+Backends also expose :attr:`Backend.clock`, a
+:class:`~repro.utils.timing.VirtualClock` accumulating *modelled* execution
+time.  The ideal backend charges nothing; fake hardware charges per-job
+overhead and per-shot latency (DESIGN.md §2), which is how the paper's
+Fig. 5 wall-time comparison is reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import BackendError
+from repro.sim.sampler import counts_to_probs
+from repro.utils.timing import VirtualClock
+
+__all__ = ["Backend", "ExecutionResult"]
+
+
+@dataclass
+class ExecutionResult:
+    """Counts (and metadata) from running one circuit.
+
+    Attributes
+    ----------
+    counts:
+        Display-bitstring → occurrences (qubit 0 leftmost).
+    shots:
+        Total number of shots (equals ``sum(counts.values())``).
+    num_qubits:
+        Width of the measured register.
+    seconds:
+        Modelled device seconds charged for this job.
+    """
+
+    counts: dict[str, int]
+    shots: int
+    num_qubits: int
+    seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def probabilities(self) -> np.ndarray:
+        """Empirical distribution as a little-endian vector."""
+        return counts_to_probs(self.counts, self.num_qubits)
+
+
+class Backend(abc.ABC):
+    """Abstract circuit-execution service."""
+
+    #: human-readable backend name
+    name: str = "backend"
+    #: maximum circuit width accepted (None = unlimited)
+    max_qubits: int | None = None
+
+    def __init__(self) -> None:
+        self.clock = VirtualClock()
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _execute(
+        self, circuit: Circuit, shots: int, rng: np.random.Generator
+    ) -> ExecutionResult:
+        """Run one circuit; subclasses implement the physics."""
+
+    def run(
+        self,
+        circuits: "Circuit | Sequence[Circuit]",
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> list[ExecutionResult]:
+        """Execute one or more circuits, returning one result per circuit.
+
+        Each circuit gets an independent RNG child stream derived from
+        ``seed``, so results are order-independent and reproducible.
+        """
+        from repro.utils.rng import spawn_rngs
+
+        single = isinstance(circuits, Circuit)
+        batch = [circuits] if single else list(circuits)
+        if not batch:
+            return []
+        for qc in batch:
+            if self.max_qubits is not None and qc.num_qubits > self.max_qubits:
+                raise BackendError(
+                    f"{self.name}: circuit width {qc.num_qubits} exceeds "
+                    f"device size {self.max_qubits}"
+                )
+            if shots <= 0:
+                raise BackendError(f"shots must be positive, got {shots}")
+        rngs = spawn_rngs(seed, len(batch))
+        return [self._execute(qc, shots, rng) for qc, rng in zip(batch, rngs)]
+
+    def run_one(
+        self,
+        circuit: Circuit,
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> ExecutionResult:
+        """Convenience wrapper returning a single result."""
+        return self.run(circuit, shots, seed)[0]

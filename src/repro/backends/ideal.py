@@ -1,0 +1,56 @@
+"""Ideal (noiseless) sampling backend — the Aer-simulator stand-in.
+
+Simulates the exact statevector, then draws multinomial samples.  An
+``exact=True`` mode returns the true distribution as "counts" scaled to the
+shot budget, handy for separating algorithmic error from shot noise in
+tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, ExecutionResult
+from repro.circuits.circuit import Circuit
+from repro.sim.sampler import probs_to_counts, sample_counts
+from repro.sim.statevector import simulate_statevector
+
+__all__ = ["IdealBackend"]
+
+
+class IdealBackend(Backend):
+    """Noiseless statevector sampler.
+
+    Parameters
+    ----------
+    exact:
+        When True, skip sampling and report expected counts (rounded
+        ``p * shots``) — an infinite-shot idealisation.
+    """
+
+    name = "ideal"
+
+    def __init__(self, exact: bool = False, max_qubits: int | None = 24) -> None:
+        super().__init__()
+        self.exact = exact
+        self.max_qubits = max_qubits
+
+    def _execute(
+        self, circuit: Circuit, shots: int, rng: np.random.Generator
+    ) -> ExecutionResult:
+        probs = simulate_statevector(circuit).probabilities()
+        if self.exact:
+            counts = probs_to_counts(probs, shots, circuit.num_qubits)
+        else:
+            counts = sample_counts(probs, shots, seed=rng, num_qubits=circuit.num_qubits)
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            num_qubits=circuit.num_qubits,
+            seconds=0.0,
+            metadata={"backend": self.name, "exact": self.exact},
+        )
+
+    def exact_probabilities(self, circuit: Circuit) -> np.ndarray:
+        """Ground-truth distribution (used for Fig. 3's reference)."""
+        return simulate_statevector(circuit).probabilities()

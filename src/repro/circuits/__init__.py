@@ -1,0 +1,38 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, generators."""
+
+from repro.circuits.gates import Gate, GateDef, get_gate_def, gate_matrix, GATE_REGISTRY
+from repro.circuits.instruction import Instruction
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+from repro.circuits.random import random_circuit, random_real_circuit, random_rx_layer
+from repro.circuits.library import (
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    real_amplitudes_ansatz,
+)
+from repro.circuits.qasm import circuit_from_qasm, circuit_to_qasm
+from repro.circuits.visualize import draw
+
+__all__ = [
+    "Gate",
+    "GateDef",
+    "GATE_REGISTRY",
+    "get_gate_def",
+    "gate_matrix",
+    "Instruction",
+    "Circuit",
+    "CircuitDag",
+    "random_circuit",
+    "random_real_circuit",
+    "random_rx_layer",
+    "ghz_circuit",
+    "qft_circuit",
+    "hardware_efficient_ansatz",
+    "real_amplitudes_ansatz",
+    "qaoa_maxcut_circuit",
+    "circuit_from_qasm",
+    "circuit_to_qasm",
+    "draw",
+]

@@ -1,0 +1,108 @@
+"""Dependency DAG over circuit instructions.
+
+Nodes are instruction indices; there is an edge ``i -> j`` when instruction
+``j`` is the next consumer of a wire written by ``i``.  The DAG drives:
+
+* the transpiler passes (finding runs of single-qubit gates),
+* the **cutter** (deciding which instructions sit upstream/downstream of a
+  wire cut — the central structural operation of the whole reproduction),
+* layering for the ASCII drawer and depth computations.
+
+Built on :mod:`networkx` so partition searches can reuse graph algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CutError
+
+__all__ = ["CircuitDag"]
+
+
+class CircuitDag:
+    """Wire-dependency DAG of a :class:`Circuit`.
+
+    Edges are labelled with the wire (qubit index) that induces the
+    dependency; multiple wires between the same pair of instructions produce
+    parallel labels collected in the edge attribute ``wires``.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        g = nx.DiGraph()
+        g.add_nodes_from(range(len(circuit)))
+        last_writer: dict[int, int] = {}
+        for idx, inst in enumerate(circuit):
+            for q in inst.qubits:
+                if q in last_writer:
+                    src = last_writer[q]
+                    if g.has_edge(src, idx):
+                        g[src][idx]["wires"].add(q)
+                    else:
+                        g.add_edge(src, idx, wires={q})
+                last_writer[q] = idx
+        self.graph = g
+        self._last_writer = last_writer
+
+    # ------------------------------------------------------------------
+    def predecessors(self, node: int) -> Iterable[int]:
+        return self.graph.predecessors(node)
+
+    def successors(self, node: int) -> Iterable[int]:
+        return self.graph.successors(node)
+
+    def topological_order(self) -> list[int]:
+        return list(nx.topological_sort(self.graph))
+
+    def layers(self) -> list[list[int]]:
+        """Greedy ASAP layering: each layer holds mutually independent ops."""
+        level: dict[int, int] = {}
+        for node in self.topological_order():
+            preds = list(self.graph.predecessors(node))
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        out: list[list[int]] = []
+        for node, lv in sorted(level.items()):
+            while len(out) <= lv:
+                out.append([])
+            out[lv].append(node)
+        return out
+
+    # ------------------------------------------------------------------
+    def wire_segments(self, qubit: int) -> list[int]:
+        """Instruction indices touching ``qubit`` in program order."""
+        return [i for i, inst in enumerate(self.circuit) if qubit in inst.qubits]
+
+    def downstream_of_cut(self, qubit: int, after_index: int) -> set[int]:
+        """Instructions reachable from the cut on ``qubit`` after ``after_index``.
+
+        The cut severs wire ``qubit`` *after* instruction ``after_index``
+        (which must act on that qubit).  Returns the set of instruction
+        indices that depend — directly through that wire or transitively —
+        on the cut point.  These form the candidate downstream fragment.
+        """
+        if qubit not in self.circuit[after_index].qubits:
+            raise CutError(
+                f"instruction {after_index} does not act on qubit {qubit}"
+            )
+        segs = self.wire_segments(qubit)
+        pos = segs.index(after_index)
+        if pos == len(segs) - 1:
+            raise CutError(
+                f"cut after the final gate on qubit {qubit} severs nothing"
+            )
+        first_downstream = segs[pos + 1]
+        reach = nx.descendants(self.graph, first_downstream)
+        reach.add(first_downstream)
+        return reach
+
+    def upstream_closure(self, nodes: Iterable[int]) -> set[int]:
+        """All ancestors of ``nodes`` (plus the nodes themselves)."""
+        out: set[int] = set()
+        for n in nodes:
+            out |= nx.ancestors(self.graph, n)
+            out.add(n)
+        return out

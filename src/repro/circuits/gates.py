@@ -1,0 +1,271 @@
+"""Gate registry: names, arities, parameter counts and matrix builders.
+
+The registry is the single source of truth for gate semantics.  Each entry is
+a :class:`GateDef` that knows how to produce the unitary matrix given the
+gate's parameters.  Matrices follow the little-endian convention: for a
+two-qubit gate applied to ``(control, target) = (q0, q1)`` the matrix acts on
+the 4-dimensional space with basis index ``bit(q0) + 2*bit(q1)`` — i.e. the
+*first listed qubit is the least-significant index*.
+
+The set covers everything the paper's workloads need (RX columns, random
+circuits drawn from a broad gate family, basis rotations for tomography) plus
+the native set of the fake IBM-like hardware (``rz``, ``sx``, ``x``, ``cx``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.config import COMPLEX_DTYPE
+from repro.exceptions import GateError
+
+__all__ = ["Gate", "GateDef", "GATE_REGISTRY", "get_gate_def", "gate_matrix"]
+
+
+@dataclass(frozen=True)
+class GateDef:
+    """Static definition of a gate type.
+
+    Attributes
+    ----------
+    name:
+        Canonical lowercase mnemonic (``"cx"``, ``"rx"``, ...).
+    num_qubits:
+        Gate arity.
+    num_params:
+        Number of real parameters (rotation angles).
+    matrix_fn:
+        Callable mapping a parameter tuple to the unitary.
+    self_inverse:
+        Whether ``G² = I`` (used by the cancellation transpiler pass).
+    real:
+        Whether the matrix is real for all parameter values.  Real gates
+        preserve real statevectors, which is exactly the structural property
+        that creates Y-golden cutting points (DESIGN.md §1).
+    diagonal:
+        Whether the matrix is diagonal for all parameter values.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[[tuple[float, ...]], np.ndarray]
+    self_inverse: bool = False
+    real: bool = False
+    diagonal: bool = False
+
+    def matrix(self, params: Sequence[float] = ()) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise GateError(
+                f"gate {self.name!r} takes {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        mat = self.matrix_fn(tuple(float(p) for p in params))
+        return np.asarray(mat, dtype=COMPLEX_DTYPE)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate *instance*: a definition bound to concrete parameters."""
+
+    name: str
+    params: tuple[float, ...] = ()
+
+    @property
+    def definition(self) -> GateDef:
+        return get_gate_def(self.name)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.definition.num_qubits
+
+    def matrix(self) -> np.ndarray:
+        return self.definition.matrix(self.params)
+
+    def inverse(self) -> "Gate":
+        """Gate instance implementing the adjoint."""
+        d = self.definition
+        if d.self_inverse and not d.num_params:
+            return self
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return Gate("u3", (-theta, -lam, -phi))
+        if d.num_params:
+            return Gate(self.name, tuple(-p for p in self.params))
+        inverse_names = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+                         "sx": "sxdg", "sxdg": "sx"}
+        if self.name in inverse_names:
+            return Gate(inverse_names[self.name])
+        raise GateError(f"no inverse rule for gate {self.name!r}")
+
+    def __str__(self) -> str:
+        if self.params:
+            inner = ",".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({inner})"
+        return self.name
+
+
+# --------------------------------------------------------------------------
+# matrix builders
+# --------------------------------------------------------------------------
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+def _m(rows) -> np.ndarray:
+    return np.array(rows, dtype=COMPLEX_DTYPE)
+
+
+def _fixed(rows) -> Callable[[tuple[float, ...]], np.ndarray]:
+    mat = _m(rows)
+    mat.setflags(write=False)
+    return lambda _p: mat
+
+
+def _rx(p: tuple[float, ...]) -> np.ndarray:
+    c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+    return _m([[c, -1j * s], [-1j * s, c]])
+
+
+def _ry(p: tuple[float, ...]) -> np.ndarray:
+    c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+    return _m([[c, -s], [s, c]])
+
+
+def _rz(p: tuple[float, ...]) -> np.ndarray:
+    e = np.exp(-0.5j * p[0])
+    return _m([[e, 0], [0, e.conjugate()]])
+
+
+def _phase(p: tuple[float, ...]) -> np.ndarray:
+    return _m([[1, 0], [0, np.exp(1j * p[0])]])
+
+
+def _u3(p: tuple[float, ...]) -> np.ndarray:
+    theta, phi, lam = p
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return _m(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ]
+    )
+
+
+def _crz(p: tuple[float, ...]) -> np.ndarray:
+    e = np.exp(-0.5j * p[0])
+    # control = qubit a (LSB), target = qubit b; basis order 00,10,01,11
+    return _m([[1, 0, 0, 0], [0, e, 0, 0], [0, 0, 1, 0], [0, 0, 0, e.conjugate()]])
+
+
+def _cphase(p: tuple[float, ...]) -> np.ndarray:
+    return _m([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, np.exp(1j * p[0])]])
+
+
+def _rzz(p: tuple[float, ...]) -> np.ndarray:
+    e = np.exp(-0.5j * p[0])
+    return np.diag([e, e.conjugate(), e.conjugate(), e]).astype(COMPLEX_DTYPE)
+
+
+def _rxx(p: tuple[float, ...]) -> np.ndarray:
+    c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+    out = np.eye(4, dtype=COMPLEX_DTYPE) * c
+    anti = -1j * s
+    out[0, 3] = out[3, 0] = out[1, 2] = out[2, 1] = anti
+    return out
+
+
+def _ryy(p: tuple[float, ...]) -> np.ndarray:
+    c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+    out = np.eye(4, dtype=COMPLEX_DTYPE) * c
+    out[0, 3] = out[3, 0] = 1j * s
+    out[1, 2] = out[2, 1] = -1j * s
+    return out
+
+
+# Two-qubit fixed gates.  Convention: first listed qubit is index LSB.
+# CX(control=a, target=b): flips b when a==1.
+#   basis order (bit_a, bit_b): 00 -> 00, 10 -> 11, 01 -> 01, 11 -> 10
+_CX = [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]]
+_CZ = [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0], [0, 0, 0, -1]]
+_SWAP = [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+_ISWAP = [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]]
+_CY = [[1, 0, 0, 0], [0, 0, 0, -1j], [0, 0, 1, 0], [0, 1j, 0, 0]]
+_CH = [
+    [1, 0, 0, 0],
+    [0, _SQ2, 0, _SQ2],
+    [0, 0, 1, 0],
+    [0, _SQ2, 0, -_SQ2],
+]
+
+# CCX(control a, control b, target c) with index = bit_a + 2 bit_b + 4 bit_c.
+_CCX = np.eye(8)
+_CCX[[3, 7], :] = 0.0
+_CCX[3, 7] = _CCX[7, 3] = 1.0
+_CSWAP = np.eye(8)
+# swap b<->c when a==1: indices with bit_a=1: 1,3,5,7 -> swap (bit_b,bit_c)
+_CSWAP[[3, 5], :] = 0.0
+_CSWAP[3, 5] = _CSWAP[5, 3] = 1.0
+
+
+def _register() -> dict[str, GateDef]:
+    reg: dict[str, GateDef] = {}
+
+    def add(name, nq, npar, fn, **kw):
+        reg[name] = GateDef(name, nq, npar, fn, **kw)
+
+    add("id", 1, 0, _fixed([[1, 0], [0, 1]]), self_inverse=True, real=True, diagonal=True)
+    add("x", 1, 0, _fixed([[0, 1], [1, 0]]), self_inverse=True, real=True)
+    add("y", 1, 0, _fixed([[0, -1j], [1j, 0]]), self_inverse=True)
+    add("z", 1, 0, _fixed([[1, 0], [0, -1]]), self_inverse=True, real=True, diagonal=True)
+    add("h", 1, 0, _fixed([[_SQ2, _SQ2], [_SQ2, -_SQ2]]), self_inverse=True, real=True)
+    add("s", 1, 0, _fixed([[1, 0], [0, 1j]]), diagonal=True)
+    add("sdg", 1, 0, _fixed([[1, 0], [0, -1j]]), diagonal=True)
+    add("t", 1, 0, _fixed([[1, 0], [0, np.exp(0.25j * math.pi)]]), diagonal=True)
+    add("tdg", 1, 0, _fixed([[1, 0], [0, np.exp(-0.25j * math.pi)]]), diagonal=True)
+    add("sx", 1, 0, _fixed([[0.5 + 0.5j, 0.5 - 0.5j], [0.5 - 0.5j, 0.5 + 0.5j]]))
+    add("sxdg", 1, 0, _fixed([[0.5 - 0.5j, 0.5 + 0.5j], [0.5 + 0.5j, 0.5 - 0.5j]]))
+    add("rx", 1, 1, _rx)
+    add("ry", 1, 1, _ry, real=True)
+    add("rz", 1, 1, _rz, diagonal=True)
+    add("p", 1, 1, _phase, diagonal=True)
+    add("u3", 1, 3, _u3)
+
+    add("cx", 2, 0, _fixed(_CX), self_inverse=True, real=True)
+    add("cy", 2, 0, _fixed(_CY), self_inverse=True)
+    add("cz", 2, 0, _fixed(_CZ), self_inverse=True, real=True, diagonal=True)
+    add("ch", 2, 0, _fixed(_CH), self_inverse=True, real=True)
+    add("swap", 2, 0, _fixed(_SWAP), self_inverse=True, real=True)
+    add("iswap", 2, 0, _fixed(_ISWAP))
+    add("crz", 2, 1, _crz, diagonal=True)
+    add("cp", 2, 1, _cphase, diagonal=True)
+    add("rzz", 2, 1, _rzz, diagonal=True)
+    add("rxx", 2, 1, _rxx)
+    add("ryy", 2, 1, _ryy)
+
+    add("ccx", 3, 0, _fixed(_CCX), self_inverse=True, real=True)
+    add("cswap", 3, 0, _fixed(_CSWAP), self_inverse=True, real=True)
+    return reg
+
+
+#: name -> GateDef for every supported gate.
+GATE_REGISTRY: Mapping[str, GateDef] = _register()
+
+
+def get_gate_def(name: str) -> GateDef:
+    """Look up a gate definition by canonical name."""
+    try:
+        return GATE_REGISTRY[name]
+    except KeyError:
+        raise GateError(
+            f"unknown gate {name!r}; known gates: {sorted(GATE_REGISTRY)}"
+        ) from None
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Convenience: matrix of a named gate with parameters."""
+    return get_gate_def(name).matrix(params)

@@ -1,0 +1,65 @@
+"""A single circuit operation: a gate bound to qubit positions.
+
+Instructions are immutable; circuits are lists of instructions plus a qubit
+count.  Keeping the instruction type tiny and hashable lets the DAG, the
+transpiler and the cutter treat circuits as plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A gate applied to an ordered tuple of qubits.
+
+    ``qubits`` ordering matters: for ``cx`` the first entry is the control.
+    A special pseudo-gate name ``"barrier"`` (zero-qubit semantics on any
+    subset) is accepted for alignment/annotation; simulators skip it.
+    """
+
+    gate: Gate
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.gate.name != "barrier":
+            expected = self.gate.num_qubits
+            if len(self.qubits) != expected:
+                raise CircuitError(
+                    f"gate {self.gate.name!r} expects {expected} qubits, "
+                    f"got {self.qubits}"
+                )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubit in {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"negative qubit index in {self.qubits}")
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def params(self) -> tuple[float, ...]:
+        return self.gate.params
+
+    def remap(self, mapping: Sequence[int] | dict[int, int]) -> "Instruction":
+        """Return the same operation on relabelled qubits."""
+        if isinstance(mapping, dict):
+            qubits = tuple(mapping[q] for q in self.qubits)
+        else:
+            qubits = tuple(mapping[q] for q in self.qubits)
+        return Instruction(self.gate, qubits)
+
+    def inverse(self) -> "Instruction":
+        return Instruction(self.gate.inverse(), self.qubits)
+
+    def __str__(self) -> str:
+        qs = ",".join(map(str, self.qubits))
+        return f"{self.gate} q[{qs}]"

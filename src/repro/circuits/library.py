@@ -1,0 +1,138 @@
+"""A small circuit zoo used by examples, tests and benchmarks.
+
+These are *workload* circuits — the kind the paper's introduction motivates
+(variational ansätze, combinatorial optimisation) — used to exercise the
+public cutting API on realistic structures beyond the paper's Fig. 2 family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+import networkx as nx
+
+from repro.circuits.circuit import Circuit
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "ghz_circuit",
+    "qft_circuit",
+    "hardware_efficient_ansatz",
+    "real_amplitudes_ansatz",
+    "qaoa_maxcut_circuit",
+]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """GHZ state preparation: H on qubit 0 followed by a CX ladder."""
+    qc = Circuit(num_qubits, name=f"ghz{num_qubits}")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def qft_circuit(num_qubits: int, swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform with controlled-phase ladder.
+
+    In the package's little-endian convention the descending qubit order
+    below (plus the terminal swap network) makes the unitary equal the DFT
+    matrix ``U[j,k] = ω^{jk}/√N`` exactly (verified against the dense DFT
+    in the tests).
+    """
+    qc = Circuit(num_qubits, name=f"qft{num_qubits}")
+    for j in reversed(range(num_qubits)):
+        qc.h(j)
+        for k in reversed(range(j)):
+            qc.cp(math.pi / (1 << (j - k)), k, j)
+    if swaps:
+        for j in range(num_qubits // 2):
+            qc.swap(j, num_qubits - 1 - j)
+    return qc
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int,
+    reps: int,
+    params: Sequence[float] | None = None,
+    seed: "int | np.random.Generator | None" = None,
+    entangler: str = "cx",
+) -> Circuit:
+    """RY+RZ rotation layers alternating with a linear entangling ladder.
+
+    ``params`` supplies the ``2 * num_qubits * (reps + 1)`` rotation angles;
+    if omitted they are drawn uniformly from [0, 2π) with ``seed``.
+    """
+    need = 2 * num_qubits * (reps + 1)
+    if params is None:
+        rng = as_generator(seed)
+        params = rng.uniform(0.0, 2.0 * math.pi, size=need).tolist()
+    if len(params) != need:
+        raise ValueError(f"expected {need} parameters, got {len(params)}")
+    it = iter(params)
+    qc = Circuit(num_qubits, name=f"hea{num_qubits}x{reps}")
+    for rep in range(reps + 1):
+        for q in range(num_qubits):
+            qc.ry(next(it), q)
+            qc.rz(next(it), q)
+        if rep < reps:
+            for q in range(num_qubits - 1):
+                qc.add_gate(entangler, (q, q + 1))
+    return qc
+
+
+def real_amplitudes_ansatz(
+    num_qubits: int,
+    reps: int,
+    params: Sequence[float] | None = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> Circuit:
+    """RY-only ansatz with CX entanglers — a *real* circuit.
+
+    Widely used in QML; because every gate is real, any cut of this ansatz is
+    Y-golden for diagonal observables (paper §IV singles out quantum machine
+    learning circuits as the natural golden-cutting-point candidates).
+    """
+    need = num_qubits * (reps + 1)
+    if params is None:
+        rng = as_generator(seed)
+        params = rng.uniform(0.0, 2.0 * math.pi, size=need).tolist()
+    if len(params) != need:
+        raise ValueError(f"expected {need} parameters, got {len(params)}")
+    it = iter(params)
+    qc = Circuit(num_qubits, name=f"real_amplitudes{num_qubits}x{reps}")
+    for rep in range(reps + 1):
+        for q in range(num_qubits):
+            qc.ry(next(it), q)
+        if rep < reps:
+            for q in range(num_qubits - 1):
+                qc.cx(q, q + 1)
+    return qc
+
+
+def qaoa_maxcut_circuit(
+    graph: nx.Graph,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> Circuit:
+    """QAOA ansatz for MaxCut on ``graph`` (p = len(gammas) rounds).
+
+    Cost layers are RZZ on edges; mixer layers are RX columns.  Nodes must be
+    integers ``0..n-1``.
+    """
+    if len(gammas) != len(betas):
+        raise ValueError("gammas and betas must have equal length")
+    n = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(n)):
+        raise ValueError("graph nodes must be 0..n-1")
+    qc = Circuit(n, name=f"qaoa_maxcut_p{len(gammas)}")
+    for q in range(n):
+        qc.h(q)
+    for gamma, beta in zip(gammas, betas):
+        for u, v in graph.edges:
+            qc.rzz(2.0 * gamma, u, v)
+        for q in range(n):
+            qc.rx(2.0 * beta, q)
+    return qc

@@ -1,0 +1,65 @@
+"""Plain-text circuit serialisation (an OpenQASM-2-like dialect).
+
+The format is line-oriented::
+
+    qubits 5
+    h 0
+    rx(1.5707963) 2
+    cx 0 1
+
+Parameters are comma-separated inside parentheses.  Round-trips exactly
+(``circuit_from_qasm(circuit_to_qasm(qc)) == qc`` up to float printing
+precision); used to persist experiment workloads next to their results so a
+benchmark run is fully reconstructable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+__all__ = ["circuit_to_qasm", "circuit_from_qasm"]
+
+_LINE = re.compile(
+    r"^(?P<name>[a-z][a-z0-9]*)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s+(?P<qubits>\d+(?:\s+\d+)*)$"
+)
+
+
+def circuit_to_qasm(circuit: Circuit) -> str:
+    """Serialise a circuit to the text dialect (always ends with newline)."""
+    lines = [f"qubits {circuit.num_qubits}"]
+    for inst in circuit:
+        if inst.params:
+            ps = ",".join(repr(p) for p in inst.params)
+            head = f"{inst.name}({ps})"
+        else:
+            head = inst.name
+        lines.append(f"{head} {' '.join(map(str, inst.qubits))}")
+    return "\n".join(lines) + "\n"
+
+
+def circuit_from_qasm(text: str) -> Circuit:
+    """Parse the text dialect back into a :class:`Circuit`."""
+    lines = [ln.strip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("#")]
+    if not lines or not lines[0].startswith("qubits "):
+        raise CircuitError("serialised circuit must start with 'qubits N'")
+    try:
+        n = int(lines[0].split()[1])
+    except (IndexError, ValueError) as exc:
+        raise CircuitError(f"bad header {lines[0]!r}") from exc
+    qc = Circuit(n)
+    for ln in lines[1:]:
+        m = _LINE.match(ln)
+        if not m:
+            raise CircuitError(f"cannot parse line {ln!r}")
+        params = ()
+        if m.group("params"):
+            params = tuple(float(x) for x in m.group("params").split(","))
+        qubits = tuple(int(x) for x in m.group("qubits").split())
+        qc.add_gate(m.group("name"), qubits, params)
+    return qc

@@ -1,0 +1,111 @@
+"""Random-circuit generators.
+
+The paper's workloads (§III) are built from "collections of RX gates with the
+rotation angle chosen uniformly at random from [0, 6.28], as well as random
+gates generated using the ``random_circuit()`` function in Qiskit".  We
+reproduce both:
+
+* :func:`random_rx_layer` — the RX column,
+* :func:`random_circuit` — a Qiskit-style random circuit drawing uniformly
+  from 1- and 2-qubit gate families with random angles,
+* :func:`random_real_circuit` — the *real-gate* restriction (RY/X/Z/H/CX/CZ)
+  that keeps statevectors real; this is the family that provably produces
+  Y-golden cutting points and is used for the upstream blocks of the golden
+  ansatz (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.utils.rng import as_generator
+
+__all__ = ["random_circuit", "random_real_circuit", "random_rx_layer"]
+
+#: Gate families mirroring Qiskit's ``random_circuit`` defaults (those we support).
+_ONE_QUBIT = ("x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "p")
+_TWO_QUBIT = ("cx", "cz", "cy", "swap", "crz", "cp", "rzz", "rxx", "ryy")
+
+#: Real-matrix families (preserve real amplitudes).
+_ONE_QUBIT_REAL = ("x", "z", "h", "ry")
+_TWO_QUBIT_REAL = ("cx", "cz", "ch", "swap")
+
+_PARAMETRIC = {"rx", "ry", "rz", "p", "crz", "cp", "rzz", "rxx", "ryy"}
+
+
+def _angle(rng: np.random.Generator) -> float:
+    """Rotation angle drawn uniformly from [0, 6.28] — the paper's interval."""
+    return float(rng.uniform(0.0, 6.28))
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: "int | np.random.Generator | None" = None,
+    two_qubit_prob: float = 0.5,
+    gate_pool_1q: Sequence[str] = _ONE_QUBIT,
+    gate_pool_2q: Sequence[str] = _TWO_QUBIT,
+) -> Circuit:
+    """Qiskit-style random circuit.
+
+    Each of the ``depth`` layers greedily fills the wires with randomly
+    chosen 1- or 2-qubit gates on randomly chosen disjoint qubits, so every
+    qubit is acted on once per layer (matching ``qiskit.circuit.random.
+    random_circuit`` semantics closely enough for workload purposes).
+    """
+    rng = as_generator(seed)
+    qc = Circuit(num_qubits, name=f"random[{num_qubits}x{depth}]")
+    for _ in range(depth):
+        free = list(rng.permutation(num_qubits))
+        while free:
+            if len(free) >= 2 and rng.random() < two_qubit_prob:
+                a, b = free.pop(), free.pop()
+                name = str(rng.choice(gate_pool_2q))
+                params = (_angle(rng),) if name in _PARAMETRIC else ()
+                qc.add_gate(name, (int(a), int(b)), params)
+            else:
+                q = free.pop()
+                name = str(rng.choice(gate_pool_1q))
+                params = (_angle(rng),) if name in _PARAMETRIC else ()
+                qc.add_gate(name, (int(q),), params)
+    return qc
+
+
+def random_real_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: "int | np.random.Generator | None" = None,
+    two_qubit_prob: float = 0.5,
+) -> Circuit:
+    """Random circuit restricted to real-matrix gates.
+
+    Acting on ``|0..0⟩`` (or any real state) the output statevector stays
+    real, so any wire cut of the result is Y-golden for diagonal observables.
+    """
+    qc = random_circuit(
+        num_qubits,
+        depth,
+        seed=seed,
+        two_qubit_prob=two_qubit_prob,
+        gate_pool_1q=_ONE_QUBIT_REAL,
+        gate_pool_2q=_TWO_QUBIT_REAL,
+    )
+    qc.name = f"random_real[{num_qubits}x{depth}]"
+    return qc
+
+
+def random_rx_layer(
+    num_qubits: int,
+    seed: "int | np.random.Generator | None" = None,
+    qubits: Sequence[int] | None = None,
+) -> Circuit:
+    """One column of RX(θ) gates, θ ~ U[0, 6.28] — paper Fig. 2's front layer."""
+    rng = as_generator(seed)
+    qc = Circuit(num_qubits, name="rx_layer")
+    targets = range(num_qubits) if qubits is None else qubits
+    for q in targets:
+        qc.rx(_angle(rng), q)
+    return qc

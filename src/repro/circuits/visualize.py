@@ -1,0 +1,64 @@
+"""ASCII circuit drawer.
+
+Renders a circuit as one text row per qubit with gates placed into ASAP
+layers, e.g.::
+
+    q0: ─H──●─────
+    q1: ────X──●──
+    q2: ───────X──
+
+Multi-qubit gates draw ``●`` on controls and the gate mnemonic on targets
+(for symmetric gates such as CZ/SWAP every endpoint gets the mnemonic).
+Purely a debugging/reporting aid; no consumer parses this output.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+
+__all__ = ["draw"]
+
+_CONTROLLED = {"cx": "X", "cy": "Y", "cz": "Z", "ch": "H", "crz": "Rz", "cp": "P",
+               "ccx": "X", "cswap": "x"}
+_SYMMETRIC = {"cz", "cp", "swap", "iswap", "rzz", "rxx", "ryy"}
+
+
+def _cell(inst, qubit_pos: int) -> str:
+    name = inst.name
+    if len(inst.qubits) == 1:
+        label = name.upper() if not inst.params else f"{name.upper()}"
+        return label
+    if name in _SYMMETRIC:
+        return "x" if name == "swap" else name.upper()
+    # controlled family: all but the last listed qubit are controls
+    if qubit_pos < len(inst.qubits) - 1:
+        return "●"
+    return _CONTROLLED.get(name, name.upper())
+
+
+def draw(circuit: Circuit, max_width: int = 120) -> str:
+    """Return the ASCII drawing of ``circuit``."""
+    dag = CircuitDag(circuit)
+    layers = dag.layers()
+    n = circuit.num_qubits
+    rows: list[list[str]] = [[] for _ in range(n)]
+    for layer in layers:
+        cells = [""] * n
+        for idx in layer:
+            inst = circuit[idx]
+            for pos, q in enumerate(inst.qubits):
+                cells[q] = _cell(inst, pos)
+        width = max((len(c) for c in cells if c), default=1)
+        for q in range(n):
+            c = cells[q]
+            pad = c.center(width, "─") if c else "─" * width
+            rows[q].append(pad)
+    lines = []
+    for q in range(n):
+        body = "──".join(rows[q]) if rows[q] else ""
+        line = f"q{q}: ─{body}─"
+        if len(line) > max_width:
+            line = line[: max_width - 1] + "…"
+        lines.append(line)
+    return "\n".join(lines)

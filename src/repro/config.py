@@ -1,0 +1,45 @@
+"""Global configuration for the :mod:`repro` package.
+
+Centralises numerical defaults so every subsystem (simulators, cutting,
+backends) agrees on dtype, tolerances and seeding conventions.  Keeping these
+in one module avoids the classic reproduction bug where two modules compare
+floats with different tolerances and tests flake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Complex dtype used for every statevector / density matrix / unitary.
+COMPLEX_DTYPE = np.complex128
+
+#: Real dtype used for probability vectors and reconstruction tensors.
+REAL_DTYPE = np.float64
+
+#: Absolute tolerance for "is this amplitude/probability zero" decisions
+#: in *exact* (noiseless, analytic) computations.
+ATOL = 1e-10
+
+#: Looser tolerance for decisions driven by finite-shot estimates.
+SHOT_ATOL = 1e-6
+
+#: Default number of measurement shots when a caller does not specify one.
+DEFAULT_SHOTS = 1000
+
+#: Default significance level for the empirical golden-cut detector.
+DEFAULT_ALPHA = 1e-3
+
+
+def tolerance_for(shots: int | None) -> float:
+    """Return a sensible zero-tolerance given a shot budget.
+
+    ``shots=None`` means an analytic (infinite-shot) computation, for which
+    :data:`ATOL` applies.  Otherwise the standard error of a Bernoulli
+    estimate, ``~1/sqrt(shots)``, sets the natural scale; we allow five
+    standard errors before calling something non-zero.
+    """
+    if shots is None:
+        return ATOL
+    if shots <= 0:
+        raise ValueError(f"shots must be positive, got {shots}")
+    return 5.0 / np.sqrt(float(shots))

@@ -1,0 +1,64 @@
+"""The paper's contribution: golden cutting points (neglecting basis elements).
+
+Layered on the :mod:`repro.cutting` baseline:
+
+* :mod:`repro.core.ansatz` — circuit families with built-in golden cuts
+  (paper Figs. 1–2),
+* :mod:`repro.core.golden` — the exact (analytic) Definition-1 finder,
+* :mod:`repro.core.detection` — the empirical finite-shot detector
+  (paper §IV "online detection" future work),
+* :mod:`repro.core.neglect` — reduced variant/basis sets for golden cuts,
+* :mod:`repro.core.costs` — the O(4^{K_r}3^{K_g}) / O(6^{K_r}4^{K_g}) cost
+  model,
+* :mod:`repro.core.pipeline` — the one-call ``cut_and_run`` API.
+"""
+
+from repro.core.ansatz import (
+    golden_ansatz,
+    three_qubit_example,
+    GoldenAnsatzSpec,
+)
+from repro.core.golden import (
+    definition1_deviation,
+    find_golden_bases_analytic,
+    is_golden_analytic,
+)
+from repro.core.detection import GoldenDetectionResult, detect_golden_bases
+from repro.core.adaptive import (
+    AdaptiveDetectionResult,
+    merge_fragment_data,
+    sequential_detect,
+)
+from repro.core.neglect import (
+    GoldenMap,
+    normalize_golden_map,
+    reduced_bases,
+    reduced_init_tuples,
+    reduced_setting_tuples,
+)
+from repro.core.costs import CostReport, cost_report, predicted_speedup
+from repro.core.pipeline import CutRunResult, cut_and_run
+
+__all__ = [
+    "golden_ansatz",
+    "three_qubit_example",
+    "GoldenAnsatzSpec",
+    "definition1_deviation",
+    "find_golden_bases_analytic",
+    "is_golden_analytic",
+    "GoldenDetectionResult",
+    "detect_golden_bases",
+    "AdaptiveDetectionResult",
+    "sequential_detect",
+    "merge_fragment_data",
+    "GoldenMap",
+    "normalize_golden_map",
+    "reduced_bases",
+    "reduced_setting_tuples",
+    "reduced_init_tuples",
+    "CostReport",
+    "cost_report",
+    "predicted_speedup",
+    "CutRunResult",
+    "cut_and_run",
+]

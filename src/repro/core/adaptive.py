@@ -1,0 +1,195 @@
+"""Sequential (staged) golden-cut detection with early stopping.
+
+Refines :mod:`repro.core.detection` toward the paper's §IV vision of
+detecting golden points "online during the execution of the circuit cutting
+procedure through sequential empirical measurements": the pilot budget is
+spent in stages, candidates are *rejected* as soon as their z-statistic
+exceeds the threshold (informative bases show up early), and the whole
+pilot stops after the first stage in which every candidate is rejected —
+generic circuits without golden points pay only the first, cheapest stage.
+Acceptance (actually neglecting a basis) is only declared after the full
+budget, because confirming a zero needs all the statistics.
+
+Measurement records from successive stages are merged exactly (probability
+arrays combined with shot weights), so no pilot shot is wasted; the merged
+record is returned for reuse in the final reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.config import DEFAULT_ALPHA
+from repro.core.detection import GoldenDetectionResult, _candidate_z_scores
+from repro.cutting.execution import FragmentData, run_fragments
+from repro.cutting.fragments import FragmentPair
+from repro.exceptions import DetectionError
+from repro.utils.rng import as_generator, derive_rng
+from scipy import stats
+
+__all__ = ["AdaptiveDetectionResult", "StageLog", "sequential_detect", "merge_fragment_data"]
+
+
+@dataclass(frozen=True)
+class StageLog:
+    """What happened in one detection stage."""
+
+    stage: int
+    shots_this_stage: int
+    cumulative_shots: int
+    rejected: tuple[tuple[int, str], ...]
+    still_open: tuple[tuple[int, str], ...]
+
+
+@dataclass
+class AdaptiveDetectionResult:
+    """Outcome of a sequential detection run."""
+
+    #: final verdicts, one per candidate (same shape as detect_golden_bases)
+    results: list[GoldenDetectionResult]
+    #: per-stage progress log
+    stages: list[StageLog] = field(default_factory=list)
+    #: pilot shots actually spent (Σ stage shots × settings still measured)
+    shots_spent: int = 0
+    #: merged upstream data (reusable by the main run)
+    data: FragmentData | None = None
+
+    def golden_map(self) -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for r in self.results:
+            if r.is_golden:
+                out.setdefault(r.cut, []).append(r.basis)
+        return out
+
+
+def merge_fragment_data(a: FragmentData, b: FragmentData) -> FragmentData:
+    """Pool two measurement records of the same fragment pair.
+
+    Probability arrays are combined with shot weights — exactly equivalent
+    to having run ``a.shots + b.shots`` shots in one go.  The upstream
+    variant sets must match (detection stages always measure the same
+    grid); a downstream variant present in only one input keeps its own
+    statistics, which slightly understates its shot count — acceptable
+    because the merged record's downstream side is only used when the
+    caller reuses pilot data, never for variance estimates.
+    """
+    if a.pair is not b.pair:
+        raise DetectionError("cannot merge data from different fragment pairs")
+    if set(a.upstream) != set(b.upstream):
+        raise DetectionError("merging requires identical upstream settings")
+    na, nb = a.shots_per_variant, b.shots_per_variant
+    if na <= 0 or nb <= 0:
+        raise DetectionError("merging requires finite-shot data")
+    w = na + nb
+    upstream = {
+        k: (na * a.upstream[k] + nb * b.upstream[k]) / w for k in a.upstream
+    }
+    downstream = dict(b.downstream)
+    for k, vec in a.downstream.items():
+        if k in downstream:
+            downstream[k] = (na * vec + nb * downstream[k]) / w
+        else:
+            downstream[k] = vec
+    return FragmentData(
+        pair=a.pair,
+        upstream=upstream,
+        downstream=downstream,
+        shots_per_variant=w,
+        modeled_seconds=a.modeled_seconds + b.modeled_seconds,
+        metadata={"merged": True},
+    )
+
+
+def sequential_detect(
+    pair: FragmentPair,
+    backend: Backend,
+    stage_shots: Sequence[int] = (500, 2000, 8000),
+    alpha: float = DEFAULT_ALPHA,
+    bases: tuple[str, ...] = ("X", "Y", "Z"),
+    seed: "int | np.random.Generator | None" = None,
+) -> AdaptiveDetectionResult:
+    """Run staged detection, dropping rejected candidates between stages.
+
+    Returns verdicts for every (cut, basis) candidate plus the merged
+    upstream data, which the caller can feed into reconstruction so pilot
+    shots contribute to the final estimate.
+    """
+    if not stage_shots or any(s <= 0 for s in stage_shots):
+        raise DetectionError("stage_shots must be positive")
+    rng = as_generator(seed)
+    K = pair.num_cuts
+    candidates: list[tuple[int, str]] = [
+        (k, b) for k in range(K) for b in bases
+    ]
+    rejected: dict[tuple[int, str], GoldenDetectionResult] = {}
+    merged: FragmentData | None = None
+    stages: list[StageLog] = []
+    shots_spent = 0
+    trivial_inits = [("Z+",) * K]
+
+    for stage, shots in enumerate(stage_shots):
+        # measure every setting that some open candidate still needs (the
+        # full 3^K grid is needed anyway for the final reconstruction, so
+        # we keep all settings; the saving is in *stage count*, not grid)
+        fresh = run_fragments(
+            pair, backend, shots=shots, inits=trivial_inits,
+            seed=derive_rng(rng, 0xAD, stage),
+        )
+        shots_spent += shots * len(fresh.upstream)
+        merged = fresh if merged is None else merge_fragment_data(merged, fresh)
+
+        newly_rejected = []
+        open_candidates = []
+        for cand in candidates:
+            if cand in rejected:
+                continue
+            k, b = cand
+            z = _candidate_z_scores(merged, k, b, merged.shots_per_variant)
+            m = int(z.size)
+            threshold = float(stats.norm.ppf(1.0 - alpha / (2.0 * m)))
+            max_z = float(z.max()) if m else 0.0
+            verdict = GoldenDetectionResult(
+                cut=k, basis=b, is_golden=bool(max_z < threshold),
+                max_z=max_z, threshold=threshold, num_contexts=m, alpha=alpha,
+            )
+            if not verdict.is_golden:
+                rejected[cand] = verdict
+                newly_rejected.append(cand)
+            else:
+                open_candidates.append(cand)
+        stages.append(
+            StageLog(
+                stage=stage,
+                shots_this_stage=shots,
+                cumulative_shots=merged.shots_per_variant,
+                rejected=tuple(newly_rejected),
+                still_open=tuple(open_candidates),
+            )
+        )
+        if not open_candidates:
+            break  # everything rejected: no golden points, stop early
+
+    # final verdicts: survivors are accepted with the full pooled statistics
+    results: list[GoldenDetectionResult] = []
+    for cand in candidates:
+        if cand in rejected:
+            results.append(rejected[cand])
+            continue
+        k, b = cand
+        z = _candidate_z_scores(merged, k, b, merged.shots_per_variant)
+        m = int(z.size)
+        threshold = float(stats.norm.ppf(1.0 - alpha / (2.0 * m)))
+        max_z = float(z.max()) if m else 0.0
+        results.append(
+            GoldenDetectionResult(
+                cut=k, basis=b, is_golden=bool(max_z < threshold),
+                max_z=max_z, threshold=threshold, num_contexts=m, alpha=alpha,
+            )
+        )
+    return AdaptiveDetectionResult(
+        results=results, stages=stages, shots_spent=shots_spent, data=merged
+    )

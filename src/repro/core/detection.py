@@ -1,0 +1,131 @@
+"""Empirical golden-cut detection from finite-shot measurements.
+
+The paper's §IV poses online detection as future work; this module provides
+the statistical machinery: given upstream fragment data with ``N`` shots per
+setting, test H₀ "basis ``M*`` is golden at cut ``k``" (all weighted outcome
+differences are zero) against the observed deviations.
+
+Test statistic.  For each context (setting ``S`` with ``S_k = M*``, output
+``b₁``, other-cut outcomes ``r₋ₖ``) the estimator
+
+.. math::
+
+    \\hat\\Delta = \\hat p(b_1, r_k{=}0, r_{-k}) - \\hat p(b_1, r_k{=}1, r_{-k})
+
+has, under H₀ (true Δ = 0), variance ``(p₀ + p₁)/N`` where ``p₀+p₁`` is the
+context's total probability — estimated by the observed mass.  We form
+per-context z-scores and apply a Bonferroni correction over the ``m``
+contexts tested: the basis is declared golden when ``max |z| <
+Φ⁻¹(1 − α/(2m))``.  Bonferroni keeps the family-wise false-*rejection* rate
+(declaring a truly-golden basis non-golden) below α; the miss direction
+(keeping a non-golden basis) only costs shots, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.config import DEFAULT_ALPHA
+from repro.cutting.execution import FragmentData
+from repro.exceptions import DetectionError
+
+__all__ = ["GoldenDetectionResult", "detect_golden_bases"]
+
+
+@dataclass(frozen=True)
+class GoldenDetectionResult:
+    """Verdict for one (cut, basis) candidate."""
+
+    cut: int
+    basis: str
+    is_golden: bool
+    max_z: float
+    threshold: float
+    num_contexts: int
+    alpha: float
+
+    @property
+    def p_value(self) -> float:
+        """Bonferroni-adjusted p-value of the observed maximum |z|."""
+        tail = 2.0 * (1.0 - stats.norm.cdf(self.max_z))
+        return float(min(1.0, tail * self.num_contexts))
+
+
+def _candidate_z_scores(
+    data: FragmentData, cut: int, basis: str, shots: int
+) -> np.ndarray:
+    """Vector of per-context |z| statistics for one candidate."""
+    K = data.pair.num_cuts
+    relevant = [s for s in data.upstream if s[cut] == basis]
+    if not relevant:
+        raise DetectionError(
+            f"no upstream setting measures cut {cut} in basis {basis}"
+        )
+    r = np.arange(1 << K)
+    lo = np.nonzero(((r >> cut) & 1) == 0)[0]
+    hi = lo | (1 << cut)
+    zs = []
+    for setting in relevant:
+        A = data.upstream[setting]
+        delta = A[:, lo] - A[:, hi]
+        mass = A[:, lo] + A[:, hi]
+        sigma = np.sqrt(np.maximum(mass, 1.0 / shots) / shots)
+        zs.append(np.abs(delta) / sigma)
+    return np.concatenate([z.ravel() for z in zs])
+
+
+def detect_golden_bases(
+    data: FragmentData,
+    alpha: float = DEFAULT_ALPHA,
+    cuts: "list[int] | None" = None,
+    bases: tuple[str, ...] = ("X", "Y", "Z"),
+) -> list[GoldenDetectionResult]:
+    """Test every (cut, basis) candidate on measured fragment data.
+
+    Parameters
+    ----------
+    data:
+        Finite-shot fragment data (``shots_per_variant`` must be > 0).
+    alpha:
+        Family-wise significance level *per candidate*.
+    cuts:
+        Cut indices to test (default: all).
+    bases:
+        Candidate bases (default X, Y, Z; ``I`` can never be golden for
+        positive-mass observables since its weighted sum is the marginal).
+
+    Returns
+    -------
+    list of :class:`GoldenDetectionResult`, one per candidate, in
+    (cut, basis) order.
+    """
+    if data.shots_per_variant <= 0:
+        raise DetectionError(
+            "detection needs finite-shot data; for exact data use "
+            "repro.core.golden.find_golden_bases_analytic"
+        )
+    shots = data.shots_per_variant
+    if cuts is None:
+        cuts = list(range(data.pair.num_cuts))
+    out: list[GoldenDetectionResult] = []
+    for k in cuts:
+        for b in bases:
+            z = _candidate_z_scores(data, k, b, shots)
+            m = int(z.size)
+            threshold = float(stats.norm.ppf(1.0 - alpha / (2.0 * m)))
+            max_z = float(z.max()) if m else 0.0
+            out.append(
+                GoldenDetectionResult(
+                    cut=k,
+                    basis=b,
+                    is_golden=bool(max_z < threshold),
+                    max_z=max_z,
+                    threshold=threshold,
+                    num_contexts=m,
+                    alpha=alpha,
+                )
+            )
+    return out

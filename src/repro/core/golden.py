@@ -1,0 +1,118 @@
+"""Analytic (exact) golden-cutting-point finder — Definition 1 of the paper.
+
+A basis ``M*`` is golden at cut ``k*`` when
+
+.. math::
+
+    \\sum_{r_{c(k^*)}} r_{c(k^*)}\\,\\mathrm{tr}(O_{f1} \\rho_{f1}(M^r)) = 0
+
+for *every* value of the remaining indices (other cuts' bases and outcomes,
+and — for the distribution workload — every upstream output projector).
+
+The exact finder evaluates the upstream fragment's statevector for every
+measurement setting and checks the weighted outcome differences pointwise.
+This is the "golden cutting point known a priori" mode of the paper's
+experiments; the finite-shot detector lives in
+:mod:`repro.core.detection`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import ATOL
+from repro.cutting.execution import FragmentData, exact_fragment_data
+from repro.cutting.fragments import FragmentPair
+from repro.exceptions import DetectionError
+
+__all__ = [
+    "definition1_deviation",
+    "is_golden_analytic",
+    "find_golden_bases_analytic",
+]
+
+
+def definition1_deviation(
+    data: FragmentData, cut: int, basis: str
+) -> float:
+    """Max |Σ_r r · p(b₁, r)| over all contexts — 0 iff Definition 1 holds.
+
+    ``data`` may be exact or finite-shot; the returned deviation is the
+    worst-case absolute value of the eigenvalue-weighted outcome difference
+    on cut ``cut`` in basis ``basis``, maximised over upstream outputs
+    ``b₁``, the other cuts' measurement settings, and the other cuts' raw
+    outcomes (the strongest, pointwise form of the definition).
+    """
+    if basis not in ("X", "Y", "Z"):
+        raise DetectionError(f"golden candidates are X/Y/Z, got {basis!r}")
+    K = data.pair.num_cuts
+    if not 0 <= cut < K:
+        raise DetectionError(f"cut index {cut} out of range (K={K})")
+    worst = 0.0
+    relevant = [s for s in data.upstream if s[cut] == basis]
+    if not relevant:
+        raise DetectionError(
+            f"no upstream setting measures cut {cut} in basis {basis}"
+        )
+    r = np.arange(1 << K)
+    lo = np.nonzero(((r >> cut) & 1) == 0)[0]
+    hi = lo | (1 << cut)
+    for setting in relevant:
+        A = data.upstream[setting]  # (2^{n_out}, 2^K)
+        delta = A[:, lo] - A[:, hi]
+        worst = max(worst, float(np.max(np.abs(delta))))
+    return worst
+
+
+def is_golden_analytic(
+    pair: FragmentPair,
+    cut: int,
+    basis: str,
+    atol: float = ATOL,
+    data: FragmentData | None = None,
+) -> bool:
+    """Exact Definition-1 check for one (cut, basis) pair.
+
+    ``data`` may be supplied to reuse a precomputed
+    :func:`~repro.cutting.execution.exact_fragment_data`; otherwise the
+    upstream fragment is simulated here (downstream runs are skipped — the
+    definition only involves the upstream fragment).
+    """
+    if data is None:
+        data = exact_fragment_data(pair, inits=_NO_INITS)
+    return definition1_deviation(data, cut, basis) <= atol
+
+
+#: sentinel: skip downstream executions entirely (the analytic finder only
+#: needs upstream data).  A single trivial init keeps FragmentData valid.
+_NO_INITS: tuple[tuple[str, ...], ...] = ()
+
+
+def find_golden_bases_analytic(
+    pair: FragmentPair, atol: float = ATOL
+) -> dict[int, list[str]]:
+    """Exact golden bases per cut: ``{cut index: [bases...]}``.
+
+    Simulates the 3^K upstream settings once and evaluates every
+    (cut, basis) candidate from the shared data.  Empty lists mean the cut
+    is regular.  Deviations below ``atol`` count as exact zeros — the
+    default is the package's analytic tolerance, far below any physical
+    amplitude of the circuit families used here.
+    """
+    data = exact_fragment_data(pair, inits=_single_trivial_init(pair))
+    out: dict[int, list[str]] = {}
+    for k in range(pair.num_cuts):
+        golden = [
+            b
+            for b in ("X", "Y", "Z")
+            if definition1_deviation(data, k, b) <= atol
+        ]
+        out[k] = golden
+    return out
+
+
+def _single_trivial_init(pair: FragmentPair) -> list[tuple[str, ...]]:
+    """Cheapest valid init set (the finder never reads downstream data)."""
+    return [("Z+",) * pair.num_cuts]

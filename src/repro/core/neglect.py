@@ -1,0 +1,120 @@
+"""Reduced basis/variant sets for golden cuts — the actual "neglecting".
+
+Given a map ``{cut index: golden basis or bases}`` these helpers produce:
+
+* the reconstruction basis pools (golden bases removed → the
+  ``4^{K_r} 3^{K_g}``-term sum of paper §II-B, or smaller when a cut has
+  *several* negligible bases),
+* the upstream measurement settings actually worth running (each golden
+  basis's setting is skipped; if every basis is golden one setting is kept
+  so the ``I`` row — the outcome marginal — can still be estimated),
+* the downstream preparation tuples actually worth running (golden-basis
+  eigenstates are skipped — *unless* the basis is ``Z``, whose eigenstates
+  are shared with ``I`` and must stay; this asymmetry is captured
+  faithfully and surfaced by the cost model).
+
+Multiple golden bases per cut are supported because they occur naturally:
+a cut qubit left in a computational basis state carries no X *or* Y
+information (both bases golden, 4 → 2 reconstruction terms), and a cut
+qubit in a product state with the rest of the fragment can have all three
+Paulis negligible (the cut then contributes a single ``I`` term).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from repro.cutting.reconstruction import FULL_BASES
+from repro.cutting.variants import (
+    MEASUREMENT_SETTINGS,
+    downstream_init_tuples,
+    upstream_setting_tuples,
+)
+from repro.exceptions import CutError
+
+__all__ = [
+    "GoldenMap",
+    "normalize_golden_map",
+    "reduced_bases",
+    "reduced_setting_tuples",
+    "reduced_init_tuples",
+]
+
+#: cut index -> one golden basis or several
+GoldenMap = Mapping[int, Union[str, Sequence[str]]]
+
+
+def normalize_golden_map(
+    num_cuts: int, golden: GoldenMap
+) -> dict[int, tuple[str, ...]]:
+    """Validate and canonicalise a golden map to ``{cut: (bases...)}``."""
+    out: dict[int, tuple[str, ...]] = {}
+    for k, value in golden.items():
+        if not 0 <= k < num_cuts:
+            raise CutError(f"golden cut index {k} out of range (K={num_cuts})")
+        bases = (value,) if isinstance(value, str) else tuple(value)
+        if not bases:
+            raise CutError(f"cut {k} has an empty golden-basis list")
+        seen: list[str] = []
+        for b in bases:
+            if b not in ("X", "Y", "Z"):
+                raise CutError(
+                    f"golden basis must be X/Y/Z, got {b!r} for cut {k}"
+                )
+            if b not in seen:
+                seen.append(b)
+        out[k] = tuple(seen)
+    return out
+
+
+def reduced_bases(num_cuts: int, golden: GoldenMap) -> list[tuple[str, ...]]:
+    """Reconstruction basis pool per cut with golden bases removed.
+
+    A regular cut keeps ``(I, X, Y, Z)``; each golden basis removes one
+    element (paper: terms ``4^K → 4^{K_r} 3^{K_g}`` for one basis per
+    golden cut).  ``I`` always remains, so pools are never empty.
+    """
+    gm = normalize_golden_map(num_cuts, golden)
+    return [
+        tuple(b for b in FULL_BASES if b not in gm.get(k, ()))
+        for k in range(num_cuts)
+    ]
+
+
+def reduced_setting_tuples(
+    num_cuts: int, golden: GoldenMap
+) -> list[tuple[str, ...]]:
+    """Upstream measurement settings skipping golden bases.
+
+    Every golden basis removes its setting (3 → 2 per single-basis golden
+    cut): for X/Y-golden the basis is simply not measured; for Z-golden the
+    ``I`` row falls back to another setting's outcome marginal (handled by
+    :func:`repro.cutting.reconstruction.build_upstream_tensor`).  If all
+    three bases are golden, one setting (Z) is retained purely for the
+    ``I``-row marginal.
+    """
+    gm = normalize_golden_map(num_cuts, golden)
+    allowed = []
+    for k in range(num_cuts):
+        pool = tuple(s for s in MEASUREMENT_SETTINGS if s not in gm.get(k, ()))
+        if not pool:
+            pool = ("Z",)  # marginal-only cut still needs one measurement
+        allowed.append(pool)
+    return upstream_setting_tuples(num_cuts, allowed)
+
+
+def reduced_init_tuples(
+    num_cuts: int, golden: GoldenMap
+) -> list[tuple[str, ...]]:
+    """Downstream preparations skipping golden-basis eigenstates.
+
+    X/Y-golden cuts drop two preparation states each (6 → 4 → 2, the
+    paper's circuit-evaluation saving); Z-golden cuts keep ``|0⟩,|1⟩``
+    because they still serve the ``I`` component.
+    """
+    gm = normalize_golden_map(num_cuts, golden)
+    allowed = [
+        tuple(b for b in FULL_BASES if b not in gm.get(k, ()))
+        for k in range(num_cuts)
+    ]
+    return downstream_init_tuples(num_cuts, allowed)

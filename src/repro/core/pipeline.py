@@ -1,0 +1,213 @@
+"""One-call golden-cutting pipeline: cut, execute, (detect,) reconstruct.
+
+:func:`cut_and_run` is the library's main entry point, covering the four
+operating modes of the reproduction:
+
+* ``golden="off"`` — the standard CutQC-style baseline (paper ref [18]);
+* ``golden="known"`` — the paper's experimental mode ("we assumed the golden
+  cutting point was known a priori", §III-B) with ``golden_map`` supplied;
+* ``golden="analytic"`` — find golden bases exactly by simulating the
+  upstream fragment (cheap: 3^K small statevector runs);
+* ``golden="detect"`` — the paper's §IV future-work mode: spend a pilot
+  budget on upstream measurements, run the hypothesis-test detector, then
+  execute the reduced variant set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.config import DEFAULT_ALPHA
+from repro.core.costs import CostReport, cost_report
+from repro.core.detection import detect_golden_bases
+from repro.core.golden import find_golden_bases_analytic
+from repro.core.neglect import (
+    normalize_golden_map,
+    reduced_bases,
+    reduced_init_tuples,
+    reduced_setting_tuples,
+)
+from repro.circuits.circuit import Circuit
+from repro.cutting.cut import CutSpec, find_cuts
+from repro.cutting.execution import FragmentData, run_fragments
+from repro.cutting.fragments import FragmentPair, bipartition
+from repro.cutting.reconstruction import reconstruct_distribution
+from repro.exceptions import CutError
+from repro.utils.rng import as_generator, derive_rng
+from repro.utils.timing import Stopwatch
+
+__all__ = ["CutRunResult", "cut_and_run"]
+
+#: preference order when several bases are golden at one cut — X/Y save
+#: downstream circuit executions, Z only saves upstream settings and terms.
+_BASIS_PRIORITY = ("Y", "X", "Z")
+
+
+@dataclass
+class CutRunResult:
+    """Everything produced by one :func:`cut_and_run` invocation."""
+
+    #: reconstructed output distribution (little-endian over the full register)
+    probabilities: np.ndarray
+    #: the bipartition used
+    pair: FragmentPair
+    #: golden bases actually exploited, cut index → basis
+    golden_used: dict[int, str]
+    #: raw fragment measurement data
+    data: FragmentData
+    #: variant/term/shot accounting
+    costs: CostReport
+    #: modelled device seconds (fragment jobs + pilot, if any)
+    device_seconds: float
+    #: real seconds spent in classical reconstruction
+    reconstruction_seconds: float
+    #: pilot-detection metadata (empty unless golden="detect")
+    detection: list = field(default_factory=list)
+    #: reconstruction basis pools actually used (None = full {I,X,Y,Z}^K)
+    bases: "list[tuple[str, ...]] | None" = None
+
+    @property
+    def total_executions(self) -> int:
+        return self.costs.total_executions
+
+    def expectation(self, diagonal: np.ndarray) -> float:
+        """Expectation of a diagonal observable under the reconstruction."""
+        return float(np.dot(self.probabilities, np.asarray(diagonal)))
+
+    def variance(self) -> np.ndarray:
+        """Delta-method shot-noise variance of each reconstructed entry."""
+        from repro.cutting.variance import reconstruction_variance
+
+        return reconstruction_variance(self.data, bases=self.bases)
+
+    def predicted_stddev_tv(self) -> float:
+        """Scalar shot-noise summary (see :mod:`repro.cutting.variance`)."""
+        from repro.cutting.variance import predicted_stddev_tv
+
+        return predicted_stddev_tv(self.data, bases=self.bases)
+
+
+def _select_golden(
+    found: dict[int, list[str]], exploit_all: bool
+) -> dict[int, "str | tuple[str, ...]"]:
+    """Choose which detected golden bases to exploit.
+
+    Default (``exploit_all=False``) picks one basis per cut in the
+    paper's spirit, preferring bases with downstream savings; with
+    ``exploit_all=True`` every detected basis is neglected (multi-basis
+    cuts shrink further: 4 → 2 or even 1 term).
+    """
+    out: dict[int, "str | tuple[str, ...]"] = {}
+    for k, bases in found.items():
+        if not bases:
+            continue
+        if exploit_all:
+            out[k] = tuple(bases)
+            continue
+        for b in _BASIS_PRIORITY:
+            if b in bases:
+                out[k] = b
+                break
+    return out
+
+
+def cut_and_run(
+    circuit: Circuit,
+    backend: Backend,
+    cuts: CutSpec | None = None,
+    shots: int = 1000,
+    golden: str = "off",
+    golden_map: "dict[int, str | tuple[str, ...]] | None" = None,
+    max_fragment_qubits: int | None = None,
+    postprocess: str = "clip",
+    seed: "int | np.random.Generator | None" = None,
+    alpha: float = DEFAULT_ALPHA,
+    pilot_shots: int | None = None,
+    exploit_all: bool = False,
+) -> CutRunResult:
+    """Cut ``circuit``, run the fragments on ``backend``, reconstruct.
+
+    Parameters mirror the paper's experimental knobs; see the module
+    docstring for the ``golden`` modes.  ``cuts=None`` triggers automatic
+    cut search constrained by ``max_fragment_qubits`` (default:
+    ``ceil(n/2) + 1``, the paper's balanced-bipartition shape).
+    """
+    rng = as_generator(seed)
+    if cuts is None:
+        budget = max_fragment_qubits or (circuit.num_qubits + 1) // 2 + 1
+        cuts = find_cuts(circuit, budget)
+    pair = bipartition(circuit, cuts)
+    K = pair.num_cuts
+
+    detection: list = []
+    device_seconds = 0.0
+
+    if golden == "off":
+        golden_used: dict = {}
+    elif golden == "known":
+        if not golden_map:
+            raise CutError('golden="known" requires golden_map')
+        normalize_golden_map(K, golden_map)  # validate eagerly
+        golden_used = dict(golden_map)
+    elif golden == "analytic":
+        golden_used = _select_golden(
+            find_golden_bases_analytic(pair), exploit_all
+        )
+    elif golden == "detect":
+        pilot = pilot_shots if pilot_shots is not None else max(100, shots // 4)
+        pilot_data = run_fragments(
+            pair,
+            backend,
+            shots=pilot,
+            inits=[("Z+",) * K],  # pilot only needs upstream statistics
+            seed=derive_rng(rng, 0x51),
+        )
+        device_seconds += pilot_data.modeled_seconds
+        detection = detect_golden_bases(pilot_data, alpha=alpha)
+        found: dict[int, list[str]] = {k: [] for k in range(K)}
+        for res in detection:
+            if res.is_golden:
+                found[res.cut].append(res.basis)
+        golden_used = _select_golden(found, exploit_all)
+    else:
+        raise CutError(
+            f'golden must be "off"/"known"/"analytic"/"detect", got {golden!r}'
+        )
+
+    if golden_used:
+        settings = reduced_setting_tuples(K, golden_used)
+        inits = reduced_init_tuples(K, golden_used)
+        bases = reduced_bases(K, golden_used)
+    else:
+        settings = None
+        inits = None
+        bases = None
+
+    data = run_fragments(
+        pair,
+        backend,
+        shots=shots,
+        settings=settings,
+        inits=inits,
+        seed=derive_rng(rng, 0x52),
+    )
+    device_seconds += data.modeled_seconds
+
+    with Stopwatch() as sw:
+        probs = reconstruct_distribution(data, bases=bases, postprocess=postprocess)
+
+    costs = cost_report(K, golden_used or None, shots_per_variant=shots)
+    return CutRunResult(
+        probabilities=probs,
+        pair=pair,
+        golden_used=golden_used,
+        data=data,
+        costs=costs,
+        device_seconds=device_seconds,
+        reconstruction_seconds=sw.elapsed,
+        detection=detection,
+        bases=bases,
+    )

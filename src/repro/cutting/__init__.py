@@ -1,0 +1,64 @@
+"""Pauli-basis wire cutting (the CutQC-style baseline of the paper).
+
+This package implements the standard tomography-based reconstruction the
+paper builds on (refs [16], [18]); the paper's contribution — golden cutting
+points — lives in :mod:`repro.core` and reuses everything here with reduced
+basis sets.
+"""
+
+from repro.cutting.cut import CutPoint, CutSpec, find_cuts
+from repro.cutting.fragments import FragmentPair, bipartition
+from repro.cutting.variants import (
+    PREPARATION_STATES,
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.cutting.execution import FragmentData, run_fragments
+from repro.cutting.reconstruction import (
+    build_downstream_tensor,
+    build_upstream_tensor,
+    reconstruct_counts,
+    reconstruct_distribution,
+    reconstruct_expectation,
+)
+from repro.cutting.io import load_fragment_data, save_fragment_data
+from repro.cutting.pauli_cut import (
+    cut_pauli_expectation,
+    cut_pauli_sum_expectation,
+    rotated_fragment_pair,
+)
+from repro.cutting.shots import allocate_shots
+from repro.cutting.variance import predicted_stddev_tv, reconstruction_variance
+from repro.cutting.allocation import AllocationPlan, suggest_allocation
+
+__all__ = [
+    "CutPoint",
+    "CutSpec",
+    "find_cuts",
+    "FragmentPair",
+    "bipartition",
+    "PREPARATION_STATES",
+    "upstream_setting_tuples",
+    "downstream_init_tuples",
+    "upstream_variant",
+    "downstream_variant",
+    "FragmentData",
+    "run_fragments",
+    "build_upstream_tensor",
+    "build_downstream_tensor",
+    "reconstruct_distribution",
+    "reconstruct_counts",
+    "reconstruct_expectation",
+    "save_fragment_data",
+    "load_fragment_data",
+    "cut_pauli_expectation",
+    "cut_pauli_sum_expectation",
+    "rotated_fragment_pair",
+    "allocate_shots",
+    "reconstruction_variance",
+    "predicted_stddev_tv",
+    "AllocationPlan",
+    "suggest_allocation",
+]

@@ -1,0 +1,120 @@
+"""Cut specifications and automatic cut search.
+
+A :class:`CutPoint` severs one qubit wire immediately *after* a given
+instruction; a :class:`CutSpec` is an ordered collection of such points
+(order defines the cut index ``k`` used by reconstruction tensors).
+:func:`find_cuts` searches for a valid bipartition under a fragment-width
+budget by brute force over wire positions — tractable because the paper's
+circuits are narrow; a greedy DAG-balance heuristic prunes the search on
+wider circuits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+from repro.exceptions import CutError
+
+__all__ = ["CutPoint", "CutSpec", "find_cuts"]
+
+
+@dataclass(frozen=True, order=True)
+class CutPoint:
+    """Cut wire ``wire`` right after instruction index ``gate_index``.
+
+    ``gate_index`` must be an instruction acting on ``wire`` and must not be
+    the last instruction on that wire (cutting after the final gate would
+    sever nothing).
+    """
+
+    wire: int
+    gate_index: int
+
+    def validate(self, circuit: Circuit) -> None:
+        if not 0 <= self.wire < circuit.num_qubits:
+            raise CutError(f"cut wire {self.wire} outside circuit")
+        if not 0 <= self.gate_index < len(circuit):
+            raise CutError(f"cut gate index {self.gate_index} outside circuit")
+        if self.wire not in circuit[self.gate_index].qubits:
+            raise CutError(
+                f"instruction {self.gate_index} does not touch wire {self.wire}"
+            )
+
+
+@dataclass(frozen=True)
+class CutSpec:
+    """An ordered tuple of cut points defining one bipartition."""
+
+    cuts: tuple[CutPoint, ...]
+
+    def __post_init__(self) -> None:
+        wires = [c.wire for c in self.cuts]
+        if len(set(wires)) != len(wires):
+            raise CutError(
+                "multiple cuts on one wire are not supported (the paper "
+                "restricts to bipartitions; see DESIGN.md)"
+            )
+        if not self.cuts:
+            raise CutError("CutSpec needs at least one cut")
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self.cuts)
+
+    @property
+    def wires(self) -> tuple[int, ...]:
+        return tuple(c.wire for c in self.cuts)
+
+    def validate(self, circuit: Circuit) -> None:
+        for c in self.cuts:
+            c.validate(circuit)
+
+
+def find_cuts(
+    circuit: Circuit,
+    max_fragment_qubits: int,
+    max_cuts: int = 3,
+) -> CutSpec:
+    """Search for a valid cut set that fits both fragments in the budget.
+
+    Tries all combinations of up to ``max_cuts`` single-wire cut positions
+    (smallest cut count first, then smallest larger-fragment width) and
+    returns the first whose bipartition is valid and fits.  Raises
+    :class:`CutError` when no such cut exists.
+    """
+    from repro.cutting.fragments import bipartition  # cycle-free local import
+
+    dag = CircuitDag(circuit)
+    candidates: list[CutPoint] = []
+    for wire in range(circuit.num_qubits):
+        segs = dag.wire_segments(wire)
+        for g in segs[:-1]:  # cutting after the last gate severs nothing
+            candidates.append(CutPoint(wire, g))
+
+    best: tuple[tuple[int, int], CutSpec] | None = None
+    for k in range(1, max_cuts + 1):
+        for combo in itertools.combinations(candidates, k):
+            wires = [c.wire for c in combo]
+            if len(set(wires)) != len(wires):
+                continue
+            spec = CutSpec(tuple(combo))
+            try:
+                pair = bipartition(circuit, spec)
+            except CutError:
+                continue
+            n1 = pair.upstream.num_qubits
+            n2 = pair.downstream.num_qubits
+            if max(n1, n2) > max_fragment_qubits:
+                continue
+            key = (k, max(n1, n2))
+            if best is None or key < best[0]:
+                best = (key, spec)
+        if best is not None:
+            return best[1]
+    raise CutError(
+        f"no bipartition with <= {max_cuts} cuts fits fragments of "
+        f"<= {max_fragment_qubits} qubits"
+    )

@@ -1,0 +1,165 @@
+"""Executing fragment variants and organising their measurement records.
+
+:func:`run_fragments` submits every upstream setting and downstream
+preparation variant to a backend and returns a :class:`FragmentData` holding,
+for each variant, the *joint empirical distribution* split into (output bits,
+cut bits).  :func:`exact_fragment_data` computes the same tensors in the
+infinite-shot limit directly from statevectors — used by exactness tests and
+by the analytic golden-cut finder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.cutting.fragments import FragmentPair
+from repro.cutting.variants import (
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.exceptions import CutError
+from repro.sim.statevector import simulate_statevector
+from repro.utils.bits import split_index
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["FragmentData", "run_fragments", "exact_fragment_data"]
+
+
+@dataclass
+class FragmentData:
+    """Measurement records of every fragment variant.
+
+    Attributes
+    ----------
+    pair:
+        The bipartition the data belongs to.
+    upstream:
+        setting tuple → array ``A[b_out, b_cut]`` of shape
+        ``(2^{n_up_out}, 2^K)``: joint probability of reading output bits
+        ``b_out`` and cut bits ``b_cut`` under that measurement setting.
+        Cut bit ``k`` is the little-endian bit ``k`` of ``b_cut`` (0 ↔ +1
+        eigenvalue, 1 ↔ −1).
+    downstream:
+        init tuple → probability vector of length ``2^{n_down}``.
+    shots_per_variant:
+        Shot budget each variant was run with (0 for exact data).
+    modeled_seconds:
+        Total device-model wall time charged by the backend.
+    """
+
+    pair: FragmentPair
+    upstream: dict[tuple[str, ...], np.ndarray]
+    downstream: dict[tuple[str, ...], np.ndarray]
+    shots_per_variant: int
+    modeled_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_variants(self) -> int:
+        return len(self.upstream) + len(self.downstream)
+
+    @property
+    def total_shots(self) -> int:
+        return self.shots_per_variant * self.num_variants
+
+    def upstream_settings(self) -> list[tuple[str, ...]]:
+        return list(self.upstream)
+
+    def downstream_inits(self) -> list[tuple[str, ...]]:
+        return list(self.downstream)
+
+
+def _split_upstream_probs(
+    probs: np.ndarray, pair: FragmentPair
+) -> np.ndarray:
+    """Rearrange a full upstream distribution into ``A[b_out, b_cut]``."""
+    n = pair.n_up
+    idx = np.arange(1 << n)
+    sub_out, sub_cut = split_index(idx, [pair.up_out_local, pair.up_cut_local])
+    out = np.zeros((1 << pair.n_up_out, 1 << pair.num_cuts))
+    np.add.at(out, (sub_out, sub_cut), probs)
+    return out
+
+
+def run_fragments(
+    pair: FragmentPair,
+    backend: Backend,
+    shots: int,
+    settings: Sequence[tuple[str, ...]] | None = None,
+    inits: Sequence[tuple[str, ...]] | None = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> FragmentData:
+    """Execute all (or the given) fragment variants on ``backend``.
+
+    ``settings``/``inits`` default to the full standard sets
+    (``{X,Y,Z}^K`` and ``6^K``); golden pipelines pass reduced sets.
+    """
+    if settings is None:
+        settings = upstream_setting_tuples(pair.num_cuts)
+    if inits is None:
+        inits = downstream_init_tuples(pair.num_cuts)
+    if not settings or not inits:
+        raise CutError("empty variant sets")
+
+    up_circuits = [upstream_variant(pair, s) for s in settings]
+    down_circuits = [downstream_variant(pair, i) for i in inits]
+
+    t0 = backend.clock.now
+    results = backend.run(up_circuits + down_circuits, shots=shots, seed=seed)
+    seconds = backend.clock.now - t0
+
+    upstream: dict[tuple[str, ...], np.ndarray] = {}
+    for s, res in zip(settings, results[: len(settings)]):
+        upstream[tuple(s)] = _split_upstream_probs(res.probabilities(), pair)
+    downstream: dict[tuple[str, ...], np.ndarray] = {}
+    for i, res in zip(inits, results[len(settings) :]):
+        downstream[tuple(i)] = res.probabilities()
+
+    return FragmentData(
+        pair=pair,
+        upstream=upstream,
+        downstream=downstream,
+        shots_per_variant=shots,
+        modeled_seconds=seconds,
+        metadata={
+            "backend": getattr(backend, "name", "backend"),
+            "num_upstream": len(settings),
+            "num_downstream": len(inits),
+        },
+    )
+
+
+def exact_fragment_data(
+    pair: FragmentPair,
+    settings: Sequence[tuple[str, ...]] | None = None,
+    inits: Sequence[tuple[str, ...]] | None = None,
+) -> FragmentData:
+    """Infinite-shot fragment data from exact statevector simulation."""
+    if settings is None:
+        settings = upstream_setting_tuples(pair.num_cuts)
+    if inits is None:
+        inits = downstream_init_tuples(pair.num_cuts)
+    upstream = {
+        tuple(s): _split_upstream_probs(
+            simulate_statevector(upstream_variant(pair, s)).probabilities(), pair
+        )
+        for s in settings
+    }
+    downstream = {
+        tuple(i): simulate_statevector(downstream_variant(pair, i)).probabilities()
+        for i in inits
+    }
+    return FragmentData(
+        pair=pair,
+        upstream=upstream,
+        downstream=downstream,
+        shots_per_variant=0,
+        modeled_seconds=0.0,
+        metadata={"backend": "exact"},
+    )

@@ -1,0 +1,227 @@
+"""Bipartitioning a circuit along a cut specification.
+
+Given a :class:`~repro.cutting.cut.CutSpec`, instructions are classified as
+*downstream* (DAG descendants of any cut point) or *upstream* (everything
+else).  The split is validated wire by wire: a wire crossing from upstream
+to downstream must be cut exactly at its crossing point, and no wire may
+flow downstream→upstream (that would need time travel — i.e. the cut set
+does not induce a bipartition).
+
+The result is a :class:`FragmentPair` holding two local circuits plus the
+book-keeping needed to reassemble measurement records:
+
+* which local qubits of the upstream fragment are *cut wires* (measured in
+  tomography bases) vs *outputs* (measured in Z for the final distribution),
+* which local qubits of the downstream fragment receive *preparation states*,
+* the original-qubit labels of each fragment's outputs, so reconstruction
+  can permute the joint distribution back to the uncut register order.
+
+Untouched original qubits (no gates at all) are assigned to the downstream
+fragment as idle wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+from repro.cutting.cut import CutSpec
+from repro.exceptions import CutError
+
+__all__ = ["FragmentPair", "bipartition"]
+
+
+@dataclass
+class FragmentPair:
+    """Everything reconstruction needs to know about one bipartition."""
+
+    #: local upstream circuit (width = number of upstream original qubits)
+    upstream: Circuit
+    #: local downstream circuit
+    downstream: Circuit
+    #: number of cuts K (cut index k refers to CutSpec order)
+    num_cuts: int
+    #: upstream local qubit of cut k (measured in the tomography basis)
+    up_cut_local: list[int]
+    #: downstream local qubit of cut k (initialised to preparation states)
+    down_cut_local: list[int]
+    #: upstream local output qubits, ordered by original label
+    up_out_local: list[int]
+    #: original labels of the upstream outputs (same order as up_out_local)
+    up_out_original: list[int]
+    #: downstream local output qubits (all of them), ordered by original label
+    down_out_local: list[int]
+    #: original labels of the downstream outputs
+    down_out_original: list[int]
+    #: the cut spec this pair was built from
+    spec: CutSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_up(self) -> int:
+        return self.upstream.num_qubits
+
+    @property
+    def n_down(self) -> int:
+        return self.downstream.num_qubits
+
+    @property
+    def n_up_out(self) -> int:
+        return len(self.up_out_local)
+
+    @property
+    def n_down_out(self) -> int:
+        return len(self.down_out_local)
+
+    def output_order(self) -> list[int]:
+        """Original qubit labels in (upstream outputs, downstream outputs) order."""
+        return list(self.up_out_original) + list(self.down_out_original)
+
+    def describe(self) -> str:
+        return (
+            f"FragmentPair(K={self.num_cuts}, upstream {self.n_up}q/"
+            f"{len(self.upstream)} ops, downstream {self.n_down}q/"
+            f"{len(self.downstream)} ops, outputs {self.n_up_out}+{self.n_down_out})"
+        )
+
+
+def _downstream_closure(
+    circuit: Circuit, dag: CircuitDag, spec: CutSpec
+) -> set[int]:
+    """Smallest consistent downstream instruction set.
+
+    Seeded with the DAG descendants of every cut point, then closed under
+    two rules until a fixpoint:
+
+    * *reachability*: anything depending on a downstream instruction is
+      downstream;
+    * *wire integrity*: a non-cut wire with any downstream instruction is
+      downstream in its entirety (wires cannot straddle the bipartition
+      unless they are cut).
+
+    The second rule is what places gates that merely *share a wire* with the
+    downstream block (but do not depend on the cut) into the downstream
+    fragment — e.g. an early gate acting only on the downstream register.
+    """
+    cut_wires = {c.wire for c in spec.cuts}
+    segs = {w: dag.wire_segments(w) for w in range(circuit.num_qubits)}
+    down: set[int] = set()
+    for cut in spec.cuts:
+        down |= dag.downstream_of_cut(cut.wire, cut.gate_index)
+    while True:
+        # reachability closure: one pass over topological order
+        for node in dag.topological_order():
+            if node not in down and any(
+                p in down for p in dag.predecessors(node)
+            ):
+                down.add(node)
+        # wire-integrity closure
+        added = False
+        for w, seq in segs.items():
+            if w in cut_wires:
+                continue
+            if any(i in down for i in seq):
+                for i in seq:
+                    if i not in down:
+                        down.add(i)
+                        added = True
+        if not added:
+            return down
+
+
+def bipartition(circuit: Circuit, spec: CutSpec) -> FragmentPair:
+    """Split ``circuit`` into upstream/downstream fragments along ``spec``."""
+    spec.validate(circuit)
+    dag = CircuitDag(circuit)
+
+    # 1. downstream = closure of the cut points' dependents
+    down_nodes = _downstream_closure(circuit, dag, spec)
+    up_nodes = set(range(len(circuit))) - down_nodes
+
+    # cut anchors must be upstream (otherwise the cuts are mutually cyclic)
+    for cut in spec.cuts:
+        if cut.gate_index in down_nodes:
+            raise CutError(
+                f"cut ({cut.wire},{cut.gate_index}) lies downstream of "
+                "another cut; the cut set does not induce a bipartition"
+            )
+
+    # 2. per-wire validation: clean U-prefix / D-suffix split, crossing
+    #    wires must be cut at the boundary.
+    cut_by_wire = {c.wire: c for c in spec.cuts}
+    for wire in range(circuit.num_qubits):
+        segs = dag.wire_segments(wire)
+        labels = ["U" if i in up_nodes else "D" for i in segs]
+        # must be U...U D...D — scan once, remembering the boundary
+        seen_d = False
+        last_u = None
+        for i, lab in zip(segs, labels):
+            if lab == "D":
+                seen_d = True
+            else:
+                if seen_d:
+                    raise CutError(
+                        f"wire {wire} flows downstream→upstream at "
+                        f"instruction {i}; cut set invalid"
+                    )
+                last_u = i
+        crosses = ("U" in labels) and ("D" in labels)
+        if crosses:
+            cut = cut_by_wire.get(wire)
+            if cut is None:
+                raise CutError(
+                    f"wire {wire} crosses the bipartition but is not cut"
+                )
+            if cut.gate_index != last_u:
+                raise CutError(
+                    f"cut on wire {wire} sits at instruction "
+                    f"{cut.gate_index}, but the bipartition boundary is "
+                    f"after instruction {last_u}"
+                )
+        elif wire in cut_by_wire:
+            raise CutError(
+                f"wire {wire} is cut but does not cross the bipartition "
+                "(nothing downstream on that wire)"
+            )
+
+    # 3. fragment qubit sets
+    q_up = sorted({q for i in up_nodes for q in circuit[i].qubits})
+    q_down_used = {q for i in down_nodes for q in circuit[i].qubits}
+    touched = set(q_up) | q_down_used
+    untouched = [q for q in range(circuit.num_qubits) if q not in touched]
+    q_down = sorted(q_down_used | set(untouched))
+
+    cut_wires = set(spec.wires)
+    overlap = set(q_up) & set(q_down)
+    if overlap != cut_wires:
+        raise CutError(
+            f"fragments share wires {sorted(overlap)} but cuts are on "
+            f"{sorted(cut_wires)}"
+        )
+
+    up_map = {orig: loc for loc, orig in enumerate(q_up)}
+    down_map = {orig: loc for loc, orig in enumerate(q_down)}
+
+    upstream = Circuit(len(q_up), name=f"{circuit.name}_up")
+    for i in sorted(up_nodes):
+        upstream.append(circuit[i].remap(up_map))
+    downstream = Circuit(len(q_down), name=f"{circuit.name}_down")
+    for i in sorted(down_nodes):
+        downstream.append(circuit[i].remap(down_map))
+
+    up_out_original = [q for q in q_up if q not in cut_wires]
+    down_out_original = list(q_down)
+
+    return FragmentPair(
+        upstream=upstream,
+        downstream=downstream,
+        num_cuts=spec.num_cuts,
+        up_cut_local=[up_map[c.wire] for c in spec.cuts],
+        down_cut_local=[down_map[c.wire] for c in spec.cuts],
+        up_out_local=[up_map[q] for q in up_out_original],
+        up_out_original=up_out_original,
+        down_out_local=[down_map[q] for q in down_out_original],
+        down_out_original=down_out_original,
+        spec=spec,
+    )

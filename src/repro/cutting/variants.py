@@ -1,0 +1,151 @@
+"""Measurement and preparation circuit variants for wire cutting.
+
+Per cut wire the protocol needs (paper §II):
+
+* **upstream**: measure the cut qubit in each Pauli basis.  ``I`` and ``Z``
+  share the computational measurement, so the physical settings are
+  ``{X, Y, Z}`` — realised by appending ``H`` (for X), ``S† H`` (for Y) or
+  nothing (for Z) before the terminal measurement;
+* **downstream**: initialise the entering qubit in each eigenstate of each
+  basis.  ``I`` and ``Z`` share eigenstates ``{|0⟩, |1⟩}``, so the physical
+  preparations are the six states ``Z+ Z− X+ X− Y+ Y−``, realised by the
+  prefix gates listed in :data:`PREPARATION_STATES`.
+
+Variants are labelled by tuples over the cuts (cut k → k-th tuple entry):
+settings by basis letters, preparations by ``"<basis><sign>"`` codes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.cutting.fragments import FragmentPair
+from repro.exceptions import CutError
+
+__all__ = [
+    "MEASUREMENT_SETTINGS",
+    "PREPARATION_STATES",
+    "upstream_setting_tuples",
+    "downstream_init_tuples",
+    "upstream_variant",
+    "downstream_variant",
+    "preparations_for_bases",
+]
+
+#: Physical upstream measurement settings per cut.
+MEASUREMENT_SETTINGS: tuple[str, ...] = ("X", "Y", "Z")
+
+#: Preparation-state code -> gate sequence building it from |0⟩.
+#: (Applied in list order: e.g. Y− is X then H then S: S·H·X|0⟩ = (|0⟩−i|1⟩)/√2.)
+PREPARATION_STATES: dict[str, tuple[str, ...]] = {
+    "Z+": (),
+    "Z-": ("x",),
+    "X+": ("h",),
+    "X-": ("x", "h"),
+    "Y+": ("h", "s"),
+    "Y-": ("x", "h", "s"),
+}
+
+#: Which preparation codes each Pauli basis needs downstream.
+_BASIS_PREPS: dict[str, tuple[str, ...]] = {
+    "I": ("Z+", "Z-"),
+    "Z": ("Z+", "Z-"),
+    "X": ("X+", "X-"),
+    "Y": ("Y+", "Y-"),
+}
+
+
+def upstream_setting_tuples(
+    num_cuts: int, allowed: Sequence[Sequence[str]] | None = None
+) -> list[tuple[str, ...]]:
+    """All physical measurement-setting tuples (default: {X,Y,Z}^K).
+
+    ``allowed[k]`` restricts the settings of cut ``k`` (golden cuts drop
+    their neglected basis — see :mod:`repro.core.neglect`).
+    """
+    pools = (
+        [MEASUREMENT_SETTINGS] * num_cuts
+        if allowed is None
+        else [tuple(a) for a in allowed]
+    )
+    for k, pool in enumerate(pools):
+        bad = set(pool) - set(MEASUREMENT_SETTINGS)
+        if bad:
+            raise CutError(f"invalid measurement settings {bad} for cut {k}")
+        if not pool:
+            raise CutError(f"cut {k} has an empty measurement-setting pool")
+    return list(itertools.product(*pools))
+
+
+def preparations_for_bases(bases: Sequence[str]) -> tuple[str, ...]:
+    """Distinct preparation codes needed to cover the given Pauli bases."""
+    out: list[str] = []
+    for b in bases:
+        for code in _BASIS_PREPS[b]:
+            if code not in out:
+                out.append(code)
+    return tuple(out)
+
+
+def downstream_init_tuples(
+    num_cuts: int, allowed_bases: Sequence[Sequence[str]] | None = None
+) -> list[tuple[str, ...]]:
+    """All preparation-state tuples (default: 6^K).
+
+    ``allowed_bases[k]`` lists the Pauli bases cut ``k`` participates in;
+    the preparation pool is the union of their eigenstates (so dropping
+    basis Y removes ``Y±`` — 6 states → 4 — while dropping Z removes
+    nothing when I remains, matching the cost model in
+    :mod:`repro.core.costs`).
+    """
+    if allowed_bases is None:
+        allowed_bases = [("I", "X", "Y", "Z")] * num_cuts
+    pools = [preparations_for_bases(b) for b in allowed_bases]
+    for k, pool in enumerate(pools):
+        if not pool:
+            raise CutError(f"cut {k} has an empty preparation pool")
+    return list(itertools.product(*pools))
+
+
+def upstream_variant(pair: FragmentPair, setting: Sequence[str]) -> Circuit:
+    """Upstream fragment with basis-change gates for one setting tuple.
+
+    The returned circuit is measured on *all* its qubits by the backend;
+    cut-qubit bits then resolve the tomography outcome, remaining bits the
+    fragment's output (split by :mod:`repro.cutting.execution`).
+    """
+    if len(setting) != pair.num_cuts:
+        raise CutError("setting tuple length != number of cuts")
+    qc = pair.upstream.copy()
+    qc.name = f"{pair.upstream.name}[{','.join(setting)}]"
+    for k, basis in enumerate(setting):
+        q = pair.up_cut_local[k]
+        if basis == "X":
+            qc.h(q)
+        elif basis == "Y":
+            qc.sdg(q).h(q)
+        elif basis == "Z":
+            pass
+        else:
+            raise CutError(f"invalid measurement basis {basis!r}")
+    return qc
+
+
+def downstream_variant(pair: FragmentPair, inits: Sequence[str]) -> Circuit:
+    """Downstream fragment prefixed with preparation gates for one tuple."""
+    if len(inits) != pair.num_cuts:
+        raise CutError("init tuple length != number of cuts")
+    qc = Circuit(pair.n_down, name=f"{pair.downstream.name}[{','.join(inits)}]")
+    for k, code in enumerate(inits):
+        try:
+            gates = PREPARATION_STATES[code]
+        except KeyError:
+            raise CutError(f"invalid preparation code {code!r}") from None
+        q = pair.down_cut_local[k]
+        for g in gates:
+            qc.add_gate(g, (q,))
+    for inst in pair.downstream:
+        qc.append(inst)
+    return qc

@@ -1,0 +1,47 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Malformed circuit construction (bad qubit index, arity mismatch, ...)."""
+
+
+class GateError(CircuitError):
+    """Unknown gate name or invalid gate parameters."""
+
+
+class SimulationError(ReproError):
+    """Simulator-level failure (non-normalised state, bad shape, ...)."""
+
+
+class NoiseError(ReproError):
+    """Invalid noise channel or noise model configuration."""
+
+
+class BackendError(ReproError):
+    """Backend cannot execute the requested job (too many qubits, ...)."""
+
+
+class TranspileError(ReproError):
+    """Circuit cannot be lowered to the target device."""
+
+
+class CutError(ReproError):
+    """Invalid cut specification (cyclic fragments, unknown wire, ...)."""
+
+
+class ReconstructionError(ReproError):
+    """Fragment data is inconsistent with the requested reconstruction."""
+
+
+class DetectionError(ReproError):
+    """Golden-cut detection was asked for data it does not have."""

@@ -1,0 +1,22 @@
+"""Experiment harness reproducing every figure of the paper's evaluation."""
+
+from repro.harness.experiment import run_trials, trial_seeds
+from repro.harness.report import format_table, print_table
+from repro.harness.fig3_accuracy import Fig3Result, run_fig3
+from repro.harness.fig4_runtime import Fig4Result, run_fig4
+from repro.harness.fig5_hardware import Fig5Result, run_fig5
+from repro.harness.scaling import run_scaling
+
+__all__ = [
+    "run_trials",
+    "trial_seeds",
+    "format_table",
+    "print_table",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "run_scaling",
+]

@@ -1,0 +1,78 @@
+"""Run every paper experiment from the command line.
+
+Usage::
+
+    python -m repro.harness                 # CI-sized run of every figure
+    python -m repro.harness --paper-scale   # the paper's full protocol
+    python -m repro.harness --only fig5     # one experiment
+
+Prints the same tables the benchmark suite registers, without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.fig3_accuracy import run_fig3
+from repro.harness.fig4_runtime import run_fig4
+from repro.harness.fig5_hardware import run_fig5
+from repro.harness.report import print_table
+from repro.harness.scaling import run_scaling
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the evaluation of arXiv:2304.04093.",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the paper's full trial counts (slow)",
+    )
+    parser.add_argument(
+        "--only",
+        choices=["fig3", "fig4", "fig5", "scaling"],
+        help="run a single experiment",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args(argv)
+
+    full = args.paper_scale
+    want = lambda name: args.only in (None, name)  # noqa: E731
+
+    if want("fig3"):
+        r3 = run_fig3(
+            sizes=(5, 7),
+            trials=10 if full else 4,
+            shots=10_000 if full else 4_000,
+            seed=args.seed,
+        )
+        print_table(
+            r3.rows(),
+            columns=["label", "n", "mean", "ci95_low", "ci95_high"],
+            title="Fig. 3 — weighted distance to noiseless ground truth",
+        )
+
+    if want("fig4"):
+        r4 = run_fig4(trials=1000 if full else 30, shots=1000, seed=args.seed)
+        print_table(
+            r4.rows(),
+            columns=["series", "n", "mean", "ci95_low", "ci95_high"],
+            title="Fig. 4 — simulator runtime (s), standard vs golden",
+        )
+
+    if want("fig5"):
+        r5 = run_fig5(trials=50 if full else 10, shots=1000, seed=args.seed)
+        print_table(r5.rows(), title="Fig. 5 — modeled device wall time")
+
+    if want("scaling"):
+        rows = run_scaling(max_cuts=3, repeats=3, seed=args.seed)
+        print_table(rows, title="§II-B scaling — terms / variants / time")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""ASCII table rendering for benchmark reports.
+
+All experiment reproductions print their results through these helpers so
+``pytest benchmarks/ --benchmark-only`` output contains the same rows the
+paper's figures plot (EXPERIMENTS.md records a captured copy).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(
+    rows: Sequence[Mapping], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
+    """Render dict-rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[j]) for row in cells)) for j, c in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    out = f"{header}\n{sep}\n{body}"
+    if title:
+        out = f"{title}\n{out}"
+    return out
+
+
+def print_table(
+    rows: Sequence[Mapping], columns: Sequence[str] | None = None, title: str = ""
+) -> None:
+    print()
+    print(format_table(rows, columns, title))

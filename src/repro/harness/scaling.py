@@ -1,0 +1,96 @@
+"""Multi-cut scaling ablation (paper §II-B's complexity claims).
+
+The paper derives — but does not measure — the scaling
+``O(4^{K_r} 3^{K_g})`` reconstruction terms and ``O(6^{K_r} 4^{K_g})``
+circuit evaluations for ``K = K_r + K_g`` cuts.  This experiment measures
+it: for each ``K`` and each number of golden cuts ``K_g``, build a circuit
+whose cuts are all golden by construction, mark only ``K_g`` of them, and
+record predicted counts plus the measured reconstruction wall time on exact
+fragment data.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.random import random_circuit, random_real_circuit
+from repro.core.costs import cost_report
+from repro.core.neglect import (
+    reduced_bases,
+    reduced_init_tuples,
+    reduced_setting_tuples,
+)
+from repro.cutting.cut import CutPoint, CutSpec
+from repro.cutting.execution import exact_fragment_data
+from repro.cutting.fragments import bipartition
+from repro.cutting.reconstruction import reconstruct_distribution
+from repro.utils.rng import as_generator
+from repro.utils.timing import Stopwatch
+
+__all__ = ["multi_cut_golden_circuit", "run_scaling"]
+
+
+def multi_cut_golden_circuit(
+    num_cuts: int,
+    extra_up: int = 1,
+    extra_down: int = 1,
+    depth: int = 2,
+    seed: "int | None" = None,
+) -> tuple[Circuit, CutSpec]:
+    """A circuit whose ``K`` cut wires are all Y-golden.
+
+    Upstream: a *real* random block on ``extra_up + K`` qubits (so the state
+    before every cut is real → every cut is Y-golden for diagonal
+    observables).  Downstream: an arbitrary random block on the ``K`` cut
+    wires plus ``extra_down`` fresh qubits.
+    """
+    rng = as_generator(seed)
+    n_up = extra_up + num_cuts
+    n = n_up + extra_down
+    cut_wires = list(range(extra_up, extra_up + num_cuts))
+    qc = Circuit(n, name=f"scaling[K={num_cuts}]")
+    qc = qc.compose(random_real_circuit(n_up, depth, seed=rng), qubits=list(range(n_up)))
+    for w in cut_wires:  # anchor every cut wire upstream
+        if not any(w in inst.qubits for inst in qc):
+            qc.ry(float(rng.uniform(0, 6.28)), w)
+    boundary = {w: max(i for i, inst in enumerate(qc) if w in inst.qubits) for w in cut_wires}
+    down_qubits = cut_wires + list(range(n_up, n))
+    # entangling ladder: every cut wire continues and the downstream
+    # register is coupled, pinning the bipartition shape
+    for a, b in zip(down_qubits, down_qubits[1:]):
+        qc.cx(a, b)
+    if len(down_qubits) == 1:
+        qc.rx(float(rng.uniform(0, 6.28)), down_qubits[0])
+    qc = qc.compose(random_circuit(len(down_qubits), depth, seed=rng), qubits=down_qubits)
+    spec = CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
+    return qc, spec
+
+
+def run_scaling(max_cuts: int = 3, depth: int = 2, seed: int = 777, repeats: int = 3) -> list[dict]:
+    """Measure terms/variants/reconstruction-time across (K, K_g) grid."""
+    rows: list[dict] = []
+    for K in range(1, max_cuts + 1):
+        qc, spec = multi_cut_golden_circuit(K, depth=depth, seed=seed + K)
+        pair = bipartition(qc, spec)
+        for kg in range(K + 1):
+            golden = {k: "Y" for k in range(kg)}
+            report = cost_report(K, golden or None, shots_per_variant=1000)
+            settings = reduced_setting_tuples(K, golden) if golden else None
+            inits = reduced_init_tuples(K, golden) if golden else None
+            bases = reduced_bases(K, golden) if golden else None
+            data = exact_fragment_data(pair, settings=settings, inits=inits)
+            sw = Stopwatch()
+            for _ in range(repeats):
+                with sw:
+                    reconstruct_distribution(data, bases=bases, postprocess="raw")
+            rows.append(
+                {
+                    "K": K,
+                    "K_golden": kg,
+                    "rows(4^Kr*3^Kg)": report.reconstruction_rows,
+                    "upstream": report.upstream_settings,
+                    "downstream": report.downstream_inits,
+                    "variants": report.num_variants,
+                    "reconstruct_ms": 1e3 * sw.elapsed / repeats,
+                }
+            )
+    return rows

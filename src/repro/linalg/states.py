@@ -1,0 +1,134 @@
+"""Quantum-state helper functions: construction, comparison, reduction.
+
+These operate on flat vectors (shape ``(2^n,)``) and flat density matrices
+(shape ``(2^n, 2^n)``) using the package's little-endian convention.  The
+simulators keep their own rank-n internal layout and convert at the edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import ATOL, COMPLEX_DTYPE
+from repro.exceptions import SimulationError
+from repro.utils.bits import bitstring_to_index
+
+__all__ = [
+    "ket",
+    "state_to_density",
+    "partial_trace",
+    "fidelity",
+    "purity",
+    "is_density_matrix",
+    "bloch_vector",
+]
+
+
+def ket(label: str | int, num_qubits: int | None = None) -> np.ndarray:
+    """Computational basis ket.
+
+    ``label`` is either a display bitstring (``"010"`` — qubit 0 leftmost) or
+    an integer index (``num_qubits`` then required).
+    """
+    if isinstance(label, str):
+        index = bitstring_to_index(label)
+        n = len(label)
+    else:
+        if num_qubits is None:
+            raise ValueError("num_qubits required when label is an int")
+        index, n = int(label), num_qubits
+    vec = np.zeros(1 << n, dtype=COMPLEX_DTYPE)
+    vec[index] = 1.0
+    return vec
+
+
+def state_to_density(state: np.ndarray) -> np.ndarray:
+    """Outer product ``|ψ⟩⟨ψ|`` of a flat statevector."""
+    state = np.asarray(state, dtype=COMPLEX_DTYPE).reshape(-1)
+    return np.outer(state, state.conj())
+
+
+def partial_trace(
+    rho: np.ndarray, keep: Iterable[int], num_qubits: int | None = None
+) -> np.ndarray:
+    """Partial trace of a density matrix onto the qubits in ``keep``.
+
+    The output is ordered little-endian over ``keep`` *in the order given*.
+    Implemented with one reshape + einsum, no loops.
+    """
+    keep = list(keep)
+    if num_qubits is None:
+        num_qubits = int(np.log2(rho.shape[0]))
+    if rho.shape != (1 << num_qubits, 1 << num_qubits):
+        raise SimulationError(f"density matrix shape {rho.shape} mismatch")
+    n = num_qubits
+    # Convert little-endian flat labels to axis-i=qubit-i tensor layout.
+    rev = tuple(range(n - 1, -1, -1))
+    tensor = rho.reshape((2,) * (2 * n)).transpose(rev + tuple(2 * n - 1 - i for i in range(n)))
+    drop = [q for q in range(n) if q not in keep]
+    # einsum: sum ket/bra indices of dropped qubits against each other.
+    ket_idx = list(range(n))
+    bra_idx = list(range(n, 2 * n))
+    for q in drop:
+        bra_idx[q] = ket_idx[q]  # tie bra index to ket index -> trace
+    # Output axes: kept qubits in caller order, reversed per block so the
+    # C-order flatten is little-endian over `keep`.
+    out_ket = [ket_idx[q] for q in reversed(keep)]
+    out_bra = [bra_idx[q] for q in reversed(keep)]
+    reduced = np.einsum(tensor, ket_idx + bra_idx, out_ket + out_bra)
+    dim = 1 << len(keep)
+    return np.ascontiguousarray(reduced.reshape(dim, dim))
+
+
+def fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """State fidelity between two pure states or a pure state and a ρ.
+
+    * two vectors: ``|⟨a|b⟩|²``
+    * vector and matrix (either order): ``⟨ψ|ρ|ψ⟩``
+    * two matrices: Uhlmann fidelity via the sqrtm-free eigen route.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim == 1 and b.ndim == 1:
+        return float(abs(np.vdot(a, b)) ** 2)
+    if a.ndim == 1:
+        return float(np.real(np.vdot(a, b @ a)))
+    if b.ndim == 1:
+        return float(np.real(np.vdot(b, a @ b)))
+    # general mixed-state fidelity: (tr sqrt(sqrt(a) b sqrt(a)))^2
+    wa, va = np.linalg.eigh(a)
+    wa = np.clip(wa, 0.0, None)
+    sqrt_a = (va * np.sqrt(wa)) @ va.conj().T
+    inner = sqrt_a @ b @ sqrt_a
+    w = np.linalg.eigvalsh(inner)
+    w = np.clip(w, 0.0, None)
+    return float(np.sum(np.sqrt(w)) ** 2)
+
+
+def purity(rho: np.ndarray) -> float:
+    """``tr(ρ²)`` — 1 for pure states, 1/2^n for the maximally mixed state."""
+    return float(np.real(np.einsum("ij,ji->", rho, rho)))
+
+
+def is_density_matrix(rho: np.ndarray, atol: float = 1e-8) -> bool:
+    """Check Hermiticity, unit trace and positive semidefiniteness."""
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    if abs(np.trace(rho).real - 1.0) > atol:
+        return False
+    w = np.linalg.eigvalsh(rho)
+    return bool(w.min() > -atol)
+
+
+def bloch_vector(rho: np.ndarray) -> np.ndarray:
+    """Bloch vector ``(⟨X⟩, ⟨Y⟩, ⟨Z⟩)`` of a single-qubit density matrix."""
+    if rho.shape != (2, 2):
+        raise SimulationError("bloch_vector needs a 2x2 density matrix")
+    x = 2.0 * np.real(rho[0, 1])
+    y = 2.0 * np.imag(rho[1, 0])
+    z = np.real(rho[0, 0] - rho[1, 1])
+    return np.array([x, y, z])

@@ -1,0 +1,19 @@
+"""Distribution distances and trial statistics for the experiment harness."""
+
+from repro.metrics.distances import (
+    hellinger_distance,
+    kl_divergence,
+    total_variation,
+    weighted_distance,
+)
+from repro.metrics.stats import TrialStats, mean_confidence_interval, summarize_trials
+
+__all__ = [
+    "weighted_distance",
+    "total_variation",
+    "hellinger_distance",
+    "kl_divergence",
+    "TrialStats",
+    "mean_confidence_interval",
+    "summarize_trials",
+]

@@ -1,0 +1,91 @@
+"""Trial statistics: means, confidence intervals, experiment summaries.
+
+The paper reports bar heights with 95 % confidence intervals over 10–1000
+independent trials (Figs. 3–5).  :func:`mean_confidence_interval` uses the
+Student-t interval (correct at the paper's small trial counts);
+:func:`summarize_trials` packages a metric series into the
+:class:`TrialStats` rows the benchmark tables print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.exceptions import ReproError
+
+__all__ = ["TrialStats", "mean_confidence_interval", "summarize_trials"]
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary of one experimental series."""
+
+    label: str
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float = 0.95
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def as_row(self) -> dict:
+        return {
+            "label": self.label,
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "ci95_low": self.ci_low,
+            "ci95_high": self.ci_high,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.mean:.4g} ± {self.ci_halfwidth:.2g} "
+            f"(95% CI, n={self.n})"
+        )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(mean, ci_low, ci_high)`` via the Student-t interval.
+
+    A single observation yields a degenerate interval at the mean.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot summarise an empty series")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    if sem == 0.0:
+        return mean, mean, mean
+    half = float(sps.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1) * sem)
+    return mean, mean - half, mean + half
+
+
+def summarize_trials(
+    label: str, values: Sequence[float], confidence: float = 0.95
+) -> TrialStats:
+    """Build a :class:`TrialStats` row from a metric series."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    mean, lo, hi = mean_confidence_interval(arr, confidence)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return TrialStats(
+        label=label,
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        ci_low=lo,
+        ci_high=hi,
+        confidence=confidence,
+    )

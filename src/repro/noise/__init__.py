@@ -1,0 +1,32 @@
+"""Noise channels, device noise models and readout error."""
+
+from repro.noise.kraus import (
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    thermal_relaxation,
+    two_qubit_depolarizing,
+)
+from repro.noise.model import GateNoise, NoiseModel
+from repro.noise.readout import ReadoutError, apply_readout_error
+from repro.noise.mitigation import ReadoutMitigator, calibrate_readout
+
+__all__ = [
+    "amplitude_damping",
+    "bit_flip",
+    "depolarizing",
+    "pauli_channel",
+    "phase_damping",
+    "phase_flip",
+    "thermal_relaxation",
+    "two_qubit_depolarizing",
+    "GateNoise",
+    "NoiseModel",
+    "ReadoutError",
+    "apply_readout_error",
+    "ReadoutMitigator",
+    "calibrate_readout",
+]

@@ -1,0 +1,129 @@
+"""Standard Kraus channels used by the fake-hardware noise models.
+
+All constructors return :class:`~repro.linalg.channels.KrausChannel`.  The
+parameterisations follow the textbook conventions (Nielsen & Chuang §8.3);
+probabilities are validated to lie in the physical range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import COMPLEX_DTYPE
+from repro.exceptions import NoiseError
+from repro.linalg.channels import KrausChannel
+from repro.linalg.paulis import PAULI_MATRICES
+
+__all__ = [
+    "depolarizing",
+    "two_qubit_depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+    "bit_flip",
+    "phase_flip",
+    "pauli_channel",
+    "thermal_relaxation",
+]
+
+
+def _check_prob(p: float, name: str, upper: float = 1.0) -> None:
+    if not 0.0 <= p <= upper:
+        raise NoiseError(f"{name} probability {p} outside [0, {upper}]")
+
+
+def depolarizing(p: float) -> KrausChannel:
+    """Single-qubit depolarizing channel: ρ → (1−p)ρ + p·I/2.
+
+    Kraus form: ``sqrt(1-3p/4) I, sqrt(p/4) X, sqrt(p/4) Y, sqrt(p/4) Z``.
+    """
+    _check_prob(p, "depolarizing", upper=4.0 / 3.0)
+    ops = [
+        math.sqrt(1.0 - 3.0 * p / 4.0) * PAULI_MATRICES["I"],
+        math.sqrt(p / 4.0) * PAULI_MATRICES["X"],
+        math.sqrt(p / 4.0) * PAULI_MATRICES["Y"],
+        math.sqrt(p / 4.0) * PAULI_MATRICES["Z"],
+    ]
+    return KrausChannel(tuple(ops), name=f"depolarizing({p:g})")
+
+
+def two_qubit_depolarizing(p: float) -> KrausChannel:
+    """Two-qubit depolarizing channel over the 16-element Pauli basis."""
+    _check_prob(p, "two_qubit_depolarizing", upper=16.0 / 15.0)
+    ops = []
+    labels = ["I", "X", "Y", "Z"]
+    for a in labels:
+        for b in labels:
+            # qubit order: first listed qubit = LSB -> kron(second, first)
+            mat = np.kron(PAULI_MATRICES[b], PAULI_MATRICES[a])
+            if a == b == "I":
+                w = math.sqrt(1.0 - 15.0 * p / 16.0)
+            else:
+                w = math.sqrt(p / 16.0)
+            ops.append(w * mat)
+    return KrausChannel(tuple(ops), name=f"depolarizing2({p:g})")
+
+
+def amplitude_damping(gamma: float) -> KrausChannel:
+    """T1 decay: |1⟩ relaxes to |0⟩ with probability gamma."""
+    _check_prob(gamma, "amplitude damping")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=COMPLEX_DTYPE)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=COMPLEX_DTYPE)
+    return KrausChannel((k0, k1), name=f"amp_damp({gamma:g})")
+
+
+def phase_damping(lam: float) -> KrausChannel:
+    """Pure dephasing (T2 without relaxation)."""
+    _check_prob(lam, "phase damping")
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=COMPLEX_DTYPE)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=COMPLEX_DTYPE)
+    return KrausChannel((k0, k1), name=f"phase_damp({lam:g})")
+
+
+def bit_flip(p: float) -> KrausChannel:
+    """X error with probability p."""
+    return pauli_channel(px=p, py=0.0, pz=0.0)
+
+
+def phase_flip(p: float) -> KrausChannel:
+    """Z error with probability p."""
+    return pauli_channel(px=0.0, py=0.0, pz=p)
+
+
+def pauli_channel(px: float, py: float, pz: float) -> KrausChannel:
+    """General single-qubit Pauli channel."""
+    for v, nm in ((px, "px"), (py, "py"), (pz, "pz")):
+        _check_prob(v, nm)
+    p_id = 1.0 - px - py - pz
+    if p_id < -1e-12:
+        raise NoiseError(f"Pauli channel probabilities sum to {px+py+pz} > 1")
+    p_id = max(p_id, 0.0)
+    ops = [math.sqrt(p_id) * PAULI_MATRICES["I"]]
+    for p, lbl in ((px, "X"), (py, "Y"), (pz, "Z")):
+        if p > 0:
+            ops.append(math.sqrt(p) * PAULI_MATRICES[lbl])
+    return KrausChannel(tuple(ops), name=f"pauli({px:g},{py:g},{pz:g})")
+
+
+def thermal_relaxation(t1: float, t2: float, gate_time: float) -> KrausChannel:
+    """Thermal relaxation for a gate of duration ``gate_time``.
+
+    Composes amplitude damping with rate ``1 - exp(-t/T1)`` and pure
+    dephasing chosen so the total coherence decay matches ``exp(-t/T2)``
+    (requires the physical constraint ``T2 ≤ 2·T1``).
+    """
+    if t1 <= 0 or t2 <= 0 or gate_time < 0:
+        raise NoiseError("T1, T2 must be positive and gate_time non-negative")
+    if t2 > 2 * t1 + 1e-12:
+        raise NoiseError(f"unphysical T2={t2} > 2*T1={2*t1}")
+    gamma = 1.0 - math.exp(-gate_time / t1)
+    # total off-diagonal decay target: exp(-t/T2); amplitude damping alone
+    # contributes sqrt(1-gamma) = exp(-t/2T1).
+    target = math.exp(-gate_time / t2)
+    from_ad = math.sqrt(1.0 - gamma)
+    residual = target / from_ad if from_ad > 0 else 0.0
+    residual = min(max(residual, 0.0), 1.0)
+    lam = 1.0 - residual**2
+    chan = amplitude_damping(gamma).compose(phase_damping(lam))
+    return KrausChannel(chan.operators, name=f"thermal(t1={t1:g},t2={t2:g},t={gate_time:g})")

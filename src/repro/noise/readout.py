@@ -1,0 +1,78 @@
+"""Classical readout (measurement assignment) error.
+
+Readout error on superconducting devices is well modelled by a per-qubit
+confusion matrix: ``P(measured m | true t)``.  Applying it to a probability
+vector is a linear map — one 2x2 matrix contraction per qubit on the
+probability *tensor*, vectorised exactly like a gate application but in
+probability space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NoiseError
+
+__all__ = ["ReadoutError", "apply_readout_error"]
+
+
+@dataclass(frozen=True)
+class ReadoutError:
+    """Per-qubit confusion matrix.
+
+    Parameters
+    ----------
+    p01:
+        Probability of reading 1 when the true state is 0.
+    p10:
+        Probability of reading 0 when the true state is 1 (typically larger
+        on real devices because of T1 decay during readout).
+    """
+
+    p01: float
+    p10: float
+
+    def __post_init__(self) -> None:
+        for v, nm in ((self.p01, "p01"), (self.p10, "p10")):
+            if not 0.0 <= v <= 1.0:
+                raise NoiseError(f"{nm}={v} outside [0,1]")
+
+    def matrix(self) -> np.ndarray:
+        """Column-stochastic confusion matrix ``M[measured, true]``."""
+        return np.array(
+            [[1.0 - self.p01, self.p10], [self.p01, 1.0 - self.p10]],
+            dtype=np.float64,
+        )
+
+
+def apply_readout_error(
+    probs: np.ndarray, errors: dict[int, ReadoutError], num_qubits: int
+) -> np.ndarray:
+    """Push a probability vector through per-qubit confusion matrices.
+
+    ``errors`` maps qubit index to its :class:`ReadoutError`; qubits absent
+    from the dict are read out perfectly.
+    """
+    if probs.size != 1 << num_qubits:
+        raise NoiseError("probability vector length mismatch")
+    if not errors:
+        return probs
+    n = num_qubits
+    rev = tuple(range(n - 1, -1, -1))
+    tensor = probs.reshape((2,) * n).transpose(rev)  # axis i = qubit i
+    for q, err in errors.items():
+        if not 0 <= q < n:
+            raise NoiseError(f"readout error on unknown qubit {q}")
+        m = err.matrix()
+        tensor = np.moveaxis(
+            np.tensordot(m, tensor, axes=([1], [q])), 0, q
+        )
+    out = tensor.transpose(rev).reshape(-1)
+    # guard against accumulated negatives from float error
+    np.clip(out, 0.0, None, out=out)
+    s = out.sum()
+    if s <= 0:
+        raise NoiseError("readout error annihilated the distribution")
+    return out / s

@@ -1,0 +1,18 @@
+"""Observables: diagonal projectors, Pauli strings, fragment decomposition."""
+
+from repro.observables.projector import (
+    BitstringProjector,
+    DiagonalObservable,
+    all_bitstring_projectors,
+)
+from repro.observables.decompose import split_diagonal_observable
+from repro.observables.pauli_obs import PauliSumObservable, maxcut_hamiltonian
+
+__all__ = [
+    "BitstringProjector",
+    "DiagonalObservable",
+    "all_bitstring_projectors",
+    "split_diagonal_observable",
+    "PauliSumObservable",
+    "maxcut_hamiltonian",
+]

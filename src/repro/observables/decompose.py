@@ -1,0 +1,69 @@
+"""Splitting observables across a circuit bipartition.
+
+A diagonal observable factorises across a cut iff its diagonal is (a sum of)
+tensor products over the two fragments' output qubits (paper Eq. 16).  Pure
+tensor factors are recovered with a rank-1 check on the reshaped diagonal:
+reshape the length-2^n diagonal into a (2^{n1} × 2^{n2}) matrix over the two
+fragments' index groups; the observable is separable iff that matrix has
+rank 1, and the factors are the leading singular vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.observables.projector import DiagonalObservable
+from repro.utils.bits import split_index
+
+__all__ = ["split_diagonal_observable"]
+
+
+def split_diagonal_observable(
+    observable: DiagonalObservable,
+    group1: list[int],
+    group2: list[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Factor a diagonal observable over two qubit groups.
+
+    Parameters
+    ----------
+    observable:
+        Diagonal observable on the full register.
+    group1, group2:
+        Original qubit labels owned by fragment 1 / fragment 2 (a partition
+        of ``range(n)``); each factor is little-endian *in the order given*.
+
+    Returns
+    -------
+    (diag1, diag2):
+        Vectors with ``diag[b_full] = diag1[b1] * diag2[b2]`` where ``b1``
+        and ``b2`` are the group sub-indices of ``b_full``.
+
+    Raises
+    ------
+    ReproError
+        If the observable does not factor across the groups (rank > 1).
+    """
+    n = observable.num_qubits
+    if sorted(group1 + group2) != list(range(n)):
+        raise ReproError("groups must partition the qubit register")
+    d = observable.diagonal
+    idx = np.arange(d.size)
+    sub1, sub2 = split_index(idx, [group1, group2])
+    mat = np.zeros((1 << len(group1), 1 << len(group2)))
+    mat[sub1, sub2] = d
+    # rank-1 factorisation via SVD of the (small) matrix
+    u, s, vt = np.linalg.svd(mat, full_matrices=False)
+    if s.size > 1 and s[1] > 1e-9 * max(s[0], 1.0):
+        raise ReproError(
+            "observable does not factor across the cut (rank "
+            f">= 2, singular values {s[:3]})"
+        )
+    diag1 = u[:, 0] * np.sqrt(s[0])
+    diag2 = vt[0, :] * np.sqrt(s[0])
+    # fix sign indeterminacy: make the largest |entry| of diag1 positive
+    k = int(np.argmax(np.abs(diag1)))
+    if diag1[k] < 0:
+        diag1, diag2 = -diag1, -diag2
+    return diag1, diag2

@@ -1,0 +1,140 @@
+"""Weighted sums of Pauli strings (Hamiltonians / cost functions).
+
+Covers the observables the paper's motivating applications use: Ising-type
+cost Hamiltonians for combinatorial optimisation (QAOA MaxCut), parity
+checks, and general diagonal operators.  Diagonal sums (labels in {I, Z})
+evaluate directly on reconstructed distributions — i.e. they compose with
+wire cutting for free via :meth:`PauliSumObservable.diagonal`.
+
+Non-diagonal sums are supported for *exact* evaluation (via the statevector
+simulator) and for measurement planning (grouping into mutually commuting
+qubit-wise bases), which is what a VQE-style driver would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import ReproError
+from repro.linalg.paulis import PauliString
+from repro.observables.projector import DiagonalObservable
+from repro.sim.expectation import expectation_of_observable
+
+__all__ = ["PauliSumObservable", "maxcut_hamiltonian"]
+
+
+@dataclass(frozen=True)
+class PauliSumObservable:
+    """``H = Σ_j c_j P_j`` with real coefficients and Pauli-string terms."""
+
+    terms: tuple[tuple[float, PauliString], ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ReproError("PauliSumObservable needs at least one term")
+        n = self.terms[0][1].num_qubits
+        for c, p in self.terms:
+            if p.num_qubits != n:
+                raise ReproError("all terms must share the qubit count")
+
+    # ------------------------------------------------------------- builders
+    @classmethod
+    def from_list(
+        cls, entries: Iterable[tuple[float, str]]
+    ) -> "PauliSumObservable":
+        """Build from ``[(coeff, "ZZI"), ...]`` label pairs."""
+        return cls(
+            tuple((float(c), PauliString.from_label(s)) for c, s in entries)
+        )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_qubits(self) -> int:
+        return self.terms[0][1].num_qubits
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    def is_diagonal(self) -> bool:
+        """True iff every term uses only {I, Z} — evaluates on distributions."""
+        return all(p.is_diagonal() for _, p in self.terms)
+
+    def diagonal(self) -> np.ndarray:
+        """Dense diagonal of a diagonal sum (vectorised, O(terms · 2^n))."""
+        if not self.is_diagonal():
+            raise ReproError("diagonal() requires a {I,Z}-only sum")
+        out = np.zeros(1 << self.num_qubits, dtype=np.float64)
+        for c, p in self.terms:
+            out += c * p.diagonal().real
+        return out
+
+    def as_diagonal_observable(self) -> DiagonalObservable:
+        return DiagonalObservable(self.diagonal(), self.num_qubits)
+
+    # ---------------------------------------------------------- evaluation
+    def expectation_from_probs(self, probs: np.ndarray) -> float:
+        """⟨H⟩ from an outcome distribution (diagonal sums only)."""
+        return float(np.dot(self.diagonal(), probs))
+
+    def expectation_exact(self, circuit: Circuit) -> float:
+        """Exact ⟨ψ|H|ψ⟩ for the output of ``circuit`` (any Pauli sum)."""
+        return float(
+            sum(c * expectation_of_observable(circuit, p) for c, p in self.terms)
+        )
+
+    # ------------------------------------------------- measurement planning
+    def measurement_groups(self) -> list[list[int]]:
+        """Greedy qubit-wise-commuting grouping of term indices.
+
+        Two strings are qubit-wise compatible when at every position their
+        labels agree or one is ``I`` — such a group is measurable with a
+        single basis setting.  Greedy first-fit is the standard heuristic
+        (optimal grouping is graph colouring).
+        """
+        groups: list[tuple[list[int], list[str]]] = []
+        for idx, (_, p) in enumerate(self.terms):
+            placed = False
+            for members, basis in groups:
+                if all(
+                    a == "I" or b == "I" or a == b
+                    for a, b in zip(p.labels, basis)
+                ):
+                    members.append(idx)
+                    for q, a in enumerate(p.labels):
+                        if a != "I":
+                            basis[q] = a
+                    placed = True
+                    break
+            if not placed:
+                groups.append(([idx], list(p.labels)))
+        return [members for members, _ in groups]
+
+    def __str__(self) -> str:
+        parts = [f"{c:+g}·{''.join(p.labels)}" for c, p in self.terms[:6]]
+        more = "" if self.num_terms <= 6 else f" ... ({self.num_terms} terms)"
+        return " ".join(parts) + more
+
+
+def maxcut_hamiltonian(graph: nx.Graph) -> PauliSumObservable:
+    """MaxCut cost observable ``C = Σ_{(u,v)∈E} (1 − Z_u Z_v)/2``.
+
+    ``⟨C⟩`` is the expected cut size; maximising it solves MaxCut.  Nodes
+    must be ``0..n-1``.  Diagonal, so it composes with wire cutting.
+    """
+    n = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(n)):
+        raise ReproError("graph nodes must be 0..n-1")
+    terms: list[tuple[float, PauliString]] = [
+        (0.5 * graph.number_of_edges(), PauliString.identity(n))
+    ]
+    for u, v in graph.edges:
+        labels = ["I"] * n
+        labels[u] = labels[v] = "Z"
+        terms.append((-0.5, PauliString(tuple(labels))))
+    return PauliSumObservable(tuple(terms))

@@ -1,0 +1,85 @@
+"""Diagonal observables and bitstring projectors.
+
+The paper's experiments estimate "the expectation of the projector observable
+``Π_b = |b⟩⟨b|``" for every bitstring ``b`` (Eq. 16) — i.e. the full output
+distribution.  A :class:`DiagonalObservable` is any real diagonal operator
+(stored as its diagonal vector); :class:`BitstringProjector` is the special
+case with a single 1.  Both split trivially across a cut (Eq. 16:
+``Π_b = Π_b1 ⊗ Π_b2``), implemented in
+:mod:`repro.observables.decompose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.utils.bits import bitstring_to_index, format_bitstring
+
+__all__ = ["DiagonalObservable", "BitstringProjector", "all_bitstring_projectors"]
+
+
+@dataclass(frozen=True)
+class DiagonalObservable:
+    """A real diagonal operator on ``num_qubits`` qubits.
+
+    ``diagonal[i]`` is the eigenvalue on basis state ``i`` (little-endian).
+    """
+
+    diagonal: np.ndarray
+    num_qubits: int
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.diagonal, dtype=np.float64)
+        if d.shape != (1 << self.num_qubits,):
+            raise ReproError(
+                f"diagonal length {d.shape} mismatch for {self.num_qubits} qubits"
+            )
+        object.__setattr__(self, "diagonal", d)
+
+    def expectation(self, probs: np.ndarray) -> float:
+        """``Σ_b diag[b] p[b]`` given an outcome distribution."""
+        if probs.shape != self.diagonal.shape:
+            raise ReproError("probability vector shape mismatch")
+        return float(np.dot(probs, self.diagonal))
+
+    @classmethod
+    def parity(cls, num_qubits: int) -> "DiagonalObservable":
+        """The all-Z Pauli string ``Z⊗...⊗Z`` as a diagonal observable."""
+        idx = np.arange(1 << num_qubits)
+        # popcount parity, vectorised
+        bits = idx.copy()
+        parity = np.zeros_like(idx)
+        for q in range(num_qubits):
+            parity ^= (bits >> q) & 1
+        return cls(1.0 - 2.0 * parity, num_qubits)
+
+    @classmethod
+    def from_function(cls, fn, num_qubits: int) -> "DiagonalObservable":
+        """Build from a callable ``fn(basis_index) -> float``."""
+        d = np.array([fn(i) for i in range(1 << num_qubits)], dtype=np.float64)
+        return cls(d, num_qubits)
+
+
+class BitstringProjector(DiagonalObservable):
+    """``Π_b = |b⟩⟨b|`` for a display bitstring ``b`` (qubit 0 leftmost)."""
+
+    def __init__(self, bitstring: str) -> None:
+        n = len(bitstring)
+        d = np.zeros(1 << n, dtype=np.float64)
+        d[bitstring_to_index(bitstring)] = 1.0
+        super().__init__(d, n)
+        object.__setattr__(self, "bitstring", bitstring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitstringProjector({self.bitstring!r})"
+
+
+def all_bitstring_projectors(num_qubits: int) -> list[BitstringProjector]:
+    """Every ``Π_b`` — jointly equivalent to the full output distribution."""
+    return [
+        BitstringProjector(format_bitstring(i, num_qubits))
+        for i in range(1 << num_qubits)
+    ]

@@ -1,0 +1,5 @@
+"""Parallel execution helpers for fragment variants."""
+
+from repro.parallel.executor import parallel_map, run_fragments_parallel
+
+__all__ = ["parallel_map", "run_fragments_parallel"]

@@ -1,0 +1,23 @@
+"""Simulators: statevector, density matrix, unitary extraction, sampling."""
+
+from repro.sim.statevector import Statevector, simulate_statevector
+from repro.sim.density import DensityMatrix, simulate_density
+from repro.sim.unitary import circuit_unitary
+from repro.sim.sampler import counts_to_probs, probs_to_counts, sample_counts
+from repro.sim.expectation import expectation_from_probs, expectation_of_observable
+from repro.sim.trajectories import simulate_trajectory, trajectory_probabilities
+
+__all__ = [
+    "Statevector",
+    "simulate_statevector",
+    "DensityMatrix",
+    "simulate_density",
+    "circuit_unitary",
+    "sample_counts",
+    "counts_to_probs",
+    "probs_to_counts",
+    "expectation_from_probs",
+    "expectation_of_observable",
+    "simulate_trajectory",
+    "trajectory_probabilities",
+]

@@ -1,0 +1,54 @@
+"""Expectation values from probability vectors and exact states.
+
+The paper's experiments estimate expectations of *diagonal* projector
+observables ``Π_b = |b⟩⟨b|`` from computational-basis sampling (Eq. 16);
+these helpers cover that case plus general Pauli strings via the simulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import SimulationError
+from repro.linalg.paulis import PauliString, pauli_basis_change
+from repro.sim.statevector import simulate_statevector
+
+__all__ = ["expectation_from_probs", "expectation_of_observable"]
+
+
+def expectation_from_probs(probs: np.ndarray, diagonal: np.ndarray) -> float:
+    """``Σ_b diagonal[b] · p[b]`` — expectation of a diagonal observable."""
+    probs = np.asarray(probs, dtype=np.float64)
+    diagonal = np.asarray(diagonal)
+    if probs.shape != diagonal.shape:
+        raise SimulationError(
+            f"shape mismatch: probs {probs.shape} vs diagonal {diagonal.shape}"
+        )
+    if np.iscomplexobj(diagonal):
+        if np.max(np.abs(diagonal.imag)) > 1e-9:
+            raise SimulationError("diagonal observable must be real")
+        diagonal = diagonal.real
+    return float(np.dot(probs, diagonal))
+
+
+def expectation_of_observable(circuit: Circuit, observable: PauliString) -> float:
+    """Exact ``⟨ψ|P|ψ⟩`` for the output state of ``circuit``.
+
+    Non-diagonal Pauli factors are handled by rotating the final state into
+    the observable's eigenbasis (the same trick hardware uses, but in the
+    exact infinite-shot limit) and evaluating the resulting diagonal string.
+    """
+    if observable.num_qubits != circuit.num_qubits:
+        raise SimulationError("observable width mismatch")
+    sv = simulate_statevector(circuit)
+    diag_labels = []
+    for q, label in enumerate(observable.labels):
+        if label in ("I", "Z"):
+            diag_labels.append(label)
+        else:
+            sv.apply_matrix(pauli_basis_change(label), (q,))
+            diag_labels.append("Z")
+    probs = sv.probabilities()
+    diag = PauliString.from_label("".join(diag_labels), observable.phase).diagonal()
+    return expectation_from_probs(probs, diag)

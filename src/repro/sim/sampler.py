@@ -1,0 +1,81 @@
+"""Finite-shot sampling utilities.
+
+Counts are dictionaries mapping display bitstrings (qubit 0 leftmost — see
+:mod:`repro.utils.bits`) to integer occurrence counts.  Sampling uses one
+``multinomial`` draw over the full probability vector: O(2^n + shots) and a
+single RNG consumption point, which keeps parallel fragment runs reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ATOL
+from repro.exceptions import SimulationError
+from repro.utils.bits import bitstring_to_index, format_bitstring
+from repro.utils.rng import as_generator
+
+__all__ = ["sample_counts", "counts_to_probs", "probs_to_counts"]
+
+
+def sample_counts(
+    probs: np.ndarray,
+    shots: int,
+    seed: "int | np.random.Generator | None" = None,
+    num_qubits: int | None = None,
+) -> dict[str, int]:
+    """Draw ``shots`` outcomes from a probability vector.
+
+    The vector is renormalised if it deviates from 1 by less than 1e-6
+    (accumulated float error from long noisy simulations); larger deviations
+    raise, since they indicate a real bug upstream.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if num_qubits is None:
+        num_qubits = int(np.log2(probs.size))
+    if probs.size != 1 << num_qubits:
+        raise SimulationError("probability vector length is not 2^n")
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    total = probs.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise SimulationError(f"probabilities sum to {total}, not 1")
+    p = probs / total
+    rng = as_generator(seed)
+    draws = rng.multinomial(shots, p)
+    hit = np.nonzero(draws)[0]
+    return {format_bitstring(int(i), num_qubits): int(draws[i]) for i in hit}
+
+
+def counts_to_probs(counts: dict[str, int], num_qubits: int) -> np.ndarray:
+    """Empirical probability vector from a counts dictionary."""
+    probs = np.zeros(1 << num_qubits, dtype=np.float64)
+    total = 0
+    for bitstring, c in counts.items():
+        if len(bitstring) != num_qubits:
+            raise SimulationError(
+                f"bitstring {bitstring!r} length != {num_qubits} qubits"
+            )
+        if c < 0:
+            raise SimulationError(f"negative count for {bitstring!r}")
+        probs[bitstring_to_index(bitstring)] += c
+        total += c
+    if total == 0:
+        raise SimulationError("counts dictionary is empty")
+    return probs / total
+
+
+def probs_to_counts(
+    probs: np.ndarray, shots: int, num_qubits: int | None = None
+) -> dict[str, int]:
+    """Deterministic 'expected counts' (rounded), for ideal-limit tests."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if num_qubits is None:
+        num_qubits = int(np.log2(probs.size))
+    raw = probs * shots
+    out = {}
+    for i, v in enumerate(raw):
+        r = int(round(v))
+        if r > 0:
+            out[format_bitstring(i, num_qubits)] = r
+    return out

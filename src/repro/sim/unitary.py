@@ -1,0 +1,34 @@
+"""Extract the full unitary matrix of a circuit.
+
+Only used for small circuits (tests, analytic checks): cost is
+``O(4^n · gates)`` time and ``O(4^n)`` memory.  The simulator applies the
+circuit to each identity column simultaneously by treating the matrix as a
+batch of statevectors — one tensordot per gate, no Python loop over columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.config import COMPLEX_DTYPE
+from repro.linalg.tensor import apply_matrix_to_axes
+
+__all__ = ["circuit_unitary"]
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Return the ``2^n × 2^n`` unitary of ``circuit`` (little-endian)."""
+    n = circuit.num_qubits
+    dim = 1 << n
+    # Rows as a batch: qubit axes 0..n-1 (axis i = qubit i, little-endian)
+    # plus one trailing batch axis of size 2^n for the columns.
+    rev = tuple(range(n - 1, -1, -1))
+    u = np.eye(dim, dtype=COMPLEX_DTYPE).reshape((2,) * n + (dim,))
+    u = u.transpose(rev + (n,))
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        u = apply_matrix_to_axes(u, inst.gate.matrix(), inst.qubits)
+    u = u.transpose(rev + (n,))
+    return np.ascontiguousarray(u.reshape(dim, dim))

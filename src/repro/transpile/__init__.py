@@ -1,0 +1,17 @@
+"""Lowering circuits to device constraints: basis gates, connectivity."""
+
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.basis import decompose_to_basis, HARDWARE_BASIS
+from repro.transpile.passes import cancel_adjacent_inverses, merge_single_qubit_runs
+from repro.transpile.routing import route_circuit
+from repro.transpile.pipeline import transpile
+
+__all__ = [
+    "CouplingMap",
+    "HARDWARE_BASIS",
+    "decompose_to_basis",
+    "merge_single_qubit_runs",
+    "cancel_adjacent_inverses",
+    "route_circuit",
+    "transpile",
+]

@@ -1,0 +1,167 @@
+"""Lower arbitrary gates to the IBM-style native basis ``{rz, sx, x, cx}``.
+
+Two stages:
+
+1. every multi-qubit gate is rewritten into CX + single-qubit gates using
+   textbook identities (recursively for Toffoli/Fredkin);
+2. every single-qubit gate is replaced by the ZSX Euler sequence
+   ``rz(λ) · sx · rz(θ+π) · sx · rz(φ+π)`` obtained from its ZYZ angles.
+
+Global phase is dropped — harmless because the basis translation is applied
+to complete circuits only, never to controlled sub-blocks.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.instruction import Instruction
+from repro.exceptions import TranspileError
+
+__all__ = ["HARDWARE_BASIS", "decompose_to_basis", "zyz_angles"]
+
+#: Native gate set of the fake IBM-style devices.
+HARDWARE_BASIS: frozenset[str] = frozenset({"rz", "sx", "x", "cx"})
+
+_ATOL = 1e-10
+
+
+def zyz_angles(u: np.ndarray) -> tuple[float, float, float]:
+    """ZYZ Euler angles ``(theta, phi, lam)`` with ``U ∝ Rz(φ)Ry(θ)Rz(λ)``."""
+    if u.shape != (2, 2):
+        raise TranspileError("zyz_angles needs a 2x2 matrix")
+    det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+    su = u / cmath.sqrt(det)  # now in SU(2) up to ±1
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[0, 0]) < _ATOL:  # θ = π: only φ−λ is defined
+        phi = 2.0 * cmath.phase(su[1, 0])
+        lam = 0.0
+    elif abs(su[1, 0]) < _ATOL:  # θ = 0: only φ+λ is defined
+        phi = 2.0 * cmath.phase(su[1, 1])
+        lam = 0.0
+    else:
+        plus = 2.0 * cmath.phase(su[1, 1])
+        minus = 2.0 * cmath.phase(su[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    return theta, phi, lam
+
+
+def _emit_1q(out: Circuit, q: int, u: np.ndarray) -> None:
+    """Append the ZSX realisation of a single-qubit unitary to ``out``."""
+    theta, phi, lam = zyz_angles(u)
+    # Special-case (near-)diagonal gates: a single rz suffices.
+    if abs(theta) < 1e-9:
+        angle = phi + lam
+        if abs(_wrap(angle)) > 1e-9:
+            out.rz(_wrap(angle), q)
+        return
+    out.rz(_wrap(lam), q)
+    out.sx(q)
+    out.rz(_wrap(theta + math.pi), q)
+    out.sx(q)
+    out.rz(_wrap(phi + math.pi), q)
+
+
+def _wrap(angle: float) -> float:
+    """Wrap to (−π, π] for tidy output."""
+    a = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if a <= 0:
+        a += 2.0 * math.pi
+    return a - math.pi
+
+
+# -- multi-qubit rewriting --------------------------------------------------
+
+def _expand(inst: Instruction, out: Circuit) -> bool:
+    """Rewrite a multi-qubit non-CX gate onto ``out``; False if untouched."""
+    name = inst.name
+    q = inst.qubits
+    p = inst.params
+    if name == "cx":
+        return False
+    if name == "cz":
+        a, b = q
+        out.h(b).cx(a, b).h(b)
+    elif name == "cy":
+        a, b = q
+        out.sdg(b).cx(a, b).s(b)
+    elif name == "ch":
+        a, b = q
+        # CH = (I⊗W) CX (I⊗W†) with W = e^{iπ/4}-ish Ry(π/4) combination:
+        out.s(b).h(b).t(b).cx(a, b).tdg(b).h(b).sdg(b)
+    elif name == "swap":
+        a, b = q
+        out.cx(a, b).cx(b, a).cx(a, b)
+    elif name == "iswap":
+        a, b = q
+        out.s(a).s(b).h(a).cx(a, b).cx(b, a).h(b)
+    elif name == "crz":
+        a, b = q
+        out.rz(p[0] / 2, b).cx(a, b).rz(-p[0] / 2, b).cx(a, b)
+    elif name == "cp":
+        a, b = q
+        out.p(p[0] / 2, a).p(p[0] / 2, b).cx(a, b).p(-p[0] / 2, b).cx(a, b)
+    elif name == "rzz":
+        a, b = q
+        out.cx(a, b).rz(p[0], b).cx(a, b)
+    elif name == "rxx":
+        a, b = q
+        out.h(a).h(b).cx(a, b).rz(p[0], b).cx(a, b).h(a).h(b)
+    elif name == "ryy":
+        a, b = q
+        # Ry eigenbasis: conjugate by Rx(π/2)
+        out.rx(math.pi / 2, a).rx(math.pi / 2, b)
+        out.cx(a, b).rz(p[0], b).cx(a, b)
+        out.rx(-math.pi / 2, a).rx(-math.pi / 2, b)
+    elif name == "ccx":
+        c1, c2, t = q
+        out.h(t).cx(c2, t).tdg(t).cx(c1, t).t(t).cx(c2, t).tdg(t)
+        out.cx(c1, t).t(c2).t(t).h(t).cx(c1, c2).t(c1).tdg(c2).cx(c1, c2)
+    elif name == "cswap":
+        # Fredkin = CX(b,a) · CCX(c,a,b) · CX(b,a)
+        from repro.circuits.gates import Gate
+
+        c, a, b = q
+        out.cx(b, a)
+        _expand(Instruction(Gate("ccx"), (c, a, b)), out)
+        out.cx(b, a)
+    else:
+        raise TranspileError(f"no decomposition rule for gate {name!r}")
+    return True
+
+
+def decompose_to_basis(circuit: Circuit) -> Circuit:
+    """Return an equivalent circuit using only ``{rz, sx, x, cx}`` gates.
+
+    Equivalence is up to global phase; the round-trip is property-tested
+    against the exact unitary in the test suite.
+    """
+    # Stage 1: multi-qubit gates -> CX + arbitrary 1q gates.
+    stage1 = Circuit(circuit.num_qubits, name=f"{circuit.name}_basis")
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        if len(inst.qubits) == 1:
+            stage1.append(inst)
+        elif _expand(inst, stage1):
+            pass
+        else:
+            stage1.append(inst)  # cx passes through
+    # Stage 2: 1q gates -> rz/sx (x kept as-is; id dropped).
+    out = Circuit(circuit.num_qubits, name=stage1.name)
+    for inst in stage1:
+        if len(inst.qubits) == 2:
+            out.append(inst)
+            continue
+        if inst.name == "id":
+            continue
+        if inst.name in ("rz", "sx", "x"):
+            out.append(inst)
+            continue
+        _emit_1q(out, inst.qubits[0], inst.gate.matrix())
+    return out

@@ -1,0 +1,106 @@
+"""Device connectivity graphs.
+
+A :class:`CouplingMap` wraps an undirected :mod:`networkx` graph whose nodes
+are physical qubits and whose edges are allowed two-qubit gate placements.
+Includes the topologies of the IBM devices the paper used: 5-qubit "T"/"V"
+layouts (ibmq_lima / ibmq_quito class) and the 7-qubit "H" layout
+(ibm_casablanca / ibm_lagos class).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import TranspileError
+
+__all__ = ["CouplingMap"]
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph with shortest-path queries."""
+
+    def __init__(self, edges: Iterable[tuple[int, int]], num_qubits: int | None = None):
+        g = nx.Graph()
+        edges = [tuple(sorted(e)) for e in edges]
+        g.add_edges_from(edges)
+        if num_qubits is None:
+            num_qubits = (max(g.nodes) + 1) if g.nodes else 0
+        g.add_nodes_from(range(num_qubits))
+        self.graph = g
+        self.num_qubits = num_qubits
+        if g.nodes and max(g.nodes) >= num_qubits:
+            raise TranspileError("edge endpoint exceeds declared qubit count")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def linear(cls, n: int) -> "CouplingMap":
+        """A line of n qubits: 0-1-2-...-(n-1)."""
+        return cls([(i, i + 1) for i in range(n - 1)], n)
+
+    @classmethod
+    def ring(cls, n: int) -> "CouplingMap":
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        return cls(edges, n)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(edges, rows * cols)
+
+    @classmethod
+    def ibm_t_shape_5q(cls) -> "CouplingMap":
+        """5-qubit 'T' layout (ibmq_lima / belem / quito):
+
+        ::
+
+            0 - 1 - 3 - 4
+                |
+                2
+        """
+        return cls([(0, 1), (1, 2), (1, 3), (3, 4)], 5)
+
+    @classmethod
+    def ibm_h_shape_7q(cls) -> "CouplingMap":
+        """7-qubit 'H' layout (ibm_casablanca / lagos / perth):
+
+        ::
+
+            0 - 1 - 3 - 5 - 6
+                |       |
+                2       4
+        """
+        return cls([(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)], 7)
+
+    # ------------------------------------------------------------------
+    def allowed(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def distance(self, a: int, b: int) -> int:
+        try:
+            return nx.shortest_path_length(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TranspileError(f"qubits {a},{b} are disconnected") from None
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        try:
+            return nx.shortest_path(self.graph, a, b)
+        except nx.NetworkXNoPath:
+            raise TranspileError(f"qubits {a},{b} are disconnected") from None
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [tuple(sorted(e)) for e in self.graph.edges]
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph) if self.graph.nodes else True
+
+    def __repr__(self) -> str:
+        return f"CouplingMap({self.num_qubits}q, {self.edges()})"

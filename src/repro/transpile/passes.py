@@ -1,0 +1,100 @@
+"""Peephole optimisation passes.
+
+Lightweight cleanups run before basis translation so the fake hardware sees
+realistic gate counts:
+
+* :func:`merge_single_qubit_runs` — collapse maximal runs of single-qubit
+  gates on a wire into one matrix (later re-expanded to at most 5 native
+  gates by the ZSX decomposition, bounding depth).
+* :func:`cancel_adjacent_inverses` — drop ``G G†`` pairs (including
+  self-inverse gates repeated twice, e.g. ``cx cx``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, get_gate_def
+from repro.circuits.instruction import Instruction
+from repro.transpile.basis import _emit_1q
+
+__all__ = ["merge_single_qubit_runs", "cancel_adjacent_inverses"]
+
+
+def merge_single_qubit_runs(circuit: Circuit) -> Circuit:
+    """Collapse consecutive 1q gates per wire into a single ZSX sequence.
+
+    Multi-qubit gates act as barriers on their wires.  The merged unitary is
+    re-emitted through the ZSX basis immediately, so the output contains only
+    ``rz``/``sx`` (plus the untouched multi-qubit gates); this pass therefore
+    also functions as a 1q basis translator.
+    """
+    n = circuit.num_qubits
+    pending: dict[int, np.ndarray] = {}
+    out = Circuit(n, name=circuit.name)
+
+    def flush(q: int) -> None:
+        u = pending.pop(q, None)
+        if u is not None:
+            _emit_1q(out, q, u)
+
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        if len(inst.qubits) == 1:
+            q = inst.qubits[0]
+            u = inst.gate.matrix()
+            pending[q] = u @ pending.get(q, np.eye(2, dtype=u.dtype))
+        else:
+            for q in inst.qubits:
+                flush(q)
+            out.append(inst)
+    for q in sorted(pending):
+        flush(q)
+    return out
+
+
+def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
+    """Remove adjacent ``G G†`` pairs on identical qubit tuples.
+
+    Runs to a fixed point: cancelling one pair may make two other gates
+    adjacent.  Only exact structural inverses are recognised (self-inverse
+    gates, s/sdg, t/tdg, sx/sxdg and parametric gates with negated angles).
+    """
+    insts = list(circuit)
+    changed = True
+    while changed:
+        changed = False
+        out: list[Instruction] = []
+        # last instruction per wire stack for adjacency across wires
+        i = 0
+        while i < len(insts):
+            cur = insts[i]
+            if out:
+                prev = out[-1]
+                if _are_inverse(prev, cur) and prev.qubits == cur.qubits:
+                    # ensure true adjacency: no intervening op touches the wires
+                    out.pop()
+                    i += 1
+                    changed = True
+                    continue
+            out.append(cur)
+            i += 1
+        insts = out
+    return Circuit(circuit.num_qubits, insts, name=circuit.name)
+
+
+def _are_inverse(a: Instruction, b: Instruction) -> bool:
+    if a.qubits != b.qubits:
+        return False
+    da = get_gate_def(a.name)
+    if da.self_inverse and a.name == b.name and not a.params:
+        return True
+    pairs = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"),
+             ("sx", "sxdg"), ("sxdg", "sx")}
+    if (a.name, b.name) in pairs:
+        return True
+    if a.name == b.name and da.num_params:
+        return all(abs(pa + pb) < 1e-12 for pa, pb in zip(a.params, b.params))
+    return False

@@ -1,0 +1,53 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library (random circuits, samplers, noise
+injection, shot allocation) takes a ``seed`` argument that may be ``None``,
+an ``int``, or an existing :class:`numpy.random.Generator`.  These helpers
+normalise the three cases and derive independent child streams so that
+parallel fragment executions are statistically independent yet reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "derive_rng", "spawn_rngs"]
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def as_generator(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    passing ``None`` produces a fresh OS-seeded stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, *tags: int) -> np.random.Generator:
+    """Derive a child generator deterministically identified by ``tags``.
+
+    The child stream is independent of (future draws from) the parent: we
+    seed it from the parent's bit generator state combined with the tags via
+    SeedSequence, without consuming parent entropy in a data-dependent way.
+    """
+    salt = [int(t) & 0xFFFFFFFF for t in tags]
+    base = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(np.random.SeedSequence([base, *salt]))
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent child generators from one seed.
+
+    Used by the parallel executor: each fragment variant gets its own stream
+    so results do not depend on execution order.
+    """
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**63 - 1))
+        ss = np.random.SeedSequence(base)
+    else:
+        ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

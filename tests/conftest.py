@@ -1,0 +1,24 @@
+"""Shared fixtures for the repro test suite (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.cutting import CutPoint, CutSpec, bipartition
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_cut_pair():
+    """A 3-qubit single-cut bipartition with known structure."""
+    qc = Circuit(3, name="simple")
+    qc.h(0).cx(0, 1).ry(0.7, 1)
+    qc.cx(1, 2).rz(0.3, 2)
+    spec = CutSpec((CutPoint(1, 2),))
+    return qc, spec, bipartition(qc, spec)

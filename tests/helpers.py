@@ -1,0 +1,58 @@
+"""Shared test helpers (imported as ``from tests.helpers import ...``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import Circuit, random_circuit
+from repro.cutting import CutPoint, CutSpec
+from repro.utils.rng import as_generator
+
+
+def phase_equal(a: np.ndarray, b: np.ndarray, tol: float = 1e-8) -> bool:
+    """True iff matrices/vectors agree up to a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    k = np.unravel_index(int(np.argmax(np.abs(b))), b.shape)
+    if abs(b[k]) < 1e-12:
+        return bool(np.allclose(a, b, atol=tol))
+    ph = a[k] / b[k]
+    return bool(abs(abs(ph) - 1.0) < tol and np.allclose(a, ph * b, atol=tol))
+
+
+def two_block_circuit(
+    n_total: int,
+    up_qubits: list[int],
+    down_qubits: list[int],
+    depth: int = 3,
+    seed=0,
+    real_upstream: bool = False,
+):
+    """Compose U1 on ``up_qubits`` then U2 on ``down_qubits``.
+
+    Returns ``(circuit, cut_spec)`` cutting every wire shared by the two
+    blocks at the upstream boundary.
+    """
+    from repro.circuits.random import random_real_circuit
+
+    r = as_generator(seed)
+    gen = random_real_circuit if real_upstream else random_circuit
+    qc = Circuit(n_total, name="two_block")
+    qc = qc.compose(gen(len(up_qubits), depth, seed=r), qubits=up_qubits)
+    shared = [q for q in up_qubits if q in down_qubits]
+    for w in shared:  # anchor shared wires upstream
+        if not any(w in inst.qubits for inst in qc):
+            qc.ry(float(r.uniform(0, 6.28)), w)
+    n_up = len(qc)
+    qc = qc.compose(random_circuit(len(down_qubits), depth, seed=r), qubits=down_qubits)
+    for w in shared:  # guarantee downstream usage of every shared wire
+        if not any(w in inst.qubits for inst in qc.instructions[n_up:]):
+            other = next(q for q in down_qubits if q != w)
+            qc.cx(w, other)
+    cuts = []
+    for w in shared:
+        boundary = max(i for i in range(n_up) if w in qc[i].qubits)
+        cuts.append(CutPoint(w, boundary))
+    return qc, CutSpec(tuple(cuts))

@@ -1,0 +1,137 @@
+"""Tests for variance-aware shot-allocation planning."""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend
+from repro.core import golden_ansatz
+from repro.cutting import bipartition
+from repro.cutting.allocation import suggest_allocation
+from repro.cutting.execution import exact_fragment_data, run_fragments
+from repro.exceptions import CutError
+
+
+@pytest.fixture(scope="module")
+def pilot():
+    spec = golden_ansatz(5, depth=3, seed=17)
+    pair = bipartition(spec.circuit, spec.cut_spec)
+    return run_fragments(pair, IdealBackend(), shots=2000, seed=3)
+
+
+class TestSuggestAllocation:
+    def test_budget_conserved(self, pilot):
+        plan = suggest_allocation(pilot, total_shots=9000)
+        total = sum(plan.upstream.values()) + sum(plan.downstream.values())
+        assert total == 9000
+
+    def test_every_variant_funded(self, pilot):
+        plan = suggest_allocation(pilot, total_shots=9000, min_shots=50)
+        assert len(plan.upstream) == 3 and len(plan.downstream) == 6
+        for v in list(plan.upstream.values()) + list(plan.downstream.values()):
+            assert v >= 50
+
+    def test_never_worse_than_uniform(self, pilot):
+        """Neyman allocation minimises the modelled variance, so the plan
+        can only beat (or tie) the uniform split it is compared against."""
+        plan = suggest_allocation(pilot, total_shots=9000)
+        assert plan.predicted_variance <= plan.uniform_variance * 1.0001
+        assert plan.improvement >= 0.999
+
+    def test_nonuniform_when_coefficients_differ(self, pilot):
+        plan = suggest_allocation(pilot, total_shots=18_000)
+        counts = list(plan.upstream.values()) + list(plan.downstream.values())
+        assert max(counts) > min(counts)  # uniform would be a coincidence
+
+    def test_budget_floor_enforced(self, pilot):
+        with pytest.raises(CutError):
+            suggest_allocation(pilot, total_shots=10, min_shots=16)
+
+    def test_exact_pilot_rejected(self):
+        spec = golden_ansatz(5, depth=2, seed=18)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        with pytest.raises(CutError):
+            suggest_allocation(exact_fragment_data(pair), total_shots=900)
+
+    def test_rows_renderable(self, pilot):
+        plan = suggest_allocation(pilot, total_shots=9000)
+        rows = plan.as_rows()
+        assert len(rows) == 9
+        assert all("shots" in r for r in rows)
+
+    def test_plan_respects_reduced_bases(self, pilot):
+        """Planning over a golden-reduced protocol only sees its variants."""
+        from repro.core.neglect import (
+            reduced_bases,
+            reduced_init_tuples,
+            reduced_setting_tuples,
+        )
+
+        spec = golden_ansatz(5, depth=3, seed=17)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        golden = {0: "Y"}
+        reduced_pilot = run_fragments(
+            pair, IdealBackend(), shots=2000, seed=4,
+            settings=reduced_setting_tuples(1, golden),
+            inits=reduced_init_tuples(1, golden),
+        )
+        plan = suggest_allocation(
+            reduced_pilot, total_shots=6000, bases=reduced_bases(1, golden)
+        )
+        assert len(plan.upstream) == 2 and len(plan.downstream) == 4
+
+    def test_weighted_execution_improves_empirical_error(self, pilot):
+        """End-to-end: spending the planned budgets beats uniform on the
+        measured TV error (averaged over repetitions)."""
+        from repro.cutting.execution import run_fragments
+        from repro.cutting.reconstruction import reconstruct_distribution
+        from repro.metrics import total_variation
+        from repro.sim import simulate_statevector
+
+        spec = golden_ansatz(5, depth=3, seed=17)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        truth = simulate_statevector(spec.circuit).probabilities()
+        plan = suggest_allocation(pilot, total_shots=2700, min_shots=32)
+
+        def run_with(allocation: dict, seed: int):
+            # per-variant runs with individual budgets, merged by hand
+            upstream = {}
+            downstream = {}
+            for i, (s, n) in enumerate(allocation["up"].items()):
+                d = run_fragments(
+                    pair, IdealBackend(), shots=n, settings=[s],
+                    inits=[("Z+",)], seed=seed * 997 + i,
+                )
+                upstream[s] = d.upstream[s]
+            for j, (t, n) in enumerate(allocation["down"].items()):
+                d = run_fragments(
+                    pair, IdealBackend(), shots=n, settings=[("Z",)],
+                    inits=[t], seed=seed * 991 + 100 + j,
+                )
+                downstream[t] = d.downstream[t]
+            from repro.cutting.execution import FragmentData
+
+            return FragmentData(
+                pair=pair, upstream=upstream, downstream=downstream,
+                shots_per_variant=min(
+                    list(allocation["up"].values())
+                    + list(allocation["down"].values())
+                ),
+            )
+
+        planned = {"up": plan.upstream, "down": plan.downstream}
+        uniform = {
+            "up": {k: 300 for k in plan.upstream},
+            "down": {k: 300 for k in plan.downstream},
+        }
+        err_planned, err_uniform = [], []
+        for rep in range(8):
+            dp = run_with(planned, seed=rep + 1)
+            du = run_with(uniform, seed=rep + 1)
+            err_planned.append(
+                total_variation(reconstruct_distribution(dp), truth)
+            )
+            err_uniform.append(
+                total_variation(reconstruct_distribution(du), truth)
+            )
+        # planned mean error should not be noticeably worse than uniform
+        assert np.mean(err_planned) < np.mean(err_uniform) * 1.25

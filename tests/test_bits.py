@@ -1,0 +1,161 @@
+"""Unit tests for the bit-manipulation helpers (endianness contract)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_at,
+    bits_to_index,
+    bitstring_to_index,
+    format_bitstring,
+    index_to_bits,
+    marginalize_probs,
+    permute_probability_axes,
+    split_index,
+)
+
+
+class TestBitAt:
+    def test_scalar(self):
+        assert bit_at(0b101, 0) == 1
+        assert bit_at(0b101, 1) == 0
+        assert bit_at(0b101, 2) == 1
+
+    def test_array(self):
+        arr = np.array([0, 1, 2, 3])
+        np.testing.assert_array_equal(bit_at(arr, 0), [0, 1, 0, 1])
+        np.testing.assert_array_equal(bit_at(arr, 1), [0, 0, 1, 1])
+
+
+class TestIndexBits:
+    def test_little_endian(self):
+        # index 1 = qubit 0 set
+        np.testing.assert_array_equal(index_to_bits(1, 3), [1, 0, 0])
+        # index 4 = qubit 2 set
+        np.testing.assert_array_equal(index_to_bits(4, 3), [0, 0, 1])
+
+    def test_roundtrip(self):
+        for i in range(16):
+            assert bits_to_index(index_to_bits(i, 4)) == i
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            index_to_bits(-1, 3)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_index([0, 2])
+        with pytest.raises(ValueError):
+            bits_to_index(np.zeros((2, 2)))
+
+
+class TestBitstrings:
+    def test_format_qubit0_leftmost(self):
+        assert format_bitstring(1, 3) == "100"
+        assert format_bitstring(4, 3) == "001"
+        assert format_bitstring(0, 3) == "000"
+
+    def test_parse_roundtrip(self):
+        for i in range(32):
+            assert bitstring_to_index(format_bitstring(i, 5)) == i
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            bitstring_to_index("01x")
+        with pytest.raises(ValueError):
+            bitstring_to_index("")
+
+
+class TestSplitIndex:
+    def test_basic(self):
+        # 3-qubit index with groups [0,2] and [1]
+        idx = 0b101  # qubits 0 and 2 set
+        (a, b) = split_index(idx, [[0, 2], [1]])
+        assert a == 0b11  # bit0 of group = qubit 0 (set), bit1 = qubit 2 (set)
+        assert b == 0
+
+    def test_group_order_matters(self):
+        idx = 0b001  # qubit 0 set
+        (a,) = split_index(idx, [[2, 0]])
+        assert a == 0b10  # qubit 0 is the *second* listed -> bit 1
+
+    def test_vectorized(self):
+        idx = np.arange(8)
+        (a, b) = split_index(idx, [[0], [1, 2]])
+        np.testing.assert_array_equal(a, idx & 1)
+        np.testing.assert_array_equal(b, idx >> 1)
+
+
+class TestPermute:
+    def test_identity(self):
+        p = np.arange(8.0)
+        np.testing.assert_allclose(permute_probability_axes(p, [0, 1, 2]), p)
+
+    def test_swap_endpoints(self):
+        v = np.zeros(8)
+        v[1] = 1.0  # |100> (qubit 0 set)
+        out = permute_probability_axes(v, [2, 1, 0])
+        assert out[4] == 1.0  # qubit 0 moved to position 2
+
+    def test_cycle(self):
+        v = np.zeros(8)
+        v[1] = 1.0
+        out = permute_probability_axes(v, [1, 2, 0])  # qubit0 -> position1
+        assert out[2] == 1.0
+
+    def test_mass_preserved(self, rng):
+        p = rng.random(16)
+        out = permute_probability_axes(p, [3, 1, 0, 2])
+        assert np.isclose(out.sum(), p.sum())
+
+    def test_invalid_permutation(self):
+        with pytest.raises(ValueError):
+            permute_probability_axes(np.zeros(8), [0, 0, 1])
+
+    def test_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            permute_probability_axes(np.zeros(6), [0, 1])
+
+
+class TestMarginalize:
+    def test_single_qubit(self):
+        v = np.zeros(8)
+        v[1] = 0.25  # |100>
+        v[7] = 0.75  # |111>
+        np.testing.assert_allclose(marginalize_probs(v, [0], 3), [0.0, 1.0])
+        np.testing.assert_allclose(marginalize_probs(v, [2], 3), [0.25, 0.75])
+
+    def test_keep_order(self):
+        v = np.zeros(8)
+        v[1] = 1.0  # qubit 0 set
+        # keep (2, 0): qubit 0 is bit 1 of the output
+        np.testing.assert_allclose(marginalize_probs(v, [2, 0], 3), [0, 0, 1, 0])
+
+    def test_keep_all(self, rng):
+        p = rng.random(8)
+        np.testing.assert_allclose(marginalize_probs(p, [0, 1, 2], 3), p)
+
+    def test_mass_preserved(self, rng):
+        p = rng.random(32)
+        assert np.isclose(marginalize_probs(p, [1, 3], 5).sum(), p.sum())
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_roundtrip_property(i):
+    assert bitstring_to_index(format_bitstring(i, 8)) == i
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=8, max_size=8),
+    st.permutations(list(range(3))),
+)
+def test_permute_is_bijection(vals, perm):
+    v = np.asarray(vals)
+    out = permute_probability_axes(v, perm)
+    # applying the inverse permutation restores the vector
+    inv = list(np.argsort(perm))
+    back = permute_probability_axes(out, inv)
+    np.testing.assert_allclose(back, v, atol=1e-12)

@@ -1,0 +1,174 @@
+"""Unit tests for the Circuit IR: builders, structure, analysis, QASM."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_from_qasm, circuit_to_qasm, draw
+from repro.circuits.gates import Gate
+from repro.circuits.instruction import Instruction
+from repro.exceptions import CircuitError
+from repro.sim import circuit_unitary
+
+from tests.helpers import phase_equal
+
+
+class TestConstruction:
+    def test_builder_chaining(self):
+        qc = Circuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        assert len(qc) == 3
+        assert qc[0].name == "h"
+        assert qc[2].params == (0.5,)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).cx(1, 1)
+
+    def test_wrong_arity(self):
+        with pytest.raises(CircuitError):
+            Instruction(Gate("cx"), (0,))
+
+    def test_unknown_gate_rejected_eagerly(self):
+        from repro.exceptions import GateError
+
+        with pytest.raises(GateError):
+            Circuit(2).add_gate("nope", (0,))
+
+    def test_barrier_is_noop(self):
+        qc = Circuit(2).h(0).barrier().cx(0, 1)
+        assert len(qc) == 2
+
+    def test_equality(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        c = Circuit(2).h(1).cx(0, 1)
+        assert a == b
+        assert a != c
+
+
+class TestStructure:
+    def test_compose_identity_mapping(self):
+        a = Circuit(3).h(0)
+        b = Circuit(2).cx(0, 1)
+        c = a.compose(b)
+        assert len(c) == 2
+        assert c[1].qubits == (0, 1)
+
+    def test_compose_with_mapping(self):
+        a = Circuit(3)
+        b = Circuit(2).cx(0, 1)
+        c = a.compose(b, qubits=[2, 0])
+        assert c[0].qubits == (2, 0)
+
+    def test_compose_width_check(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).compose(Circuit(2).h(0))
+
+    def test_remap(self):
+        qc = Circuit(3).cx(0, 1)
+        out = qc.remap([2, 0, 1])
+        assert out[0].qubits == (2, 0)
+
+    def test_inverse_is_unitary_inverse(self):
+        from repro.circuits import random_circuit
+
+        qc = random_circuit(3, 4, seed=3)
+        u = circuit_unitary(qc)
+        ui = circuit_unitary(qc.inverse())
+        np.testing.assert_allclose(ui @ u, np.eye(8), atol=1e-10)
+
+    def test_copy_is_independent(self):
+        a = Circuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_slice(self):
+        qc = Circuit(2).h(0).x(1).cx(0, 1)
+        assert [i.name for i in qc.slice(1, 3)] == ["x", "cx"]
+
+    def test_filtered(self):
+        qc = Circuit(2).h(0).x(1).cx(0, 1)
+        only_1q = qc.filtered(lambda i: len(i.qubits) == 1)
+        assert len(only_1q) == 2
+
+
+class TestAnalysis:
+    def test_depth_parallel_gates(self):
+        qc = Circuit(3).h(0).h(1).h(2)
+        assert qc.depth() == 1
+
+    def test_depth_serial(self):
+        qc = Circuit(2).h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_depth_empty(self):
+        assert Circuit(2).depth() == 0
+
+    def test_count_ops(self):
+        qc = Circuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_num_two_qubit_gates(self):
+        qc = Circuit(3).h(0).cx(0, 1).cz(1, 2)
+        assert qc.num_two_qubit_gates() == 2
+
+    def test_qubits_used(self):
+        qc = Circuit(5).h(1).cx(3, 1)
+        assert qc.qubits_used() == (1, 3)
+
+    def test_is_real(self):
+        assert Circuit(2).h(0).cx(0, 1).ry(0.3, 1).is_real()
+        assert not Circuit(2).h(0).s(1).is_real()
+        assert not Circuit(1).rx(0.2, 0).is_real()
+
+    def test_parameters(self):
+        qc = Circuit(2).rx(0.1, 0).u3(0.2, 0.3, 0.4, 1)
+        assert qc.parameters() == [0.1, 0.2, 0.3, 0.4]
+
+
+class TestQasmRoundtrip:
+    def test_roundtrip_preserves_semantics(self):
+        from repro.circuits import random_circuit
+
+        qc = random_circuit(4, 5, seed=9)
+        back = circuit_from_qasm(circuit_to_qasm(qc))
+        assert back.num_qubits == qc.num_qubits
+        assert phase_equal(circuit_unitary(back), circuit_unitary(qc))
+
+    def test_roundtrip_structure(self):
+        qc = Circuit(2).h(0).rx(1.25, 1).cx(0, 1)
+        back = circuit_from_qasm(circuit_to_qasm(qc))
+        assert [i.name for i in back] == ["h", "rx", "cx"]
+        assert back[1].params == (1.25,)
+
+    def test_bad_header(self):
+        with pytest.raises(CircuitError):
+            circuit_from_qasm("h 0\n")
+
+    def test_bad_line(self):
+        with pytest.raises(CircuitError):
+            circuit_from_qasm("qubits 2\nh zero\n")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "qubits 2\n\n# comment\nh 0\n"
+        qc = circuit_from_qasm(text)
+        assert len(qc) == 1
+
+
+class TestDraw:
+    def test_draw_contains_all_wires(self):
+        art = draw(Circuit(3).h(0).cx(0, 2))
+        assert art.count("\n") == 2
+        assert "H" in art and "●" in art and "X" in art
+
+    def test_draw_empty(self):
+        art = draw(Circuit(2))
+        assert "q0:" in art and "q1:" in art

@@ -1,0 +1,178 @@
+"""Tests for the circuit DAG and the circuit library/generators."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitDag,
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    random_circuit,
+    random_real_circuit,
+    random_rx_layer,
+    real_amplitudes_ansatz,
+)
+from repro.exceptions import CutError
+from repro.sim import circuit_unitary, simulate_statevector
+
+
+class TestDag:
+    def test_edges_follow_wires(self):
+        qc = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        dag = CircuitDag(qc)
+        assert dag.graph.has_edge(0, 1)
+        assert dag.graph.has_edge(1, 2)
+        assert not dag.graph.has_edge(0, 2)
+
+    def test_parallel_gates_independent(self):
+        qc = Circuit(2).h(0).h(1)
+        dag = CircuitDag(qc)
+        assert dag.graph.number_of_edges() == 0
+
+    def test_edge_wire_labels(self):
+        qc = Circuit(2).cx(0, 1).cx(0, 1)
+        dag = CircuitDag(qc)
+        assert dag.graph[0][1]["wires"] == {0, 1}
+
+    def test_topological_order_valid(self):
+        qc = random_circuit(4, 5, seed=1)
+        dag = CircuitDag(qc)
+        order = dag.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in dag.graph.edges:
+            assert pos[u] < pos[v]
+
+    def test_layers_partition_nodes(self):
+        qc = random_circuit(4, 4, seed=2)
+        dag = CircuitDag(qc)
+        layers = dag.layers()
+        flat = [n for layer in layers for n in layer]
+        assert sorted(flat) == list(range(len(qc)))
+
+    def test_layers_are_antichains(self):
+        qc = random_circuit(3, 4, seed=3)
+        dag = CircuitDag(qc)
+        for layer in dag.layers():
+            for a in layer:
+                for b in layer:
+                    if a != b:
+                        assert not nx.has_path(dag.graph, a, b)
+
+    def test_wire_segments(self):
+        qc = Circuit(2).h(0).cx(0, 1).x(0)
+        dag = CircuitDag(qc)
+        assert dag.wire_segments(0) == [0, 1, 2]
+        assert dag.wire_segments(1) == [1]
+
+    def test_downstream_of_cut(self):
+        qc = Circuit(3).h(0).cx(0, 1).cx(1, 2).x(0)
+        dag = CircuitDag(qc)
+        down = dag.downstream_of_cut(1, 1)
+        assert down == {2}
+
+    def test_cut_after_last_gate_raises(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        with pytest.raises(CutError):
+            dag.downstream_of_cut(1, 1)
+
+    def test_cut_on_wrong_wire_raises(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        with pytest.raises(CutError):
+            dag.downstream_of_cut(1, 0)
+
+    def test_upstream_closure(self):
+        qc = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        dag = CircuitDag(qc)
+        assert dag.upstream_closure([2]) == {0, 1, 2}
+
+
+class TestGenerators:
+    def test_random_circuit_deterministic(self):
+        a = random_circuit(4, 3, seed=5)
+        b = random_circuit(4, 3, seed=5)
+        assert a == b
+
+    def test_random_circuit_acts_on_all_wires(self):
+        qc = random_circuit(5, 2, seed=1)
+        assert qc.qubits_used() == tuple(range(5))
+
+    def test_random_real_is_real(self):
+        for seed in range(5):
+            assert random_real_circuit(4, 4, seed=seed).is_real()
+
+    def test_rx_layer_angles_in_range(self):
+        qc = random_rx_layer(6, seed=2)
+        assert len(qc) == 6
+        assert all(0.0 <= p <= 6.28 for p in qc.parameters())
+
+    def test_rx_layer_subset(self):
+        qc = random_rx_layer(5, seed=3, qubits=[1, 3])
+        assert qc.qubits_used() == (1, 3)
+
+    def test_two_qubit_prob_extremes(self):
+        only_1q = random_circuit(4, 3, seed=1, two_qubit_prob=0.0)
+        assert only_1q.num_two_qubit_gates() == 0
+        mostly_2q = random_circuit(4, 3, seed=1, two_qubit_prob=1.0)
+        assert mostly_2q.num_two_qubit_gates() >= 3
+
+
+class TestLibrary:
+    def test_ghz(self):
+        probs = simulate_statevector(ghz_circuit(5)).probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[31], 0.5)
+
+    def test_qft_matches_dft_matrix(self):
+        """QFT unitary == DFT matrix (with the swap network)."""
+        n = 3
+        u = circuit_unitary(qft_circuit(n, swaps=True))
+        dim = 1 << n
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array(
+            [[omega ** (j * k) / math.sqrt(dim) for k in range(dim)] for j in range(dim)]
+        )
+        assert np.allclose(u, dft, atol=1e-10)
+
+    def test_real_amplitudes_is_real(self):
+        qc = real_amplitudes_ansatz(4, reps=2, seed=1)
+        assert qc.is_real()
+
+    def test_hea_param_count(self):
+        qc = hardware_efficient_ansatz(3, reps=2, seed=0)
+        assert len(qc.parameters()) == 2 * 3 * 3
+
+    def test_hea_explicit_params(self):
+        n, reps = 2, 1
+        params = [0.1] * (2 * n * (reps + 1))
+        qc = hardware_efficient_ansatz(n, reps, params=params)
+        assert qc.parameters() == params
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(n, reps, params=[0.1])
+
+    def test_qaoa_structure(self):
+        g = nx.cycle_graph(4)
+        qc = qaoa_maxcut_circuit(g, gammas=[0.4], betas=[0.8])
+        ops = qc.count_ops()
+        assert ops["h"] == 4 and ops["rzz"] == 4 and ops["rx"] == 4
+
+    def test_qaoa_validation(self):
+        g = nx.cycle_graph(3)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(g, gammas=[0.1], betas=[0.1, 0.2])
+        bad = nx.Graph()
+        bad.add_edge(1, 5)
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(bad, gammas=[0.1], betas=[0.1])
+
+    def test_qaoa_uniform_at_zero_angles(self):
+        g = nx.path_graph(3)
+        qc = qaoa_maxcut_circuit(g, gammas=[0.0], betas=[0.0])
+        probs = simulate_statevector(qc).probabilities()
+        np.testing.assert_allclose(probs, np.full(8, 1 / 8), atol=1e-10)

@@ -1,0 +1,99 @@
+"""Unit tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_circuit, random_circuit
+from repro.exceptions import SimulationError
+from repro.linalg.states import partial_trace
+from repro.noise.kraus import amplitude_damping, depolarizing
+from repro.sim import DensityMatrix, simulate_density, simulate_statevector
+
+
+class TestInitialisation:
+    def test_default_ground_state(self):
+        dm = DensityMatrix(2)
+        m = dm.matrix()
+        assert m[0, 0] == 1.0 and np.isclose(np.trace(m).real, 1.0)
+
+    def test_from_statevector(self):
+        v = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        dm = DensityMatrix.from_statevector(v)
+        np.testing.assert_allclose(dm.matrix(), np.outer(v, v.conj()))
+
+    def test_from_matrix(self, rng):
+        v = rng.normal(size=4) + 1j * rng.normal(size=4)
+        v /= np.linalg.norm(v)
+        rho = np.outer(v, v.conj())
+        dm = DensityMatrix(2, rho)
+        np.testing.assert_allclose(dm.matrix(), rho)
+
+    def test_bad_shape(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(2, np.eye(3))
+
+
+class TestUnitaryEvolution:
+    def test_agrees_with_statevector(self):
+        qc = random_circuit(4, 5, seed=17)
+        v = simulate_statevector(qc).vector()
+        dm = simulate_density(qc)
+        np.testing.assert_allclose(dm.matrix(), np.outer(v, v.conj()), atol=1e-10)
+
+    def test_probabilities_agree(self):
+        qc = random_circuit(3, 6, seed=5)
+        np.testing.assert_allclose(
+            simulate_density(qc).probabilities(),
+            simulate_statevector(qc).probabilities(),
+            atol=1e-10,
+        )
+
+    def test_purity_of_pure_state(self):
+        dm = simulate_density(ghz_circuit(3))
+        assert np.isclose(dm.purity(), 1.0)
+
+    def test_trace_preserved(self):
+        dm = simulate_density(random_circuit(4, 6, seed=2))
+        assert np.isclose(dm.trace(), 1.0)
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(2).apply_circuit(Circuit(3).h(0))
+
+
+class TestChannelEvolution:
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        dm = DensityMatrix(1)
+        dm.apply_matrix(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+        dm.apply_channel(depolarizing(1.0), (0,))
+        np.testing.assert_allclose(dm.matrix(), np.eye(2) / 2, atol=1e-12)
+
+    def test_depolarizing_reduces_purity(self):
+        dm = simulate_density(ghz_circuit(2))
+        dm.apply_channel(depolarizing(0.2), (0,))
+        assert dm.purity() < 1.0
+
+    def test_amplitude_damping_fixed_point(self):
+        dm = DensityMatrix(1)
+        dm.apply_matrix(np.array([[0, 1], [1, 0]], dtype=complex), (0,))  # |1>
+        dm.apply_channel(amplitude_damping(1.0), (0,))
+        np.testing.assert_allclose(dm.probabilities(), [1.0, 0.0], atol=1e-12)
+
+    def test_channel_on_second_qubit_only(self):
+        dm = simulate_density(Circuit(2).h(0))
+        dm.apply_channel(depolarizing(1.0), (1,))
+        # qubit 0 superposition untouched
+        reduced = partial_trace(dm.matrix(), [0], 2)
+        np.testing.assert_allclose(reduced[0, 1], 0.5, atol=1e-12)
+
+    def test_trace_preserved_under_channels(self):
+        dm = simulate_density(random_circuit(3, 4, seed=7))
+        for q in range(3):
+            dm.apply_channel(depolarizing(0.1), (q,))
+            dm.apply_channel(amplitude_damping(0.05), (q,))
+        assert np.isclose(dm.trace(), 1.0)
+
+    def test_expectation(self):
+        dm = simulate_density(Circuit(2).x(1))
+        z = np.diag([1, -1]).astype(complex)
+        assert np.isclose(dm.expectation(z, (1,)).real, -1.0)

@@ -1,0 +1,109 @@
+"""Tests for the empirical (finite-shot) golden-cut detector."""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend
+from repro.core import detect_golden_bases, golden_ansatz
+from repro.cutting import bipartition
+from repro.cutting.execution import exact_fragment_data, run_fragments
+from repro.exceptions import DetectionError
+
+from tests.helpers import two_block_circuit
+
+
+def _measured_data(pair, shots, seed=0):
+    return run_fragments(
+        pair, IdealBackend(), shots=shots, inits=[("Z+",) * pair.num_cuts], seed=seed
+    )
+
+
+class TestDetector:
+    def test_detects_true_golden(self):
+        spec = golden_ansatz(5, seed=31)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        results = detect_golden_bases(_measured_data(pair, 20_000), alpha=1e-3)
+        verdict = {r.basis: r.is_golden for r in results}
+        assert verdict["Y"] is True
+
+    def test_rejects_informative_bases(self):
+        """On a generic circuit with a Z-informative cut, Z must be kept."""
+        for seed in range(6):
+            qc, spec = two_block_circuit(3, [0, 1], [1, 2], seed=300 + seed)
+            pair = bipartition(qc, spec)
+            from repro.core.golden import definition1_deviation
+
+            dev_z = definition1_deviation(exact_fragment_data(pair), 0, "Z")
+            if dev_z < 0.05:
+                continue
+            results = detect_golden_bases(_measured_data(pair, 20_000), alpha=1e-3)
+            verdict = {r.basis: r.is_golden for r in results}
+            assert verdict["Z"] is False
+            return
+        pytest.fail("no Z-informative circuit found")
+
+    def test_more_shots_sharper_zscores(self):
+        """For a non-golden basis, z grows ~ sqrt(shots)."""
+        for seed in range(6):
+            qc, spec = two_block_circuit(3, [0, 1], [1, 2], seed=400 + seed)
+            pair = bipartition(qc, spec)
+            from repro.core.golden import definition1_deviation
+
+            if definition1_deviation(exact_fragment_data(pair), 0, "Z") < 0.05:
+                continue
+            z_small = max(
+                r.max_z
+                for r in detect_golden_bases(_measured_data(pair, 500, seed=1))
+                if r.basis == "Z"
+            )
+            z_big = max(
+                r.max_z
+                for r in detect_golden_bases(_measured_data(pair, 50_000, seed=1))
+                if r.basis == "Z"
+            )
+            assert z_big > z_small
+            return
+        pytest.fail("no suitable circuit found")
+
+    def test_false_rejection_rate_controlled(self):
+        """A truly golden basis should essentially never be rejected."""
+        spec = golden_ansatz(5, seed=77)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        rejections = 0
+        for trial in range(10):
+            results = detect_golden_bases(
+                _measured_data(pair, 5_000, seed=trial), alpha=1e-3
+            )
+            y = next(r for r in results if r.basis == "Y")
+            rejections += 0 if y.is_golden else 1
+        assert rejections == 0
+
+    def test_p_value_range(self):
+        spec = golden_ansatz(5, seed=3)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        for r in detect_golden_bases(_measured_data(pair, 2_000)):
+            assert 0.0 <= r.p_value <= 1.0
+
+    def test_requires_finite_shot_data(self):
+        spec = golden_ansatz(5, seed=3)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        with pytest.raises(DetectionError):
+            detect_golden_bases(exact_fragment_data(pair))
+
+    def test_cut_selection(self):
+        qc, spec = two_block_circuit(
+            5, [0, 1, 2], [1, 2, 3, 4], seed=5, real_upstream=True
+        )
+        pair = bipartition(qc, spec)
+        results = detect_golden_bases(_measured_data(pair, 5_000), cuts=[1])
+        assert all(r.cut == 1 for r in results)
+        assert len(results) == 3
+
+    def test_multi_cut_detects_both(self):
+        qc, spec = two_block_circuit(
+            5, [0, 1, 2], [1, 2, 3, 4], seed=6, real_upstream=True
+        )
+        pair = bipartition(qc, spec)
+        results = detect_golden_bases(_measured_data(pair, 30_000), alpha=1e-3)
+        y_verdicts = [r.is_golden for r in results if r.basis == "Y"]
+        assert y_verdicts == [True, True]

@@ -1,0 +1,76 @@
+"""Tests for the device noise presets (depolarizing / thermal / none)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import fake_5q_device, fake_7q_device
+from repro.backends.devices import thermal_noise_model
+from repro.circuits import ghz_circuit
+from repro.exceptions import BackendError
+from repro.metrics import total_variation
+from repro.sim import simulate_statevector
+
+
+class TestPresets:
+    def test_none_preset_is_ideal(self):
+        dev = fake_5q_device(noise="none")
+        res = dev.run_one(ghz_circuit(4), shots=100_000, seed=1)
+        truth = simulate_statevector(ghz_circuit(4)).probabilities()
+        assert total_variation(res.probabilities(), truth) < 0.01
+
+    def test_thermal_preset_noisier_than_none(self):
+        qc = ghz_circuit(5)
+        truth = simulate_statevector(qc).probabilities()
+        d_none = total_variation(
+            fake_5q_device(noise="none").run_one(qc, shots=50_000, seed=2).probabilities(),
+            truth,
+        )
+        d_thermal = total_variation(
+            fake_5q_device(noise="thermal").run_one(qc, shots=50_000, seed=2).probabilities(),
+            truth,
+        )
+        assert d_thermal > d_none
+
+    def test_unknown_preset(self):
+        with pytest.raises(BackendError):
+            fake_5q_device(noise="cosmic_rays")
+
+    def test_preset_in_name(self):
+        assert "thermal" in fake_7q_device(noise="thermal").name
+
+    def test_thermal_model_structure(self):
+        nm = thermal_noise_model(3)
+        # 1q rule + 2 cx rules, readout on every qubit
+        assert len(nm.rules) == 3
+        assert set(nm.readout) == {0, 1, 2}
+
+    def test_thermal_model_is_cptp(self):
+        from repro.linalg.channels import is_cptp
+
+        nm = thermal_noise_model(2)
+        for rule in nm.rules:
+            assert is_cptp(rule.channel.operators)
+
+    def test_thermal_amplitude_bias(self):
+        """T1 decay biases |1…1⟩ toward |0…0⟩ — asymmetric, unlike
+        depolarizing noise.  Prepare |11111⟩ and check the leak direction."""
+        from repro.circuits import Circuit
+
+        qc = Circuit(5)
+        for q in range(5):
+            qc.x(q)
+        # amplify decay: long effective schedule via slow gates
+        from repro.backends import DeviceTimingModel
+
+        slow = DeviceTimingModel(gate_time_1q=3e-6, gate_time_2q=3e-5)
+        dev = fake_5q_device(noise="thermal", timing=slow, p01=0.0, p10=0.0)
+        res = dev.run_one(qc, shots=50_000, seed=3)
+        p = res.probabilities()
+        # some population decays toward states with fewer 1s
+        assert p[31] < 1.0
+        idx = np.arange(32)
+        ones = np.zeros(32)
+        for q in range(5):
+            ones += (idx >> q) & 1
+        mean_ones = float(np.dot(p, ones))
+        assert mean_ones < 5.0

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the user-facing contract; each asserts its own correctness
+internally (TV/accuracy bounds), so a zero exit status is a real check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in _EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable floor; we ship six

@@ -1,0 +1,121 @@
+"""Tests for fragment execution, shot allocation and the parallel executor."""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend, fake_5q_device
+from repro.cutting import allocate_shots, bipartition
+from repro.cutting.execution import exact_fragment_data, run_fragments
+from repro.cutting.reconstruction import reconstruct_distribution
+from repro.exceptions import CutError
+from repro.metrics import total_variation
+from repro.parallel import parallel_map, run_fragments_parallel
+from repro.sim import simulate_statevector
+
+
+class TestRunFragments:
+    def test_default_variant_counts(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = run_fragments(pair, IdealBackend(), shots=100, seed=0)
+        assert len(data.upstream) == 3
+        assert len(data.downstream) == 6
+        assert data.num_variants == 9
+        assert data.total_shots == 900
+
+    def test_upstream_arrays_shape_and_mass(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = run_fragments(pair, IdealBackend(), shots=1000, seed=1)
+        for arr in data.upstream.values():
+            assert arr.shape == (1 << pair.n_up_out, 1 << pair.num_cuts)
+            assert np.isclose(arr.sum(), 1.0)
+
+    def test_downstream_vectors(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = run_fragments(pair, IdealBackend(), shots=1000, seed=2)
+        for vec in data.downstream.values():
+            assert vec.shape == (1 << pair.n_down,)
+            assert np.isclose(vec.sum(), 1.0)
+
+    def test_custom_variant_sets(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = run_fragments(
+            pair, IdealBackend(), shots=100,
+            settings=[("X",)], inits=[("Z+",), ("Z-",)], seed=3,
+        )
+        assert set(data.upstream) == {("X",)}
+        assert set(data.downstream) == {("Z+",), ("Z-",)}
+
+    def test_empty_variants_rejected(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(CutError):
+            run_fragments(pair, IdealBackend(), shots=10, settings=[], seed=0)
+
+    def test_exact_matches_high_shot_limit(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        exact = exact_fragment_data(pair)
+        sampled = run_fragments(pair, IdealBackend(), shots=300_000, seed=4)
+        for key in exact.upstream:
+            assert np.abs(exact.upstream[key] - sampled.upstream[key]).max() < 0.01
+
+    def test_device_seconds_tracked(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        dev = fake_5q_device()
+        data = run_fragments(pair, dev, shots=100, seed=5)
+        assert data.modeled_seconds > 0
+        assert np.isclose(data.modeled_seconds, dev.clock.now)
+
+
+class TestAllocateShots:
+    def test_uniform(self):
+        per, report = allocate_shots(3, 6, shots_per_variant=1000)
+        assert per == 1000
+        assert report["total_executions"] == 9000
+
+    def test_fixed_total(self):
+        per, report = allocate_shots(3, 6, total_shots=9000, scheme="fixed_total")
+        assert per == 1000
+
+    def test_exactly_one_budget_arg(self):
+        with pytest.raises(CutError):
+            allocate_shots(3, 6)
+        with pytest.raises(CutError):
+            allocate_shots(3, 6, shots_per_variant=10, total_shots=100)
+
+    def test_budget_too_small(self):
+        with pytest.raises(CutError):
+            allocate_shots(3, 6, total_shots=5)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(CutError):
+            allocate_shots(3, 6, shots_per_variant=10, scheme="greedy")
+
+
+class TestParallel:
+    def test_parallel_map_order(self):
+        out = parallel_map(lambda x: x * x, list(range(20)))
+        assert out == [x * x for x in range(20)]
+
+    def test_serial_mode(self):
+        out = parallel_map(lambda x: x + 1, [1, 2, 3], mode="serial")
+        assert out == [2, 3, 4]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, [1, 2], mode="gpu")
+
+    def test_parallel_fragments_match_serial_reconstruction(self, simple_cut_pair):
+        qc, _, pair = simple_cut_pair
+        truth = simulate_statevector(qc).probabilities()
+        data = run_fragments_parallel(
+            pair, IdealBackend, shots=100_000, seed=9, max_workers=4
+        )
+        p = reconstruct_distribution(data, postprocess="clip")
+        assert total_variation(p, truth) < 0.01
+
+    def test_parallel_sums_device_time(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = run_fragments_parallel(
+            pair, fake_5q_device, shots=100, seed=1, max_workers=2
+        )
+        assert data.modeled_seconds > 0
+        assert data.metadata["parallel"] is True

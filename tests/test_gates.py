@@ -1,0 +1,128 @@
+"""Unit tests for the gate registry: matrices, flags, inverses."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import GATE_REGISTRY, Gate, gate_matrix, get_gate_def
+from repro.exceptions import GateError
+
+_PARAMS = {0: (), 1: (0.73,), 3: (0.7, 0.3, 1.1)}
+
+
+def _params_for(name: str):
+    return _PARAMS[get_gate_def(name).num_params]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+    def test_unitarity(self, name):
+        m = gate_matrix(name, _params_for(name))
+        dim = m.shape[0]
+        np.testing.assert_allclose(m @ m.conj().T, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+    def test_shape_matches_arity(self, name):
+        d = get_gate_def(name)
+        m = gate_matrix(name, _params_for(name))
+        assert m.shape == (1 << d.num_qubits, 1 << d.num_qubits)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, d in GATE_REGISTRY.items() if d.self_inverse]
+    )
+    def test_self_inverse_flag(self, name):
+        m = gate_matrix(name, _params_for(name))
+        np.testing.assert_allclose(m @ m, np.eye(m.shape[0]), atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "name", [n for n, d in GATE_REGISTRY.items() if d.real]
+    )
+    def test_real_flag(self, name):
+        m = gate_matrix(name, _params_for(name))
+        assert np.max(np.abs(m.imag)) < 1e-12
+
+    @pytest.mark.parametrize(
+        "name", [n for n, d in GATE_REGISTRY.items() if d.diagonal]
+    )
+    def test_diagonal_flag(self, name):
+        m = gate_matrix(name, _params_for(name))
+        np.testing.assert_allclose(m, np.diag(np.diag(m)), atol=1e-12)
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            get_gate_def("frobnicate")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(GateError):
+            gate_matrix("rx", ())
+        with pytest.raises(GateError):
+            gate_matrix("h", (0.5,))
+
+
+class TestSpecificMatrices:
+    def test_cx_convention_control_is_lsb(self):
+        """CX(control, target): first listed qubit indexes the LSB."""
+        cx = gate_matrix("cx")
+        # |control=1, target=0> = index 1 -> |11> = index 3
+        v = np.zeros(4)
+        v[1] = 1.0
+        np.testing.assert_allclose(cx @ v, np.eye(4)[3])
+
+    def test_rx_rotation(self):
+        np.testing.assert_allclose(
+            gate_matrix("rx", (np.pi,)), -1j * gate_matrix("x"), atol=1e-12
+        )
+
+    def test_ry_is_real(self):
+        m = gate_matrix("ry", (1.1,))
+        assert np.max(np.abs(m.imag)) == 0.0
+
+    def test_rz_diagonal(self):
+        m = gate_matrix("rz", (0.4,))
+        assert m[0, 1] == 0 and m[1, 0] == 0
+        assert np.isclose(m[1, 1] / m[0, 0], np.exp(0.4j))
+
+    def test_sx_squared_is_x(self):
+        sx = gate_matrix("sx")
+        np.testing.assert_allclose(sx @ sx, gate_matrix("x"), atol=1e-12)
+
+    def test_u3_covers_hadamard(self):
+        h = gate_matrix("u3", (np.pi / 2, 0.0, np.pi))
+        np.testing.assert_allclose(h, gate_matrix("h"), atol=1e-12)
+
+    def test_swap(self):
+        sw = gate_matrix("swap")
+        v = np.zeros(4)
+        v[1] = 1.0  # |10>
+        np.testing.assert_allclose(sw @ v, np.eye(4)[2])  # -> |01>
+
+    def test_ccx_flips_only_when_both_controls(self):
+        ccx = gate_matrix("ccx")
+        for idx in range(8):
+            out = ccx @ np.eye(8)[idx]
+            a, b, c = idx & 1, (idx >> 1) & 1, (idx >> 2) & 1
+            expect = idx ^ (4 if (a and b) else 0)
+            assert np.argmax(np.abs(out)) == expect
+
+    def test_rzz_diagonal_phases(self):
+        m = gate_matrix("rzz", (0.8,))
+        diag = np.diag(m)
+        assert np.isclose(diag[0], np.exp(-0.4j))
+        assert np.isclose(diag[1], np.exp(+0.4j))
+        assert np.isclose(diag[3], np.exp(-0.4j))
+
+
+class TestInverses:
+    @pytest.mark.parametrize(
+        "name",
+        ["rx", "ry", "rz", "p", "crz", "cp", "rzz", "rxx", "ryy", "s", "sdg",
+         "t", "tdg", "sx", "sxdg", "u3", "h", "x", "cx", "swap"],
+    )
+    def test_inverse_matrix(self, name):
+        g = Gate(name, _params_for(name))
+        m = g.matrix()
+        mi = g.inverse().matrix()
+        np.testing.assert_allclose(mi @ m, np.eye(m.shape[0]), atol=1e-12)
+
+    def test_gate_str(self):
+        assert str(Gate("rx", (0.5,))) == "rx(0.5)"
+        assert str(Gate("h")) == "h"

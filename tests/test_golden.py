@@ -1,0 +1,261 @@
+"""Tests for golden cutting points: ansatz guarantees, analytic finder,
+and the central theorem — reduced reconstruction loses nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import (
+    find_golden_bases_analytic,
+    golden_ansatz,
+    three_qubit_example,
+)
+from repro.core.golden import definition1_deviation, is_golden_analytic
+from repro.core.neglect import (
+    reduced_bases,
+    reduced_init_tuples,
+    reduced_setting_tuples,
+)
+from repro.cutting import bipartition
+from repro.cutting.execution import exact_fragment_data
+from repro.cutting.reconstruction import reconstruct_distribution
+from repro.exceptions import CutError, DetectionError
+from repro.sim import simulate_statevector
+
+from tests.helpers import two_block_circuit
+
+
+class TestGoldenAnsatz:
+    @pytest.mark.parametrize("basis", ["X", "Y", "Z"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_designed_basis_is_golden(self, basis, seed):
+        spec = golden_ansatz(5, depth=3, golden_basis=basis, seed=seed)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        assert is_golden_analytic(pair, 0, basis)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_widths(self, n):
+        spec = golden_ansatz(n, depth=2, seed=n)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        assert is_golden_analytic(pair, 0, "Y")
+        assert sorted(pair.output_order()) == list(range(n))
+
+    def test_fragment_shapes_match_paper(self):
+        """5q -> 3+3 fragments, 7q -> 4+4 (paper §III)."""
+        for n, frag in ((5, 3), (7, 4)):
+            spec = golden_ansatz(n, depth=3, seed=1)
+            pair = bipartition(spec.circuit, spec.cut_spec)
+            assert pair.n_up == frag and pair.n_down == frag
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CutError):
+            golden_ansatz(2)
+
+    def test_invalid_basis_rejected(self):
+        with pytest.raises(CutError):
+            golden_ansatz(5, golden_basis="I")
+
+    def test_without_rx_layer(self):
+        spec = golden_ansatz(5, seed=3, rx_layer=False)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        assert is_golden_analytic(pair, 0, "Y")
+
+    def test_three_qubit_example_golden(self):
+        spec = three_qubit_example(seed=4, golden=True)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        assert is_golden_analytic(pair, 0, "Y")
+
+    def test_reproducible(self):
+        a = golden_ansatz(5, seed=9).circuit
+        b = golden_ansatz(5, seed=9).circuit
+        assert a == b
+
+
+class TestDefinitionOne:
+    def test_deviation_zero_for_golden(self):
+        spec = golden_ansatz(5, seed=2)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        data = exact_fragment_data(pair, inits=[("Z+",)])
+        assert definition1_deviation(data, 0, "Y") < 1e-10
+
+    def test_deviation_positive_for_regular(self):
+        """A generic (complex) upstream block is not Y-golden."""
+        qc, spec = two_block_circuit(3, [0, 1], [1, 2], seed=17)
+        pair = bipartition(qc, spec)
+        devs = {
+            b: definition1_deviation(
+                exact_fragment_data(pair, inits=[("Z+",)]), 0, b
+            )
+            for b in ("X", "Y", "Z")
+        }
+        # at least one basis must carry information for a generic circuit
+        assert max(devs.values()) > 1e-3
+
+    def test_invalid_basis(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair)
+        with pytest.raises(DetectionError):
+            definition1_deviation(data, 0, "I")
+
+    def test_invalid_cut_index(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair)
+        with pytest.raises(DetectionError):
+            definition1_deviation(data, 3, "Y")
+
+    def test_missing_setting(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair, settings=[("Z",)])
+        with pytest.raises(DetectionError):
+            definition1_deviation(data, 0, "Y")
+
+
+class TestAnalyticFinder:
+    def test_finds_only_real_golden_bases(self):
+        spec = golden_ansatz(5, depth=3, golden_basis="Y", seed=11)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        found = find_golden_bases_analytic(pair)
+        assert "Y" in found[0]
+
+    def test_multi_cut_mixed(self):
+        """Two cuts: both are Y-golden for a real upstream block."""
+        qc, spec = two_block_circuit(
+            5, [0, 1, 2], [1, 2, 3, 4], seed=4, real_upstream=True
+        )
+        pair = bipartition(qc, spec)
+        found = find_golden_bases_analytic(pair)
+        assert "Y" in found[0] and "Y" in found[1]
+
+    def test_bell_correlated_cuts_are_not_y_golden(self):
+        """The multi-cut subtlety: ⟨Y⊗Y⟩ of a real state is real and can
+        be nonzero (Bell pair: −1), so Y is *not* golden at either cut even
+        though the upstream circuit is real.  Only rows with an odd number
+        of Ys vanish structurally; the pointwise Definition-1 finder must
+        therefore reject Y here."""
+        from repro.circuits import Circuit
+        from repro.cutting import CutPoint, CutSpec
+
+        qc = Circuit(4)
+        qc.h(1).cx(1, 2)        # Bell pair spanning the two cut wires
+        qc.ry(0.4, 0).cx(0, 1)  # upstream out qubit
+        qc.cx(1, 3).cx(2, 3)    # downstream
+        spec = CutSpec((CutPoint(1, 3), CutPoint(2, 1)))
+        pair = bipartition(qc, spec)
+        found = find_golden_bases_analytic(pair)
+        assert "Y" not in found[0] and "Y" not in found[1]
+        # single-cut restriction of the same state *is* Y-golden: the odd-Y
+        # expectation ψᵀ(D ⊗ Y)ψ vanishes for real ψ
+        dev = definition1_deviation(
+            exact_fragment_data(pair, inits=[("Z+", "Z+")]), 0, "Y"
+        )
+        assert dev > 0.1  # driven by the (Y, Y) measurement context
+
+    def test_regular_cut_can_be_empty(self):
+        # deep complex upstream: generically nothing is golden (shallow
+        # draws from the diagonal-heavy pool often leave the cut qubit in a
+        # Z eigenstate, which *is* X/Y-golden — a real effect, so we use
+        # depth 6 to land on generic states)
+        for seed in range(10):
+            qc, spec = two_block_circuit(
+                3, [0, 1], [1, 2], depth=6, seed=100 + seed
+            )
+            pair = bipartition(qc, spec)
+            found = find_golden_bases_analytic(pair)
+            if not found[0]:
+                return  # found a generic regular cut
+        pytest.fail("every random circuit accidentally golden — improbable")
+
+    def test_shallow_diagonal_circuit_is_xy_golden(self):
+        """Documenting the diagonal-pool effect: a cut qubit left in |0⟩
+        carries no X/Y information — both bases are genuinely golden."""
+        from repro.circuits import Circuit
+        from repro.cutting import CutPoint, CutSpec
+
+        qc = Circuit(2)
+        qc.rz(0.8, 0).t(0)  # cut wire stays |0>
+        qc.cx(0, 1)
+        pair = bipartition(qc, CutSpec((CutPoint(0, 1),)))
+        found = find_golden_bases_analytic(pair)
+        assert set(found[0]) == {"X", "Y"}
+
+
+class TestGoldenReconstructionExactness:
+    """The core claim: neglecting a golden basis does not change the result."""
+
+    @pytest.mark.parametrize("basis", ["X", "Y", "Z"])
+    def test_reduced_equals_truth(self, basis):
+        spec = golden_ansatz(5, depth=3, golden_basis=basis, seed=23)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        golden = {0: basis}
+        data = exact_fragment_data(
+            pair,
+            settings=reduced_setting_tuples(1, golden),
+            inits=reduced_init_tuples(1, golden),
+        )
+        p = reconstruct_distribution(
+            data, bases=reduced_bases(1, golden), postprocess="raw"
+        )
+        truth = simulate_statevector(spec.circuit).probabilities()
+        np.testing.assert_allclose(p, truth, atol=1e-9)
+
+    def test_two_golden_cuts(self):
+        qc, spec = two_block_circuit(
+            5, [0, 1, 2], [1, 2, 3, 4], seed=6, real_upstream=True
+        )
+        pair = bipartition(qc, spec)
+        golden = {0: "Y", 1: "Y"}
+        data = exact_fragment_data(
+            pair,
+            settings=reduced_setting_tuples(2, golden),
+            inits=reduced_init_tuples(2, golden),
+        )
+        p = reconstruct_distribution(
+            data, bases=reduced_bases(2, golden), postprocess="raw"
+        )
+        truth = simulate_statevector(qc).probabilities()
+        np.testing.assert_allclose(p, truth, atol=1e-9)
+
+    def test_mixed_golden_regular(self):
+        """One golden + one regular cut in the same bipartition."""
+        qc, spec = two_block_circuit(
+            5, [0, 1, 2], [1, 2, 3, 4], seed=8, real_upstream=True
+        )
+        pair = bipartition(qc, spec)
+        golden = {0: "Y"}  # treat only cut 0 as golden
+        data = exact_fragment_data(
+            pair,
+            settings=reduced_setting_tuples(2, golden),
+            inits=reduced_init_tuples(2, golden),
+        )
+        p = reconstruct_distribution(
+            data, bases=reduced_bases(2, golden), postprocess="raw"
+        )
+        truth = simulate_statevector(qc).probabilities()
+        np.testing.assert_allclose(p, truth, atol=1e-9)
+
+    def test_wrongly_neglecting_nongolden_breaks(self):
+        """Sanity: dropping a *non*-golden basis corrupts the answer."""
+        for seed in range(6):
+            qc, spec = two_block_circuit(
+                3, [0, 1], [1, 2], depth=6, seed=200 + seed
+            )
+            pair = bipartition(qc, spec)
+            dev = definition1_deviation(
+                exact_fragment_data(pair, inits=[("Z+",)]), 0, "Y"
+            )
+            if dev < 1e-3:
+                continue  # basis accidentally (near) golden; pick another
+            golden = {0: "Y"}
+            data = exact_fragment_data(
+                pair,
+                settings=reduced_setting_tuples(1, golden),
+                inits=reduced_init_tuples(1, golden),
+            )
+            p = reconstruct_distribution(
+                data, bases=reduced_bases(1, golden), postprocess="raw"
+            )
+            truth = simulate_statevector(qc).probabilities()
+            assert not np.allclose(p, truth, atol=1e-6)
+            return
+        pytest.fail("no genuinely non-golden circuit found")

@@ -1,0 +1,136 @@
+"""Tests for fragment-data persistence and exact observable expectations."""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend
+from repro.circuits import Circuit, random_circuit
+from repro.cutting import (
+    bipartition,
+    load_fragment_data,
+    reconstruct_counts,
+    reconstruct_distribution,
+    save_fragment_data,
+)
+from repro.cutting.execution import exact_fragment_data, run_fragments
+from repro.exceptions import ReconstructionError, SimulationError
+from repro.linalg.paulis import PauliString
+from repro.sim import simulate_statevector
+from repro.sim.expectation import expectation_from_probs, expectation_of_observable
+
+
+class TestFragmentArchive:
+    def test_roundtrip_preserves_reconstruction(self, simple_cut_pair, tmp_path):
+        qc, _, pair = simple_cut_pair
+        data = run_fragments(pair, IdealBackend(), shots=2000, seed=5)
+        p_before = reconstruct_distribution(data)
+        path = save_fragment_data(data, tmp_path / "run.npz")
+        loaded = load_fragment_data(path)
+        p_after = reconstruct_distribution(loaded)
+        np.testing.assert_allclose(p_after, p_before, atol=1e-12)
+
+    def test_roundtrip_metadata(self, simple_cut_pair, tmp_path):
+        _, spec, pair = simple_cut_pair
+        data = run_fragments(pair, IdealBackend(), shots=500, seed=1)
+        loaded = load_fragment_data(save_fragment_data(data, tmp_path / "x.npz"))
+        assert loaded.shots_per_variant == 500
+        assert loaded.pair.num_cuts == pair.num_cuts
+        assert loaded.pair.up_out_original == pair.up_out_original
+        assert loaded.pair.spec.cuts == spec.cuts
+        assert set(loaded.upstream) == set(data.upstream)
+
+    def test_loaded_circuits_match(self, simple_cut_pair, tmp_path):
+        _, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair)
+        loaded = load_fragment_data(save_fragment_data(data, tmp_path / "e.npz"))
+        assert loaded.pair.upstream == pair.upstream
+        assert loaded.pair.downstream == pair.downstream
+
+    def test_golden_analysis_on_loaded_data(self, tmp_path):
+        from repro.core import detect_golden_bases, golden_ansatz
+
+        spec = golden_ansatz(5, seed=13)
+        pair = bipartition(spec.circuit, spec.cut_spec)
+        data = run_fragments(
+            pair, IdealBackend(), shots=10_000, inits=[("Z+",)], seed=2
+        )
+        loaded = load_fragment_data(save_fragment_data(data, tmp_path / "g.npz"))
+        verdicts = {r.basis: r.is_golden for r in detect_golden_bases(loaded)}
+        assert verdicts["Y"] is True
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ReconstructionError):
+            load_fragment_data(path)
+
+
+class TestReconstructCounts:
+    def test_counts_scale(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair)
+        counts = reconstruct_counts(data, shots=10_000)
+        assert abs(sum(counts.values()) - 10_000) <= len(counts)
+        assert all(len(k) == 3 for k in counts)
+
+    def test_counts_match_distribution(self, simple_cut_pair):
+        qc, _, pair = simple_cut_pair
+        data = exact_fragment_data(pair)
+        counts = reconstruct_counts(data, shots=100_000)
+        truth = simulate_statevector(qc).probabilities()
+        from repro.sim.sampler import counts_to_probs
+
+        np.testing.assert_allclose(
+            counts_to_probs(counts, 3), truth, atol=2e-4
+        )
+
+
+class TestExpectationModule:
+    def test_diagonal_expectation(self):
+        probs = np.array([0.25, 0.75])
+        diag = np.array([1.0, -1.0])
+        assert expectation_from_probs(probs, diag) == pytest.approx(-0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            expectation_from_probs(np.ones(2) / 2, np.ones(4))
+
+    def test_complex_diagonal_rejected(self):
+        with pytest.raises(SimulationError):
+            expectation_from_probs(
+                np.ones(2) / 2, np.array([1.0 + 1.0j, 0.0])
+            )
+
+    @pytest.mark.parametrize("label", ["Z", "X", "Y"])
+    def test_single_qubit_eigenstate(self, label):
+        """⟨P⟩ = +1 on P's own +1 eigenstate."""
+        from repro.cutting import PREPARATION_STATES
+
+        qc = Circuit(1)
+        for g in PREPARATION_STATES[f"{label}+"]:
+            qc.add_gate(g, (0,))
+        val = expectation_of_observable(qc, PauliString.from_label(label))
+        assert val == pytest.approx(1.0, abs=1e-10)
+
+    def test_matches_dense_for_random_circuits(self, rng):
+        labels = ["I", "X", "Y", "Z"]
+        for seed in range(5):
+            qc = random_circuit(3, 4, seed=seed + 500)
+            lab = "".join(rng.choice(labels, 3))
+            p = PauliString.from_label(lab)
+            v = simulate_statevector(qc).vector()
+            dense = float(np.real(np.vdot(v, p.to_matrix() @ v)))
+            assert expectation_of_observable(qc, p) == pytest.approx(
+                dense, abs=1e-9
+            )
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            expectation_of_observable(
+                Circuit(2).h(0), PauliString.from_label("Z")
+            )
+
+    def test_phase_carries_through(self):
+        qc = Circuit(1)  # |0>: <Z> = 1
+        p = PauliString.from_label("Z", phase=-2.0)
+        assert expectation_of_observable(qc, p) == pytest.approx(-2.0)

@@ -1,0 +1,128 @@
+"""Tests for distribution distances (paper Eq. 17) and trial statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.metrics import (
+    hellinger_distance,
+    kl_divergence,
+    mean_confidence_interval,
+    summarize_trials,
+    total_variation,
+    weighted_distance,
+)
+from repro.metrics.distances import out_of_support_mass
+
+
+class TestWeightedDistance:
+    def test_identical_is_zero(self, rng):
+        q = rng.random(8)
+        q /= q.sum()
+        assert weighted_distance(q, q) == pytest.approx(0.0)
+
+    def test_formula(self):
+        q = np.array([0.5, 0.5])
+        p = np.array([0.6, 0.4])
+        # (0.1^2)/0.5 + (0.1^2)/0.5 = 0.04
+        assert weighted_distance(p, q) == pytest.approx(0.04)
+
+    def test_penalises_relative_error(self):
+        """Same absolute deviation costs more on small-probability outcomes."""
+        q1 = np.array([0.5, 0.5])
+        q2 = np.array([0.95, 0.05])
+        p1 = q1 + np.array([0.04, -0.04])
+        p2 = q2 + np.array([0.04, -0.04])
+        assert weighted_distance(p2, q2) > weighted_distance(p1, q1)
+
+    def test_support_restriction(self):
+        q = np.array([1.0, 0.0])
+        p = np.array([0.9, 0.1])
+        # only x=0 is in support: (0.1)^2 / 1.0
+        assert weighted_distance(p, q) == pytest.approx(0.01)
+        assert out_of_support_mass(p, q) == pytest.approx(0.1)
+
+    def test_asymmetric(self):
+        p = np.array([0.7, 0.3])
+        q = np.array([0.4, 0.6])
+        assert weighted_distance(p, q) != weighted_distance(q, p)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            weighted_distance(np.ones(2) / 2, np.ones(4) / 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            weighted_distance(np.array([-0.1, 1.1]), np.array([0.5, 0.5]))
+
+
+class TestOtherDistances:
+    def test_total_variation_bounds(self, rng):
+        p = rng.random(16); p /= p.sum()
+        q = rng.random(16); q /= q.sum()
+        tv = total_variation(p, q)
+        assert 0.0 <= tv <= 1.0
+
+    def test_total_variation_disjoint(self):
+        assert total_variation(np.array([1.0, 0]), np.array([0, 1.0])) == 1.0
+
+    def test_hellinger_bounds(self):
+        assert hellinger_distance(np.array([1.0, 0]), np.array([0, 1.0])) == pytest.approx(1.0)
+        q = np.ones(4) / 4
+        assert hellinger_distance(q, q) == pytest.approx(0.0)
+
+    def test_kl_zero_for_identical(self, rng):
+        p = rng.random(8); p /= p.sum()
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_kl_infinite_outside_support(self):
+        assert kl_divergence(np.array([0.5, 0.5]), np.array([1.0, 0.0])) == np.inf
+
+    def test_kl_nonnegative(self, rng):
+        p = rng.random(8); p /= p.sum()
+        q = rng.random(8); q /= q.sum()
+        assert kl_divergence(p, q) >= -1e-12
+
+
+class TestTrialStats:
+    def test_mean_ci_contains_mean(self, rng):
+        vals = rng.normal(10.0, 1.0, size=30)
+        mean, lo, hi = mean_confidence_interval(vals)
+        assert lo < mean < hi
+        assert mean == pytest.approx(vals.mean())
+
+    def test_ci_narrows_with_samples(self, rng):
+        small = rng.normal(0, 1, size=5)
+        big = rng.normal(0, 1, size=500)
+        _, lo_s, hi_s = mean_confidence_interval(small)
+        _, lo_b, hi_b = mean_confidence_interval(big)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_single_value_degenerate(self):
+        mean, lo, hi = mean_confidence_interval([3.0])
+        assert mean == lo == hi == 3.0
+
+    def test_constant_series(self):
+        mean, lo, hi = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == lo == hi == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            mean_confidence_interval([])
+
+    def test_summarize(self):
+        s = summarize_trials("x", [1.0, 2.0, 3.0])
+        assert s.n == 3 and s.mean == pytest.approx(2.0)
+        assert "x" in str(s)
+        row = s.as_row()
+        assert row["label"] == "x" and row["n"] == 3
+
+    def test_coverage_property(self, rng):
+        """~95% of 95% CIs over N(0,1) samples should contain 0."""
+        hits = 0
+        n_rep = 200
+        for _ in range(n_rep):
+            vals = rng.normal(0.0, 1.0, size=10)
+            _, lo, hi = mean_confidence_interval(vals)
+            hits += int(lo <= 0.0 <= hi)
+        assert hits > 0.85 * n_rep

@@ -1,0 +1,149 @@
+"""Tests for readout mitigation and the trajectory simulator."""
+
+import numpy as np
+import pytest
+
+from repro.backends import FakeHardwareBackend, fake_5q_device
+from repro.circuits import Circuit, ghz_circuit, random_circuit
+from repro.exceptions import NoiseError, SimulationError
+from repro.metrics import total_variation
+from repro.noise import NoiseModel, ReadoutError, depolarizing, amplitude_damping
+from repro.noise.mitigation import ReadoutMitigator, calibrate_readout
+from repro.sim import simulate_statevector
+from repro.sim.density import DensityMatrix
+from repro.sim.trajectories import simulate_trajectory, trajectory_probabilities
+from repro.transpile import CouplingMap
+
+
+class TestMitigatorConstruction:
+    def test_from_readout_errors(self):
+        m = ReadoutMitigator.from_readout_errors(
+            {0: ReadoutError(0.02, 0.05)}, num_qubits=2
+        )
+        assert 0 in m.inverses
+
+    def test_rejects_singular(self):
+        with pytest.raises(NoiseError):
+            ReadoutMitigator.from_readout_errors(
+                {0: ReadoutError(0.5, 0.5)}, num_qubits=1
+            )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(NoiseError):
+            ReadoutMitigator({0: np.eye(3)}, 1)
+
+    def test_rejects_out_of_range_qubit(self):
+        with pytest.raises(NoiseError):
+            ReadoutMitigator({5: np.eye(2)}, 2)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(NoiseError):
+            ReadoutMitigator({0: np.array([[0.9, 0.3], [0.2, 0.7]])}, 1)
+
+
+class TestMitigationAccuracy:
+    def _noisy_readout_device(self, p01=0.04, p10=0.08):
+        nm = NoiseModel()
+        for q in range(3):
+            nm.add_readout_error(q, ReadoutError(p01, p10))
+        return FakeHardwareBackend(
+            CouplingMap.linear(3), nm, name="readout_only"
+        )
+
+    def test_exact_inversion_recovers_truth(self):
+        """With known matrices and exact distributions, recovery is exact."""
+        from repro.noise.readout import apply_readout_error
+
+        truth = simulate_statevector(ghz_circuit(3)).probabilities()
+        errors = {q: ReadoutError(0.03, 0.07) for q in range(3)}
+        corrupted = apply_readout_error(truth, errors, 3)
+        mit = ReadoutMitigator.from_readout_errors(errors, 3)
+        recovered = mit.apply(corrupted)
+        np.testing.assert_allclose(recovered, truth, atol=1e-9)
+
+    def test_mitigation_improves_device_distribution(self):
+        dev = self._noisy_readout_device()
+        truth = simulate_statevector(ghz_circuit(3)).probabilities()
+        res = dev.run_one(ghz_circuit(3), shots=100_000, seed=1)
+        raw = res.probabilities()
+        errors = {q: ReadoutError(0.04, 0.08) for q in range(3)}
+        mit = ReadoutMitigator.from_readout_errors(errors, 3)
+        fixed = mit.apply(raw)
+        assert total_variation(fixed, truth) < total_variation(raw, truth) / 2
+
+    def test_calibration_learns_matrices(self):
+        dev = self._noisy_readout_device(p01=0.05, p10=0.10)
+        mit = calibrate_readout(dev, 3, shots=200_000, seed=3)
+        for q in range(3):
+            m = mit.matrices[q]
+            assert m[1, 0] == pytest.approx(0.05, abs=0.01)  # p01
+            assert m[0, 1] == pytest.approx(0.10, abs=0.01)  # p10
+
+    def test_calibrated_mitigation_end_to_end(self):
+        dev = self._noisy_readout_device()
+        truth = simulate_statevector(ghz_circuit(3)).probabilities()
+        mit = calibrate_readout(dev, 3, shots=100_000, seed=4)
+        raw = dev.run_one(ghz_circuit(3), shots=100_000, seed=5).probabilities()
+        fixed = mit.apply(raw)
+        assert total_variation(fixed, truth) < total_variation(raw, truth)
+
+    def test_projection_keeps_simplex(self):
+        errors = {0: ReadoutError(0.3, 0.3)}
+        mit = ReadoutMitigator.from_readout_errors(errors, 1)
+        out = mit.apply(np.array([0.98, 0.02]))
+        assert np.all(out >= -1e-12) and np.isclose(out.sum(), 1.0)
+
+    def test_raw_mode_can_be_negative(self):
+        errors = {0: ReadoutError(0.3, 0.3)}
+        mit = ReadoutMitigator.from_readout_errors(errors, 1)
+        out = mit.apply(np.array([0.98, 0.02]), project=False)
+        assert out.min() < 0  # inversion overshoots without projection
+
+
+class TestTrajectories:
+    def test_noiseless_trajectory_matches_statevector(self):
+        qc = random_circuit(3, 4, seed=9)
+        probs = trajectory_probabilities(qc, NoiseModel(), seed=0)
+        np.testing.assert_allclose(
+            probs, simulate_statevector(qc).probabilities(), atol=1e-10
+        )
+
+    def test_converges_to_density_matrix(self):
+        """The headline cross-check: two independent noisy engines agree."""
+        qc = Circuit(2).h(0).cx(0, 1).ry(0.6, 1)
+        nm = NoiseModel()
+        nm.add_gate_noise(["h", "ry"], depolarizing(0.08))
+        nm.add_gate_noise(["cx"], depolarizing(0.05))
+
+        dm = DensityMatrix(2)
+        for inst in qc:
+            dm.apply_matrix(inst.gate.matrix(), inst.qubits)
+            for ch, qs in nm.channels_for(inst.name, inst.qubits):
+                dm.apply_channel(ch, qs)
+        reference = dm.probabilities()
+
+        est = trajectory_probabilities(qc, nm, num_trajectories=3000, seed=1)
+        assert total_variation(est, reference) < 0.03
+
+    def test_amplitude_damping_trajectories(self):
+        """Non-unital channel: branch weights are state-dependent."""
+        qc = Circuit(1).x(0)
+        nm = NoiseModel().add_gate_noise(["x"], amplitude_damping(0.35))
+        est = trajectory_probabilities(qc, nm, num_trajectories=4000, seed=2)
+        np.testing.assert_allclose(est, [0.35, 0.65], atol=0.03)
+
+    def test_single_trajectory_is_pure(self):
+        qc = Circuit(2).h(0).cx(0, 1)
+        nm = NoiseModel().add_gate_noise(["cx"], depolarizing(0.5))
+        sv = simulate_trajectory(qc, nm, np.random.default_rng(3))
+        assert np.isclose(sv.norm(), 1.0)
+
+    def test_invalid_trajectory_count(self):
+        with pytest.raises(SimulationError):
+            trajectory_probabilities(Circuit(1).h(0), NoiseModel(), 0)
+
+    def test_trivial_noise_uses_single_trajectory(self):
+        qc = ghz_circuit(2)
+        a = trajectory_probabilities(qc, NoiseModel(), num_trajectories=1, seed=4)
+        b = trajectory_probabilities(qc, NoiseModel(), num_trajectories=500, seed=5)
+        np.testing.assert_allclose(a, b, atol=1e-12)

@@ -1,0 +1,109 @@
+"""Additional property-based tests: serialisation, noise algebra, sampling."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import circuit_from_qasm, circuit_to_qasm, random_circuit
+from repro.linalg.channels import is_cptp
+from repro.noise import (
+    amplitude_damping,
+    depolarizing,
+    pauli_channel,
+    phase_damping,
+)
+from repro.noise.readout import ReadoutError, apply_readout_error
+from repro.sim import circuit_unitary, simulate_statevector
+from repro.sim.sampler import counts_to_probs, sample_counts
+from repro.utils.bits import marginalize_probs
+
+from tests.helpers import phase_equal
+
+_fast = settings(max_examples=25, deadline=None)
+_slow = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+_prob = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@_slow
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 4), depth=st.integers(1, 4))
+def test_qasm_roundtrip_preserves_unitary(seed, n, depth):
+    qc = random_circuit(n, depth, seed=seed)
+    back = circuit_from_qasm(circuit_to_qasm(qc))
+    assert phase_equal(circuit_unitary(back), circuit_unitary(qc), tol=1e-8)
+
+
+@_fast
+@given(p=_prob, q=_prob)
+def test_channel_composition_stays_cptp(p, q):
+    chan = depolarizing(p).compose(amplitude_damping(q))
+    assert is_cptp(chan.operators)
+
+
+@_fast
+@given(p=_prob, q=_prob)
+def test_channel_tensor_stays_cptp(p, q):
+    chan = phase_damping(p).tensor(depolarizing(q))
+    assert is_cptp(chan.operators)
+
+
+@_fast
+@given(
+    px=st.floats(0, 0.4, allow_nan=False),
+    py=st.floats(0, 0.3, allow_nan=False),
+    pz=st.floats(0, 0.3, allow_nan=False),
+)
+def test_pauli_channel_cptp(px, py, pz):
+    assert is_cptp(pauli_channel(px, py, pz).operators)
+
+
+@_fast
+@given(
+    p01=st.floats(0, 1, allow_nan=False),
+    p10=st.floats(0, 1, allow_nan=False),
+    seed=st.integers(0, 10_000),
+)
+def test_readout_error_preserves_simplex(p01, p10, seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.random(8)
+    probs /= probs.sum()
+    out = apply_readout_error(
+        probs, {q: ReadoutError(p01, p10) for q in range(3)}, 3
+    )
+    assert np.all(out >= 0)
+    assert np.isclose(out.sum(), 1.0)
+
+
+@_slow
+@given(seed=st.integers(0, 100_000), shots=st.integers(100, 5000))
+def test_sampling_roundtrip_consistency(seed, shots):
+    rng = np.random.default_rng(seed)
+    probs = rng.random(16)
+    probs /= probs.sum()
+    counts = sample_counts(probs, shots, seed=seed)
+    back = counts_to_probs(counts, 4)
+    assert np.isclose(back.sum(), 1.0)
+    # empirical distribution within generous multinomial bounds
+    assert np.abs(back - probs).max() < 0.5
+
+
+@_slow
+@given(seed=st.integers(0, 100_000))
+def test_marginals_commute_with_simulation(seed):
+    """Marginalising the full distribution == tracing out in any order."""
+    qc = random_circuit(4, 3, seed=seed)
+    probs = simulate_statevector(qc).probabilities()
+    m01 = marginalize_probs(probs, [0, 1], 4)
+    m0 = marginalize_probs(m01, [0], 2)
+    direct = marginalize_probs(probs, [0], 4)
+    np.testing.assert_allclose(m0, direct, atol=1e-12)
+
+
+@_slow
+@given(seed=st.integers(0, 100_000), n=st.integers(2, 4))
+def test_compose_with_inverse_is_identity(seed, n):
+    qc = random_circuit(n, 3, seed=seed)
+    both = qc.compose(qc.inverse())
+    probs = simulate_statevector(both).probabilities()
+    assert np.isclose(probs[0], 1.0, atol=1e-9)

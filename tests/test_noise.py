@@ -1,0 +1,155 @@
+"""Unit tests for noise channels, noise models and readout error."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoiseError
+from repro.linalg.channels import is_cptp
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping,
+    apply_readout_error,
+    bit_flip,
+    depolarizing,
+    pauli_channel,
+    phase_damping,
+    phase_flip,
+    thermal_relaxation,
+    two_qubit_depolarizing,
+)
+from repro.sim import DensityMatrix
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "factory,args",
+        [
+            (depolarizing, (0.1,)),
+            (two_qubit_depolarizing, (0.05,)),
+            (amplitude_damping, (0.2,)),
+            (phase_damping, (0.3,)),
+            (bit_flip, (0.1,)),
+            (phase_flip, (0.1,)),
+            (pauli_channel, (0.05, 0.02, 0.01)),
+            (thermal_relaxation, (50e-6, 70e-6, 1e-6)),
+        ],
+    )
+    def test_cptp(self, factory, args):
+        assert is_cptp(factory(*args).operators)
+
+    def test_depolarizing_contracts_bloch(self):
+        dm = DensityMatrix(1, np.array([1, 1]) / np.sqrt(2))
+        dm.apply_channel(depolarizing(0.4), (0,))
+        from repro.linalg.states import bloch_vector
+
+        b = bloch_vector(dm.matrix())
+        np.testing.assert_allclose(b, [0.6, 0, 0], atol=1e-12)
+
+    def test_bit_flip_action(self):
+        dm = DensityMatrix(1)
+        dm.apply_channel(bit_flip(0.25), (0,))
+        np.testing.assert_allclose(dm.probabilities(), [0.75, 0.25], atol=1e-12)
+
+    def test_phase_flip_preserves_populations(self):
+        dm = DensityMatrix(1, np.array([0.6, 0.8]))
+        dm.apply_channel(phase_flip(0.3), (0,))
+        np.testing.assert_allclose(dm.probabilities(), [0.36, 0.64], atol=1e-12)
+
+    def test_phase_damping_kills_coherence(self):
+        dm = DensityMatrix(1, np.array([1, 1]) / np.sqrt(2))
+        dm.apply_channel(phase_damping(1.0), (0,))
+        assert abs(dm.matrix()[0, 1]) < 1e-12
+
+    def test_invalid_probability(self):
+        with pytest.raises(NoiseError):
+            amplitude_damping(1.5)
+        with pytest.raises(NoiseError):
+            depolarizing(-0.1)
+        with pytest.raises(NoiseError):
+            pauli_channel(0.6, 0.5, 0.2)
+
+    def test_thermal_relaxation_t2_bound(self):
+        with pytest.raises(NoiseError):
+            thermal_relaxation(10e-6, 30e-6, 1e-6)
+
+    def test_thermal_relaxation_coherence_decay(self):
+        t1, t2, t = 50e-6, 40e-6, 5e-6
+        dm = DensityMatrix(1, np.array([1, 1]) / np.sqrt(2))
+        dm.apply_channel(thermal_relaxation(t1, t2, t), (0,))
+        coherence = abs(dm.matrix()[0, 1])
+        np.testing.assert_allclose(coherence, 0.5 * np.exp(-t / t2), atol=1e-10)
+
+    def test_two_qubit_depolarizing_mixes(self):
+        dm = DensityMatrix(2)
+        dm.apply_channel(two_qubit_depolarizing(1.0), (0, 1))
+        np.testing.assert_allclose(dm.matrix(), np.eye(4) / 4, atol=1e-12)
+
+
+class TestNoiseModel:
+    def test_rule_matching(self):
+        nm = NoiseModel().add_gate_noise(["cx"], two_qubit_depolarizing(0.1))
+        hits = list(nm.channels_for("cx", (0, 1)))
+        assert len(hits) == 1 and hits[0][1] == (0, 1)
+        assert list(nm.channels_for("h", (0,))) == []
+
+    def test_wildcard(self):
+        nm = NoiseModel().add_gate_noise(["*"], depolarizing(0.01))
+        assert len(list(nm.channels_for("anything", (2,)))) == 1
+
+    def test_one_qubit_channel_fans_out_on_2q_gate(self):
+        nm = NoiseModel().add_gate_noise(["cx"], depolarizing(0.01))
+        hits = list(nm.channels_for("cx", (0, 1)))
+        assert [h[1] for h in hits] == [(0,), (1,)]
+
+    def test_qubit_restriction(self):
+        nm = NoiseModel().add_gate_noise(["h"], depolarizing(0.01), qubits=(2,))
+        assert list(nm.channels_for("h", (1,))) == []
+        assert len(list(nm.channels_for("h", (2,)))) == 1
+
+    def test_arity_mismatch_raises(self):
+        nm = NoiseModel().add_gate_noise(["ccx"], two_qubit_depolarizing(0.1))
+        with pytest.raises(NoiseError):
+            list(nm.channels_for("ccx", (0, 1, 2)))
+
+    def test_is_trivial(self):
+        assert NoiseModel().is_trivial()
+        assert not NoiseModel().add_gate_noise(["x"], depolarizing(0.1)).is_trivial()
+
+
+class TestReadoutError:
+    def test_confusion_matrix_columns_stochastic(self):
+        m = ReadoutError(0.02, 0.05).matrix()
+        np.testing.assert_allclose(m.sum(axis=0), [1.0, 1.0])
+
+    def test_apply_to_deterministic(self):
+        probs = np.array([1.0, 0.0])
+        out = apply_readout_error(probs, {0: ReadoutError(0.1, 0.0)}, 1)
+        np.testing.assert_allclose(out, [0.9, 0.1])
+
+    def test_apply_on_selected_qubit(self):
+        probs = np.zeros(4)
+        probs[0] = 1.0
+        out = apply_readout_error(probs, {1: ReadoutError(0.2, 0.0)}, 2)
+        np.testing.assert_allclose(out, [0.8, 0.0, 0.2, 0.0])
+
+    def test_no_errors_identity(self, rng):
+        p = rng.random(8)
+        p /= p.sum()
+        np.testing.assert_allclose(apply_readout_error(p, {}, 3), p)
+
+    def test_mass_preserved(self, rng):
+        p = rng.random(8)
+        p /= p.sum()
+        errors = {q: ReadoutError(0.03, 0.07) for q in range(3)}
+        out = apply_readout_error(p, errors, 3)
+        assert np.isclose(out.sum(), 1.0)
+        assert np.all(out >= 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(NoiseError):
+            ReadoutError(1.2, 0.0)
+
+    def test_unknown_qubit(self):
+        with pytest.raises(NoiseError):
+            apply_readout_error(np.array([1.0, 0]), {3: ReadoutError(0.1, 0.1)}, 1)

@@ -1,0 +1,120 @@
+"""Tests for Pauli-sum observables and the MaxCut Hamiltonian."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, qaoa_maxcut_circuit
+from repro.exceptions import ReproError
+from repro.linalg.paulis import PauliString
+from repro.observables import PauliSumObservable, maxcut_hamiltonian
+from repro.sim import simulate_statevector
+
+
+class TestConstruction:
+    def test_from_list(self):
+        h = PauliSumObservable.from_list([(1.0, "ZZ"), (-0.5, "XI")])
+        assert h.num_qubits == 2 and h.num_terms == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            PauliSumObservable(())
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            PauliSumObservable.from_list([(1.0, "Z"), (1.0, "ZZ")])
+
+    def test_str(self):
+        h = PauliSumObservable.from_list([(1.0, "ZZ")])
+        assert "ZZ" in str(h)
+
+
+class TestDiagonal:
+    def test_is_diagonal(self):
+        assert PauliSumObservable.from_list([(1.0, "ZIZ")]).is_diagonal()
+        assert not PauliSumObservable.from_list([(1.0, "XZ")]).is_diagonal()
+
+    def test_diagonal_matches_dense(self):
+        h = PauliSumObservable.from_list([(0.7, "ZZ"), (-0.2, "IZ"), (1.5, "II")])
+        dense = sum(c * p.to_matrix() for c, p in h.terms)
+        np.testing.assert_allclose(h.diagonal(), np.real(np.diag(dense)), atol=1e-12)
+
+    def test_diagonal_rejects_offdiagonal(self):
+        with pytest.raises(ReproError):
+            PauliSumObservable.from_list([(1.0, "XZ")]).diagonal()
+
+    def test_expectation_from_probs(self):
+        h = PauliSumObservable.from_list([(1.0, "Z")])
+        assert h.expectation_from_probs(np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert h.expectation_from_probs(np.array([0.0, 1.0])) == pytest.approx(-1.0)
+
+
+class TestExactExpectation:
+    def test_matches_dense_computation(self):
+        h = PauliSumObservable.from_list(
+            [(0.8, "XY"), (-0.3, "ZZ"), (0.1, "IX")]
+        )
+        qc = Circuit(2).h(0).cx(0, 1).ry(0.4, 1).t(0)
+        v = simulate_statevector(qc).vector()
+        dense = sum(c * p.to_matrix() for c, p in h.terms)
+        expected = float(np.real(np.vdot(v, dense @ v)))
+        assert h.expectation_exact(qc) == pytest.approx(expected, abs=1e-10)
+
+    def test_identity_term(self):
+        h = PauliSumObservable.from_list([(2.5, "II")])
+        assert h.expectation_exact(Circuit(2).h(0)) == pytest.approx(2.5)
+
+
+class TestMeasurementGroups:
+    def test_compatible_terms_grouped(self):
+        h = PauliSumObservable.from_list(
+            [(1.0, "ZI"), (1.0, "IZ"), (1.0, "ZZ")]
+        )
+        groups = h.measurement_groups()
+        assert len(groups) == 1  # all qubit-wise compatible (Z basis)
+
+    def test_incompatible_terms_split(self):
+        h = PauliSumObservable.from_list([(1.0, "XI"), (1.0, "ZI")])
+        assert len(h.measurement_groups()) == 2
+
+    def test_groups_cover_all_terms(self):
+        h = PauliSumObservable.from_list(
+            [(1.0, "XX"), (1.0, "YY"), (1.0, "ZZ"), (1.0, "XI")]
+        )
+        groups = h.measurement_groups()
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(4))
+
+
+class TestMaxCut:
+    def test_hamiltonian_counts_cut_edges(self):
+        g = nx.path_graph(3)  # edges (0,1), (1,2)
+        h = maxcut_hamiltonian(g)
+        # bitstring 010 cuts both edges
+        diag = h.diagonal()
+        from repro.utils.bits import bitstring_to_index
+
+        assert diag[bitstring_to_index("010")] == pytest.approx(2.0)
+        assert diag[bitstring_to_index("000")] == pytest.approx(0.0)
+        assert diag[bitstring_to_index("100")] == pytest.approx(1.0)
+
+    def test_max_value_is_maxcut(self):
+        g = nx.cycle_graph(4)
+        h = maxcut_hamiltonian(g)
+        assert h.diagonal().max() == pytest.approx(4.0)  # even cycle: cut all
+
+    def test_qaoa_energy_pipeline(self):
+        """⟨C⟩ of a QAOA state via distribution == exact expectation."""
+        g = nx.cycle_graph(4)
+        h = maxcut_hamiltonian(g)
+        qc = qaoa_maxcut_circuit(g, gammas=[0.7], betas=[0.4])
+        probs = simulate_statevector(qc).probabilities()
+        assert h.expectation_from_probs(probs) == pytest.approx(
+            h.expectation_exact(qc), abs=1e-9
+        )
+
+    def test_bad_nodes_rejected(self):
+        g = nx.Graph()
+        g.add_edge(2, 3)
+        with pytest.raises(ReproError):
+            maxcut_hamiltonian(g)

@@ -1,0 +1,157 @@
+"""Unit tests for Pauli algebra and eigen-decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.linalg.paulis import (
+    PAULI_LABELS,
+    PAULI_MATRICES,
+    PauliString,
+    pauli_basis_change,
+    pauli_eigenpairs,
+    pauli_matrix,
+)
+
+
+class TestPauliMatrices:
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_hermitian(self, label):
+        m = pauli_matrix(label)
+        np.testing.assert_allclose(m, m.conj().T)
+
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_unitary(self, label):
+        m = pauli_matrix(label)
+        np.testing.assert_allclose(m @ m.conj().T, np.eye(2), atol=1e-12)
+
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    def test_traceless(self, label):
+        assert abs(np.trace(pauli_matrix(label))) < 1e-12
+
+    def test_unknown_label(self):
+        with pytest.raises(GateError):
+            pauli_matrix("W")
+
+    def test_anticommutation(self):
+        X, Y, Z = (PAULI_MATRICES[l] for l in "XYZ")
+        np.testing.assert_allclose(X @ Y + Y @ X, np.zeros((2, 2)), atol=1e-12)
+        np.testing.assert_allclose(X @ Y, 1j * Z, atol=1e-12)
+
+
+class TestEigenpairs:
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_reconstruction(self, label):
+        """M = Σ_r r |v><v| — the identity the cut expansion relies on."""
+        m = sum(r * np.outer(v, v.conj()) for r, v in pauli_eigenpairs(label))
+        np.testing.assert_allclose(m, pauli_matrix(label), atol=1e-12)
+
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_eigenstates_normalised(self, label):
+        for _, v in pauli_eigenpairs(label):
+            assert np.isclose(np.vdot(v, v).real, 1.0)
+
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    def test_eigenstates_orthogonal(self, label):
+        pairs = pauli_eigenpairs(label)
+        assert abs(np.vdot(pairs[0][1], pairs[1][1])) < 1e-12
+
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    def test_eigenvalue_equation(self, label):
+        m = pauli_matrix(label)
+        for r, v in pauli_eigenpairs(label):
+            np.testing.assert_allclose(m @ v, r * v, atol=1e-12)
+
+    def test_identity_weights(self):
+        pairs = pauli_eigenpairs("I")
+        assert [r for r, _ in pairs] == [1, 1]
+
+
+class TestBasisChange:
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_maps_eigenvectors_to_computational(self, label):
+        v = pauli_basis_change(label)
+        for k, (_, ket) in enumerate(pauli_eigenpairs(label)):
+            mapped = v @ ket
+            expected = np.zeros(2, dtype=complex)
+            expected[k] = 1.0
+            # equality up to phase
+            ph = mapped[np.argmax(np.abs(mapped))]
+            np.testing.assert_allclose(mapped / ph * abs(ph), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("label", PAULI_LABELS)
+    def test_unitary(self, label):
+        v = pauli_basis_change(label)
+        np.testing.assert_allclose(v @ v.conj().T, np.eye(2), atol=1e-12)
+
+
+class TestPauliString:
+    def test_from_label(self):
+        p = PauliString.from_label("XIZ")
+        assert p.num_qubits == 3
+        assert p.weight == 2
+        assert p.support == (0, 2)
+
+    def test_invalid_label(self):
+        with pytest.raises(GateError):
+            PauliString.from_label("XQ")
+
+    def test_matrix_little_endian(self):
+        """labels[0] acts on qubit 0 = least-significant index bit."""
+        p = PauliString.from_label("XI")
+        expected = np.kron(np.eye(2), PAULI_MATRICES["X"])
+        np.testing.assert_allclose(p.to_matrix(), expected)
+
+    def test_matrix_phase(self):
+        p = PauliString.from_label("Z", phase=-2.0)
+        np.testing.assert_allclose(p.to_matrix(), -2.0 * PAULI_MATRICES["Z"])
+
+    def test_product(self):
+        a = PauliString.from_label("XY")
+        b = PauliString.from_label("YX")
+        c = a * b
+        # X*Y = iZ on qubit 0; Y*X = -iZ on qubit 1 -> phase i * -i = 1
+        assert c.labels == ("Z", "Z")
+        assert np.isclose(c.phase, 1.0)
+
+    def test_product_matrix_consistency(self, rng):
+        labels = ["I", "X", "Y", "Z"]
+        for _ in range(10):
+            la = "".join(rng.choice(labels, 3))
+            lb = "".join(rng.choice(labels, 3))
+            a, b = PauliString.from_label(la), PauliString.from_label(lb)
+            np.testing.assert_allclose(
+                (a * b).to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-12
+            )
+
+    def test_commutes(self):
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("ZZ"))
+        assert not PauliString.from_label("XI").commutes_with(
+            PauliString.from_label("ZI")
+        )
+
+    def test_diagonal_fast_path(self):
+        p = PauliString.from_label("ZIZ")
+        np.testing.assert_allclose(p.diagonal(), np.diag(p.to_matrix()))
+
+    def test_diagonal_rejects_offdiagonal(self):
+        with pytest.raises(GateError):
+            PauliString.from_label("XZ").diagonal()
+
+    def test_is_real(self):
+        assert PauliString.from_label("XZ").is_real()
+        assert PauliString.from_label("YY").is_real()
+        assert not PauliString.from_label("YI").is_real()
+
+    def test_restricted_to(self):
+        p = PauliString.from_label("XYZ")
+        assert p.restricted_to([2, 0]).labels == ("Z", "X")
+
+    def test_identity(self):
+        p = PauliString.identity(4)
+        assert p.is_identity()
+        np.testing.assert_allclose(p.to_matrix(), np.eye(16))
+
+    def test_size_mismatch_product(self):
+        with pytest.raises(GateError):
+            PauliString.from_label("X") * PauliString.from_label("XX")

@@ -1,0 +1,130 @@
+"""Unit tests for sampling utilities and observable machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, SimulationError
+from repro.observables import (
+    BitstringProjector,
+    DiagonalObservable,
+    all_bitstring_projectors,
+    split_diagonal_observable,
+)
+from repro.sim.sampler import counts_to_probs, probs_to_counts, sample_counts
+
+
+class TestSampler:
+    def test_counts_sum(self, rng):
+        p = rng.random(8)
+        p /= p.sum()
+        counts = sample_counts(p, 1000, seed=0)
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_distribution(self):
+        p = np.zeros(4)
+        p[2] = 1.0
+        counts = sample_counts(p, 50, seed=1)
+        assert counts == {"01": 50}
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.array([0.5, 0.6]), 10)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.ones(3) / 3, 10)
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.array([1.0, 0.0]), 0)
+
+    def test_counts_to_probs_roundtrip(self, rng):
+        p = rng.random(16)
+        p /= p.sum()
+        counts = sample_counts(p, 500_000, seed=2)
+        back = counts_to_probs(counts, 4)
+        assert np.abs(back - p).max() < 0.01
+
+    def test_counts_to_probs_validation(self):
+        with pytest.raises(SimulationError):
+            counts_to_probs({"01": 5}, 3)  # wrong length
+        with pytest.raises(SimulationError):
+            counts_to_probs({}, 2)
+        with pytest.raises(SimulationError):
+            counts_to_probs({"01": -1}, 2)
+
+    def test_probs_to_counts_exact(self):
+        counts = probs_to_counts(np.array([0.25, 0.75]), 4)
+        assert counts == {"0": 1, "1": 3}
+
+
+class TestDiagonalObservable:
+    def test_expectation(self):
+        obs = DiagonalObservable(np.array([1.0, -1.0]), 1)
+        assert obs.expectation(np.array([0.7, 0.3])) == pytest.approx(0.4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            DiagonalObservable(np.zeros(3), 2)
+        obs = DiagonalObservable(np.zeros(4), 2)
+        with pytest.raises(ReproError):
+            obs.expectation(np.zeros(8))
+
+    def test_parity_matches_pauli_string(self):
+        from repro.linalg.paulis import PauliString
+
+        obs = DiagonalObservable.parity(3)
+        np.testing.assert_allclose(
+            obs.diagonal, PauliString.from_label("ZZZ").diagonal().real
+        )
+
+    def test_from_function(self):
+        obs = DiagonalObservable.from_function(lambda i: float(i), 2)
+        np.testing.assert_allclose(obs.diagonal, [0, 1, 2, 3])
+
+    def test_projector(self):
+        proj = BitstringProjector("010")
+        assert proj.diagonal[2] == 1.0
+        assert proj.diagonal.sum() == 1.0
+
+    def test_all_projectors(self):
+        projs = all_bitstring_projectors(2)
+        assert len(projs) == 4
+        total = sum(p.diagonal for p in projs)
+        np.testing.assert_allclose(total, np.ones(4))
+
+
+class TestSplitObservable:
+    def test_projector_splits(self):
+        proj = BitstringProjector("011")
+        d1, d2 = split_diagonal_observable(proj, [0], [1, 2])
+        # reconstruct: diag[b] = d1[bit0] * d2[bits 1,2]
+        full = np.zeros(8)
+        for b in range(8):
+            full[b] = d1[b & 1] * d2[(b >> 1) & 3]
+        np.testing.assert_allclose(full, proj.diagonal, atol=1e-12)
+
+    def test_parity_splits(self):
+        obs = DiagonalObservable.parity(4)
+        d1, d2 = split_diagonal_observable(obs, [0, 1], [2, 3])
+        full = np.zeros(16)
+        for b in range(16):
+            full[b] = d1[b & 3] * d2[(b >> 2) & 3]
+        np.testing.assert_allclose(full, obs.diagonal, atol=1e-10)
+
+    def test_group_order_respected(self):
+        proj = BitstringProjector("01")
+        d1, d2 = split_diagonal_observable(proj, [1], [0])
+        assert d1[1] != 0 and d2[0] != 0  # qubit1=1, qubit0=0
+
+    def test_nonseparable_rejected(self):
+        # diag = parity bit0 XOR bit1 as 0/1 indicator is separable; use a
+        # genuinely entangled diagonal: 1 on {00, 11, 01} only
+        d = np.array([1.0, 1.0, 1.0, 0.0])
+        with pytest.raises(ReproError):
+            split_diagonal_observable(DiagonalObservable(d, 2), [0], [1])
+
+    def test_bad_partition_rejected(self):
+        obs = DiagonalObservable.parity(3)
+        with pytest.raises(ReproError):
+            split_diagonal_observable(obs, [0], [1])

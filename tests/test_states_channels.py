@@ -1,0 +1,171 @@
+"""Unit tests for linalg state helpers and Kraus channel machinery."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_circuit
+from repro.exceptions import NoiseError, SimulationError
+from repro.linalg.channels import KrausChannel, is_cptp
+from repro.linalg.states import (
+    bloch_vector,
+    fidelity,
+    is_density_matrix,
+    ket,
+    partial_trace,
+    purity,
+    state_to_density,
+)
+from repro.linalg.tensor import kron_all, operator_on_qubits
+from repro.noise.kraus import depolarizing
+from repro.sim import simulate_statevector
+
+
+class TestKet:
+    def test_from_bitstring(self):
+        v = ket("010")
+        assert v[2] == 1.0  # qubit 1 set -> index 2
+
+    def test_from_index(self):
+        v = ket(5, num_qubits=3)
+        assert v[5] == 1.0
+
+    def test_index_needs_width(self):
+        with pytest.raises(ValueError):
+            ket(3)
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        v = np.kron(np.array([0, 1.0]), np.array([1.0, 0]))  # q1=|0>,q0=|1>... little-endian kron
+        rho = state_to_density(v)
+        r0 = partial_trace(rho, [0], 2)
+        # index: v[k] has qubit0 = k&1; v = kron(b, a) means a on qubit 0
+        np.testing.assert_allclose(np.trace(r0).real, 1.0)
+
+    def test_bell_reduced_is_mixed(self):
+        v = simulate_statevector(ghz_circuit(2)).vector()
+        rho = state_to_density(v)
+        for q in (0, 1):
+            np.testing.assert_allclose(partial_trace(rho, [q], 2), np.eye(2) / 2, atol=1e-12)
+
+    def test_keep_order(self):
+        qc = Circuit(3).x(0).h(2)
+        rho = state_to_density(simulate_statevector(qc).vector())
+        r = partial_trace(rho, [2, 0], 3)
+        # qubit 2 is bit 0 of the reduced index, qubit 0 is bit 1
+        probs = np.real(np.diag(r))
+        # qubit0=1 always -> bit1 set; qubit2 = |+>: bits 0/1 equal
+        np.testing.assert_allclose(probs, [0, 0, 0.5, 0.5], atol=1e-12)
+
+    def test_trace_all_keeps_everything(self, rng):
+        v = rng.normal(size=8) + 1j * rng.normal(size=8)
+        v /= np.linalg.norm(v)
+        rho = state_to_density(v)
+        np.testing.assert_allclose(partial_trace(rho, [0, 1, 2], 3), rho, atol=1e-12)
+
+    def test_consistency_with_kron(self):
+        a = np.array([0.6, 0.8])
+        b = np.array([1.0, 0.0])
+        v = np.kron(b, a)  # little-endian: a on qubit 0
+        rho = state_to_density(v)
+        np.testing.assert_allclose(
+            partial_trace(rho, [0], 2), state_to_density(a), atol=1e-12
+        )
+
+
+class TestFidelityPurity:
+    def test_fidelity_identical(self, rng):
+        v = rng.normal(size=4) + 1j * rng.normal(size=4)
+        v /= np.linalg.norm(v)
+        assert np.isclose(fidelity(v, v), 1.0)
+
+    def test_fidelity_orthogonal(self):
+        assert np.isclose(fidelity(ket("0"), ket("1")), 0.0)
+
+    def test_fidelity_vector_matrix(self):
+        v = ket("0")
+        rho = np.eye(2) / 2
+        assert np.isclose(fidelity(v, rho), 0.5)
+
+    def test_fidelity_mixed_mixed(self):
+        rho = np.eye(2) / 2
+        assert np.isclose(fidelity(rho, rho), 1.0)
+
+    def test_purity(self):
+        assert np.isclose(purity(np.eye(4) / 4), 0.25)
+        assert np.isclose(purity(state_to_density(ket("00"))), 1.0)
+
+    def test_is_density_matrix(self):
+        assert is_density_matrix(np.eye(2) / 2)
+        assert not is_density_matrix(np.eye(2))  # trace 2
+        assert not is_density_matrix(np.array([[1.5, 0], [0, -0.5]]))  # negative
+
+    def test_bloch_vector(self):
+        plus = state_to_density(np.array([1, 1]) / np.sqrt(2))
+        np.testing.assert_allclose(bloch_vector(plus), [1, 0, 0], atol=1e-12)
+        zero = state_to_density(ket("0"))
+        np.testing.assert_allclose(bloch_vector(zero), [0, 0, 1], atol=1e-12)
+
+
+class TestKrausChannel:
+    def test_cptp_enforced(self):
+        with pytest.raises(NoiseError):
+            KrausChannel((np.eye(2) * 0.5,))
+
+    def test_valid_channel(self):
+        ch = depolarizing(0.1)
+        assert is_cptp(ch.operators)
+        assert ch.num_qubits == 1
+
+    def test_unital_check(self):
+        assert depolarizing(0.3).is_unital()
+        from repro.noise.kraus import amplitude_damping
+
+        assert not amplitude_damping(0.3).is_unital()
+
+    def test_compose(self):
+        a = depolarizing(0.1)
+        b = depolarizing(0.2)
+        c = a.compose(b)
+        assert is_cptp(c.operators)
+        assert len(c.operators) == 16
+
+    def test_tensor(self):
+        t = depolarizing(0.1).tensor(depolarizing(0.2))
+        assert t.num_qubits == 2
+        assert is_cptp(t.operators)
+
+    def test_compose_arity_mismatch(self):
+        from repro.noise.kraus import two_qubit_depolarizing
+
+        with pytest.raises(NoiseError):
+            depolarizing(0.1).compose(two_qubit_depolarizing(0.1))
+
+    def test_empty_channel_rejected(self):
+        with pytest.raises(NoiseError):
+            KrausChannel(())
+
+
+class TestOperatorEmbedding:
+    def test_single_qubit_embed(self):
+        z = np.diag([1, -1]).astype(complex)
+        full = operator_on_qubits(z, (1,), 3)
+        expected = kron_all([np.eye(2), z, np.eye(2)])  # little-endian: q2 ⊗ q1 ⊗ q0
+        np.testing.assert_allclose(full, expected)
+
+    def test_two_qubit_embed_matches_simulator(self):
+        from repro.circuits.gates import gate_matrix
+        from repro.sim import circuit_unitary
+
+        cx = gate_matrix("cx")
+        full = operator_on_qubits(cx, (2, 0), 3)
+        qc = Circuit(3).cx(2, 0)
+        np.testing.assert_allclose(full, circuit_unitary(qc), atol=1e-12)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            operator_on_qubits(np.eye(4), (0, 0), 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            operator_on_qubits(np.eye(2), (3,), 3)

@@ -1,0 +1,131 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_circuit, qft_circuit, random_circuit
+from repro.exceptions import SimulationError
+from repro.sim import Statevector, circuit_unitary, simulate_statevector
+
+
+class TestInitialisation:
+    def test_default_is_all_zeros(self):
+        sv = Statevector(3)
+        v = sv.vector()
+        assert v[0] == 1.0 and np.allclose(v[1:], 0.0)
+
+    def test_from_vector_roundtrip(self, rng):
+        raw = rng.normal(size=8) + 1j * rng.normal(size=8)
+        raw /= np.linalg.norm(raw)
+        sv = Statevector.from_vector(raw)
+        np.testing.assert_allclose(sv.vector(), raw)
+
+    def test_bad_length(self):
+        with pytest.raises(SimulationError):
+            Statevector(2, np.zeros(3))
+
+    def test_copy_independent(self):
+        a = Statevector(2)
+        b = a.copy()
+        b.apply_matrix(np.array([[0, 1], [1, 0]], dtype=complex), (0,))
+        assert a.vector()[0] == 1.0
+        assert b.vector()[1] == 1.0
+
+
+class TestGateApplication:
+    def test_x_on_each_qubit(self):
+        for q in range(4):
+            qc = Circuit(4).x(q)
+            probs = simulate_statevector(qc).probabilities()
+            assert probs[1 << q] == 1.0
+
+    def test_h_superposition(self):
+        probs = simulate_statevector(Circuit(1).h(0)).probabilities()
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+    def test_bell_state(self):
+        probs = simulate_statevector(Circuit(2).h(0).cx(0, 1)).probabilities()
+        np.testing.assert_allclose(probs, [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_ghz_endpoints(self):
+        probs = simulate_statevector(ghz_circuit(4)).probabilities()
+        assert np.isclose(probs[0], 0.5) and np.isclose(probs[15], 0.5)
+
+    def test_cx_direction(self):
+        # control=1 (unset) -> no flip
+        probs = simulate_statevector(Circuit(2).x(0).cx(1, 0)).probabilities()
+        assert probs[1] == 1.0
+
+    def test_three_qubit_gate(self):
+        qc = Circuit(3).x(0).x(1).ccx(0, 1, 2)
+        probs = simulate_statevector(qc).probabilities()
+        assert probs[7] == 1.0
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            Statevector(2).apply_circuit(Circuit(3).h(0))
+
+    def test_matches_unitary_column(self):
+        qc = random_circuit(4, 5, seed=21)
+        np.testing.assert_allclose(
+            simulate_statevector(qc).vector(), circuit_unitary(qc)[:, 0], atol=1e-10
+        )
+
+    def test_norm_preserved(self):
+        qc = random_circuit(5, 8, seed=4)
+        assert np.isclose(simulate_statevector(qc).norm(), 1.0)
+
+
+class TestQueries:
+    def test_qft_uniform(self):
+        probs = simulate_statevector(qft_circuit(4)).probabilities()
+        np.testing.assert_allclose(probs, np.full(16, 1 / 16), atol=1e-12)
+
+    def test_expectation_z(self):
+        sv = simulate_statevector(Circuit(2).x(1))
+        z = np.diag([1, -1]).astype(complex)
+        assert np.isclose(sv.expectation(z, (1,)).real, -1.0)
+        assert np.isclose(sv.expectation(z, (0,)).real, 1.0)
+
+    def test_expectation_two_qubit(self):
+        sv = simulate_statevector(Circuit(2).h(0).cx(0, 1))
+        zz = np.diag([1, -1, -1, 1]).astype(complex)
+        assert np.isclose(sv.expectation(zz, (0, 1)).real, 1.0)
+
+    def test_is_real_for_real_circuit(self):
+        from repro.circuits import random_real_circuit
+
+        sv = simulate_statevector(random_real_circuit(3, 4, seed=1))
+        assert sv.is_real()
+
+    def test_is_real_detects_complex(self):
+        sv = simulate_statevector(Circuit(2).h(0).s(0).cx(0, 1))
+        assert not sv.is_real()
+
+    def test_is_real_ignores_global_phase(self):
+        sv = simulate_statevector(Circuit(1).h(0))
+        sv._tensor = sv._tensor * np.exp(0.3j)
+        assert sv.is_real()
+
+    def test_project(self):
+        sv = simulate_statevector(Circuit(2).h(0))
+        p = sv.project(0, 0)
+        assert np.isclose(p, 0.5)
+        assert np.isclose(sv.probabilities()[0], 0.5)
+
+    def test_project_renormalize(self):
+        sv = simulate_statevector(Circuit(2).h(0).cx(0, 1))
+        sv.project(0, 1, renormalize=True)
+        probs = sv.probabilities()
+        assert np.isclose(probs[3], 1.0)
+
+    def test_project_zero_branch_raises(self):
+        sv = Statevector(1)
+        with pytest.raises(SimulationError):
+            sv.project(0, 1, renormalize=True)
+
+    def test_normalize_zero_raises(self):
+        sv = Statevector(1)
+        sv._tensor = np.zeros_like(sv._tensor)
+        with pytest.raises(SimulationError):
+            sv.normalize()

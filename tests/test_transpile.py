@@ -1,0 +1,180 @@
+"""Unit tests for the transpiler: basis lowering, passes, routing, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, random_circuit
+from repro.exceptions import TranspileError
+from repro.sim import circuit_unitary, simulate_statevector
+from repro.transpile import (
+    CouplingMap,
+    HARDWARE_BASIS,
+    cancel_adjacent_inverses,
+    decompose_to_basis,
+    merge_single_qubit_runs,
+    route_circuit,
+    transpile,
+)
+from repro.transpile.basis import zyz_angles
+from repro.utils.bits import permute_probability_axes
+
+from tests.helpers import phase_equal
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unitary_roundtrip(self, seed):
+        from scipy.stats import unitary_group
+
+        u = unitary_group.rvs(2, random_state=seed)
+        theta, phi, lam = zyz_angles(u)
+        qc = Circuit(1).u3(theta, phi, lam, 0)
+        assert phase_equal(circuit_unitary(qc), u)
+
+    def test_identity(self):
+        theta, phi, lam = zyz_angles(np.eye(2, dtype=complex))
+        assert np.isclose(theta, 0.0)
+
+    def test_x_gate(self):
+        theta, _, _ = zyz_angles(np.array([[0, 1], [1, 0]], dtype=complex))
+        assert np.isclose(theta, np.pi)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(TranspileError):
+            zyz_angles(np.eye(4))
+
+
+class TestBasisDecomposition:
+    ALL_GATES = [
+        ("h", 1, 0), ("x", 1, 0), ("y", 1, 0), ("z", 1, 0), ("s", 1, 0),
+        ("t", 1, 0), ("sx", 1, 0), ("rx", 1, 1), ("ry", 1, 1), ("rz", 1, 1),
+        ("u3", 1, 3), ("cx", 2, 0), ("cz", 2, 0), ("cy", 2, 0), ("ch", 2, 0),
+        ("swap", 2, 0), ("iswap", 2, 0), ("crz", 2, 1), ("cp", 2, 1),
+        ("rzz", 2, 1), ("rxx", 2, 1), ("ryy", 2, 1), ("ccx", 3, 0),
+        ("cswap", 3, 0),
+    ]
+
+    @pytest.mark.parametrize("name,nq,npar", ALL_GATES)
+    def test_gate_equivalence(self, name, nq, npar):
+        params = (0.913, 0.2, 1.7)[:npar]
+        qc = Circuit(nq).add_gate(name, tuple(range(nq)), params)
+        dec = decompose_to_basis(qc)
+        assert all(i.name in HARDWARE_BASIS for i in dec)
+        assert phase_equal(circuit_unitary(dec), circuit_unitary(qc))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuit_equivalence(self, seed):
+        qc = random_circuit(4, 4, seed=seed)
+        dec = decompose_to_basis(qc)
+        assert all(i.name in HARDWARE_BASIS for i in dec)
+        assert phase_equal(circuit_unitary(dec), circuit_unitary(qc))
+
+
+class TestPasses:
+    def test_merge_single_qubit_runs(self):
+        qc = Circuit(2).h(0).s(0).t(0).cx(0, 1).h(1)
+        merged = merge_single_qubit_runs(qc)
+        assert phase_equal(circuit_unitary(merged), circuit_unitary(qc))
+        # the 3-gate run becomes at most 5 native ops
+        assert len([i for i in merged if i.qubits == (0,)]) <= 5
+
+    def test_cancel_self_inverse_pair(self):
+        qc = Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1).x(1)
+        out = cancel_adjacent_inverses(qc)
+        assert [i.name for i in out] == ["x"]
+
+    def test_cancel_parametric_inverse(self):
+        qc = Circuit(1).rz(0.7, 0).rz(-0.7, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_cancel_sdg_s(self):
+        qc = Circuit(1).s(0).sdg(0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_cancel_cascades(self):
+        qc = Circuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_adjacent_inverses(qc)) == 0
+
+    def test_no_false_cancellation_different_wires(self):
+        qc = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_inverses(qc)) == 2
+
+
+class TestCouplingMap:
+    def test_linear(self):
+        cm = CouplingMap.linear(4)
+        assert cm.allowed(1, 2) and not cm.allowed(0, 3)
+        assert cm.distance(0, 3) == 3
+
+    def test_ring(self):
+        cm = CouplingMap.ring(5)
+        assert cm.allowed(0, 4)
+        assert cm.distance(0, 2) == 2
+
+    def test_grid(self):
+        cm = CouplingMap.grid(2, 3)
+        assert cm.allowed(0, 3)  # vertical neighbour
+        assert not cm.allowed(0, 4)
+
+    def test_ibm_topologies(self):
+        t5 = CouplingMap.ibm_t_shape_5q()
+        assert t5.num_qubits == 5 and t5.is_connected()
+        h7 = CouplingMap.ibm_h_shape_7q()
+        assert h7.num_qubits == 7 and h7.is_connected()
+
+    def test_shortest_path(self):
+        cm = CouplingMap.ibm_t_shape_5q()
+        assert cm.shortest_path(0, 4) == [0, 1, 3, 4]
+
+    def test_disconnected_raises(self):
+        cm = CouplingMap([(0, 1)], num_qubits=3)
+        with pytest.raises(TranspileError):
+            cm.distance(0, 2)
+
+
+class TestRouting:
+    def test_already_routed_untouched(self):
+        cm = CouplingMap.linear(3)
+        qc = Circuit(3).cx(0, 1).cx(1, 2)
+        routed, layout = route_circuit(qc, cm)
+        assert layout == [0, 1, 2]
+        assert routed.count_ops().get("swap", 0) == 0
+
+    def test_inserts_swaps_for_distant_pair(self):
+        cm = CouplingMap.linear(3)
+        qc = Circuit(3).cx(0, 2)
+        routed, layout = route_circuit(qc, cm)
+        assert routed.count_ops().get("swap", 0) == 1
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(TranspileError):
+            route_circuit(Circuit(4).h(0), CouplingMap.linear(3))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_routed_semantics(self, seed):
+        cm = CouplingMap.ibm_t_shape_5q()
+        qc = random_circuit(5, 3, seed=seed + 40)
+        tqc, layout = transpile(qc, cm)
+        p_log = simulate_statevector(qc).probabilities()
+        p_phys = simulate_statevector(tqc).probabilities()
+        perm = [0] * 5
+        for logical, phys in enumerate(layout):
+            perm[phys] = logical
+        np.testing.assert_allclose(
+            permute_probability_axes(p_phys, perm), p_log, atol=1e-9
+        )
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_coupling_equivalence(self, seed):
+        qc = random_circuit(4, 4, seed=seed + 60)
+        tqc, layout = transpile(qc)
+        assert layout == list(range(4))
+        assert all(i.name in HARDWARE_BASIS for i in tqc)
+        assert phase_equal(circuit_unitary(tqc), circuit_unitary(qc))
+
+    def test_optimize_false_still_correct(self):
+        qc = random_circuit(3, 3, seed=77)
+        tqc, _ = transpile(qc, optimize=False)
+        assert phase_equal(circuit_unitary(tqc), circuit_unitary(qc))

@@ -1,0 +1,104 @@
+"""Tests for RNG plumbing, timing utilities and the config module."""
+
+import numpy as np
+import pytest
+
+from repro.config import tolerance_for
+from repro.utils.rng import as_generator, derive_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, VirtualClock
+
+
+class TestRng:
+    def test_as_generator_from_int(self):
+        a = as_generator(5)
+        b = as_generator(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_as_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(42, 3)
+        draws = [g.integers(0, 1 << 30) for g in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(7, 4)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(7, 4)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        streams = spawn_rngs(g, 2)
+        assert len(streams) == 2
+
+    def test_derive_rng_tags_matter(self):
+        base1 = np.random.default_rng(1)
+        base2 = np.random.default_rng(1)
+        a = derive_rng(base1, 1).integers(0, 1 << 30)
+        b = derive_rng(base2, 2).integers(0, 1 << 30)
+        assert a != b
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            sum(range(10_000))
+        assert sw.elapsed > 0
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            sum(range(10_000))
+        assert sw.elapsed > first
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestVirtualClock:
+    def test_charge_advances(self):
+        clk = VirtualClock()
+        clk.charge(1.5, "a")
+        clk.charge(2.5, "b")
+        assert clk.now == pytest.approx(4.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-1.0)
+
+    def test_label_totals(self):
+        clk = VirtualClock()
+        clk.charge(1.0, "job:a")
+        clk.charge(2.0, "job:b")
+        clk.charge(5.0, "other")
+        assert clk.total("job:") == pytest.approx(3.0)
+
+    def test_reset(self):
+        clk = VirtualClock()
+        clk.charge(1.0)
+        clk.reset()
+        assert clk.now == 0.0 and clk.log == []
+
+
+class TestConfig:
+    def test_tolerance_exact(self):
+        assert tolerance_for(None) < 1e-9
+
+    def test_tolerance_scales_with_shots(self):
+        assert tolerance_for(100) > tolerance_for(10_000)
+
+    def test_tolerance_invalid(self):
+        with pytest.raises(ValueError):
+            tolerance_for(0)

@@ -1,0 +1,127 @@
+"""Unit tests for measurement/preparation variant generation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.cutting import (
+    PREPARATION_STATES,
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.cutting.variants import preparations_for_bases
+from repro.exceptions import CutError
+from repro.linalg.paulis import pauli_eigenpairs
+from repro.sim import simulate_statevector
+
+
+class TestPreparationStates:
+    """The six preparation codes must build the advertised eigenstates."""
+
+    _EXPECT = {
+        "Z+": ("Z", 0),
+        "Z-": ("Z", 1),
+        "X+": ("X", 0),
+        "X-": ("X", 1),
+        "Y+": ("Y", 0),
+        "Y-": ("Y", 1),
+    }
+
+    @pytest.mark.parametrize("code", sorted(PREPARATION_STATES))
+    def test_prepares_eigenstate(self, code):
+        qc = Circuit(1)
+        for g in PREPARATION_STATES[code]:
+            qc.add_gate(g, (0,))
+        state = simulate_statevector(qc).vector()
+        basis, idx = self._EXPECT[code]
+        _, ket = pauli_eigenpairs(basis)[idx]
+        overlap = abs(np.vdot(ket, state))
+        assert np.isclose(overlap, 1.0, atol=1e-12)
+
+    def test_preparations_for_bases(self):
+        assert preparations_for_bases(["I", "Z"]) == ("Z+", "Z-")
+        assert len(preparations_for_bases(["I", "X", "Y", "Z"])) == 6
+        assert len(preparations_for_bases(["I", "X", "Z"])) == 4  # Y dropped
+        assert len(preparations_for_bases(["I", "X", "Y"])) == 6  # Z shared with I
+
+
+class TestSettingTuples:
+    def test_default_counts(self):
+        assert len(upstream_setting_tuples(1)) == 3
+        assert len(upstream_setting_tuples(2)) == 9
+        assert len(downstream_init_tuples(1)) == 6
+        assert len(downstream_init_tuples(2)) == 36
+
+    def test_restricted(self):
+        ts = upstream_setting_tuples(2, [("X", "Z"), ("Y",)])
+        assert len(ts) == 2
+        assert all(t[1] == "Y" for t in ts)
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(CutError):
+            upstream_setting_tuples(1, [("Q",)])
+        with pytest.raises(CutError):
+            upstream_setting_tuples(1, [()])
+
+
+class TestUpstreamVariant:
+    def test_measurement_basis_rotation(self, simple_cut_pair):
+        """Measuring the variant in Z == measuring the fragment in `basis`."""
+        _, _, pair = simple_cut_pair
+        base = simulate_statevector(pair.upstream)
+        for basis in ("X", "Y", "Z"):
+            var = upstream_variant(pair, (basis,))
+            probs = simulate_statevector(var).probabilities()
+            # exact check: P(cut bit = 0) equals <P_+> of the basis on the
+            # untouched fragment state
+            from repro.linalg.paulis import pauli_eigenpairs
+
+            val, ket = pauli_eigenpairs(basis)[0]
+            proj = np.outer(ket, ket.conj())
+            expect = base.expectation(proj, (pair.up_cut_local[0],)).real
+            cut_q = pair.up_cut_local[0]
+            p0 = sum(
+                p for i, p in enumerate(probs) if not (i >> cut_q) & 1
+            )
+            assert np.isclose(p0, expect, atol=1e-10), basis
+
+    def test_z_variant_adds_nothing(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        var = upstream_variant(pair, ("Z",))
+        assert len(var) == len(pair.upstream)
+
+    def test_wrong_tuple_length(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(CutError):
+            upstream_variant(pair, ("X", "Y"))
+
+    def test_invalid_basis(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(CutError):
+            upstream_variant(pair, ("I",))
+
+
+class TestDownstreamVariant:
+    def test_prep_gates_prepended(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        var = downstream_variant(pair, ("Y+",))
+        assert len(var) == len(pair.downstream) + 2  # h, s
+        assert var[0].name == "h" and var[1].name == "s"
+        assert var[0].qubits == (pair.down_cut_local[0],)
+
+    def test_zplus_adds_nothing(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        var = downstream_variant(pair, ("Z+",))
+        assert len(var) == len(pair.downstream)
+
+    def test_invalid_code(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(CutError):
+            downstream_variant(pair, ("Q+",))
+
+    def test_wrong_tuple_length(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(CutError):
+            downstream_variant(pair, ())
