@@ -1,0 +1,81 @@
+"""Benchmarks of fragment-variant execution (the simulation hot path).
+
+Measures the cost of producing a full :class:`~repro.cutting.execution.FragmentData`
+across cut counts, three ways:
+
+* ``fragments-exact`` — the production cached path
+  (:func:`~repro.cutting.execution.exact_fragment_data`): one upstream body
+  simulation + one batched downstream simulation serve all ``3^K + 6^K``
+  variants;
+* ``fragments-exact-reference`` — the pre-cache semantics: every variant
+  circuit simulated from scratch (the ``3^K + 6^K`` scaling the paper's
+  cost model counts);
+* ``fragments-sampled`` — :func:`~repro.cutting.execution.run_fragments`
+  against the ideal backend (cache + multinomial sampling).
+
+Baselines live in ``benchmarks/BENCH_fragments.json``; refresh with
+``python benchmarks/compare.py --write-baseline`` and compare a working
+tree against them with ``python benchmarks/compare.py``.
+"""
+
+import pytest
+
+from repro.backends import IdealBackend
+from repro.cutting import bipartition
+from repro.cutting.execution import _split_upstream_probs, exact_fragment_data
+from repro.cutting.execution import run_fragments
+from repro.cutting.variants import (
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.harness.scaling import multi_cut_golden_circuit
+from repro.sim import simulate_statevector
+
+_PAIRS = {}
+for K in (1, 2, 3):
+    qc, spec = multi_cut_golden_circuit(K, extra_up=2, extra_down=2, depth=2, seed=900 + K)
+    _PAIRS[K] = bipartition(qc, spec)
+
+
+def _exact_reference(pair):
+    """Simulate every physical variant circuit (pre-cache semantics)."""
+    K = pair.num_cuts
+    upstream = {
+        tuple(s): _split_upstream_probs(
+            simulate_statevector(upstream_variant(pair, s)).probabilities(), pair
+        )
+        for s in upstream_setting_tuples(K)
+    }
+    downstream = {
+        tuple(i): simulate_statevector(downstream_variant(pair, i)).probabilities()
+        for i in downstream_init_tuples(K)
+    }
+    return upstream, downstream
+
+
+@pytest.mark.benchmark(group="fragments-exact")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_exact_fragment_data_cached(benchmark, K):
+    pair = _PAIRS[K]
+    data = benchmark(exact_fragment_data, pair)
+    assert data.num_variants == 3**K + 6**K
+
+
+@pytest.mark.benchmark(group="fragments-exact-reference")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_exact_fragment_data_reference(benchmark, K):
+    pair = _PAIRS[K]
+    upstream, downstream = benchmark(_exact_reference, pair)
+    assert len(upstream) + len(downstream) == 3**K + 6**K
+
+
+@pytest.mark.benchmark(group="fragments-sampled")
+@pytest.mark.parametrize("K", [1, 2])
+def test_run_fragments_ideal(benchmark, K):
+    pair = _PAIRS[K]
+    data = benchmark(
+        lambda: run_fragments(pair, IdealBackend(), shots=1000, seed=0)
+    )
+    assert data.num_variants == 3**K + 6**K

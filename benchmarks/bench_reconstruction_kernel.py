@@ -3,6 +3,13 @@
 Separates the two stages of Fig. 4's classical cost: building the fragment
 tensors (Â, B̂) and the final GEMM contraction, across cut counts — useful
 for profiling regressions in the hot path (HPC guide: measure, don't guess).
+
+The ``kernel-tensors`` group measures the production (factorised) builders;
+``kernel-tensors-reference`` measures the row-by-row reference builders the
+fast path is validated against, so the speedup of the vectorisation is
+visible in every run.  Baselines: see ``benchmarks/compare.py``
+(``python benchmarks/compare.py --write-baseline`` refreshes
+``benchmarks/BENCH_reconstruction.json``).
 """
 
 import numpy as np
@@ -12,7 +19,9 @@ from repro.cutting import bipartition
 from repro.cutting.execution import exact_fragment_data
 from repro.cutting.reconstruction import (
     build_downstream_tensor,
+    build_downstream_tensor_reference,
     build_upstream_tensor,
+    build_upstream_tensor_reference,
     reconstruct_distribution,
 )
 from repro.harness.scaling import multi_cut_golden_circuit
@@ -37,6 +46,22 @@ def test_build_upstream_tensor(benchmark, K):
 def test_build_downstream_tensor(benchmark, K):
     _, data = _CASES[K]
     B, rows = benchmark(build_downstream_tensor, data)
+    assert B.shape[0] == 4**K
+
+
+@pytest.mark.benchmark(group="kernel-tensors-reference")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_build_upstream_tensor_reference(benchmark, K):
+    _, data = _CASES[K]
+    A, rows = benchmark(build_upstream_tensor_reference, data)
+    assert A.shape[0] == 4**K
+
+
+@pytest.mark.benchmark(group="kernel-tensors-reference")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_build_downstream_tensor_reference(benchmark, K):
+    _, data = _CASES[K]
+    B, rows = benchmark(build_downstream_tensor_reference, data)
     assert B.shape[0] == 4**K
 
 

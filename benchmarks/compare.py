@@ -1,0 +1,133 @@
+"""Benchmark baseline writer and regression comparator.
+
+Gives every future PR a perf trajectory to regress against.  Two modes:
+
+Write (or refresh) the committed baselines::
+
+    PYTHONPATH=src python benchmarks/compare.py --write-baseline
+
+runs the two hot-path suites through pytest-benchmark and dumps
+
+* ``benchmarks/BENCH_reconstruction.json`` ← ``bench_reconstruction_kernel.py``
+* ``benchmarks/BENCH_fragments.json``      ← ``bench_fragments.py``
+
+Compare the working tree against the baselines (the default)::
+
+    PYTHONPATH=src python benchmarks/compare.py
+
+re-runs both suites into a temporary directory and prints a per-benchmark
+table of ``baseline_mean / current_mean`` speedups.  ``--fail-on-regression``
+exits non-zero when any benchmark got slower than ``--max-regression``
+(default 1.5×) — wire this into CI once machines are stable enough.
+
+Timings are machine-dependent: refresh baselines when the hardware changes,
+and read ratios, not absolute times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+SUITES = {
+    "BENCH_reconstruction.json": "bench_reconstruction_kernel.py",
+    "BENCH_fragments.json": "bench_fragments.py",
+}
+
+
+def run_suite(bench_file: str, json_path: Path) -> None:
+    """Run one benchmark file with pytest-benchmark, dumping JSON results."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_DIR / bench_file),
+        "--benchmark-only",
+        "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    print(f"$ {' '.join(cmd)}")
+    subprocess.run(cmd, check=True)
+
+
+def load_means(json_path: Path) -> dict[str, float]:
+    """benchmark name -> mean seconds."""
+    payload = json.loads(json_path.read_text())
+    return {b["fullname"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+
+
+def write_baselines() -> None:
+    for json_name, bench_file in SUITES.items():
+        run_suite(bench_file, BENCH_DIR / json_name)
+        print(f"wrote {BENCH_DIR / json_name}")
+
+
+def compare(max_regression: float, fail_on_regression: bool) -> int:
+    regressions: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for json_name, bench_file in SUITES.items():
+            baseline_path = BENCH_DIR / json_name
+            if not baseline_path.exists():
+                print(f"!! no baseline {baseline_path}; run --write-baseline first")
+                continue
+            current_path = Path(tmp) / json_name
+            run_suite(bench_file, current_path)
+            baseline = load_means(baseline_path)
+            current = load_means(current_path)
+            print(f"\n== {bench_file} (vs {json_name}) ==")
+            width = max((len(n) for n in current), default=0)
+            for name, mean in sorted(current.items()):
+                base = baseline.get(name)
+                if base is None:
+                    print(f"{name:<{width}}  NEW        {mean * 1e3:9.3f} ms")
+                    continue
+                ratio = mean / base if base > 0 else float("inf")
+                flag = ""
+                if ratio > max_regression:
+                    flag = "  <-- REGRESSION"
+                    regressions.append(f"{name}: {ratio:.2f}x slower")
+                print(
+                    f"{name:<{width}}  {base * 1e3:9.3f} ms -> {mean * 1e3:9.3f} ms"
+                    f"  ({1 / ratio:5.2f}x speedup){flag}"
+                )
+    if regressions:
+        print("\nregressions beyond threshold:")
+        for r in regressions:
+            print(f"  {r}")
+        if fail_on_regression:
+            return 1
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh benchmarks/BENCH_*.json instead of comparing",
+    )
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="slowdown ratio flagged as a regression (default 1.5)",
+    )
+    ap.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when a regression is flagged",
+    )
+    args = ap.parse_args()
+    if args.write_baseline:
+        write_baselines()
+        return 0
+    return compare(args.max_regression, args.fail_on_regression)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

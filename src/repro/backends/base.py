@@ -62,6 +62,10 @@ class Backend(abc.ABC):
     name: str = "backend"
     #: maximum circuit width accepted (None = unlimited)
     max_qubits: int | None = None
+    #: True when :meth:`run_variants` consumes a
+    #: :class:`~repro.cutting.cache.FragmentSimCache` (callers then build and
+    #: share one cache across pilot/detection/production runs).
+    supports_sim_cache: bool = False
 
     def __init__(self) -> None:
         self.clock = VirtualClock()
@@ -109,3 +113,29 @@ class Backend(abc.ABC):
     ) -> ExecutionResult:
         """Convenience wrapper returning a single result."""
         return self.run(circuit, shots, seed)[0]
+
+    def run_variants(
+        self,
+        pair,
+        settings: Sequence[tuple[str, ...]],
+        inits: Sequence[tuple[str, ...]],
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Execute fragment variants (upstream settings first, then inits).
+
+        The default implementation materialises the physical variant
+        circuits and submits them through :meth:`run` — each variant draws
+        its own child RNG stream, exactly as a plain batched run would.
+        Backends with an exact simulation engine override this to serve
+        every variant from a shared
+        :class:`~repro.cutting.cache.FragmentSimCache` (``cache`` is ignored
+        here, where circuits must really be executed).
+        """
+        from repro.cutting.variants import downstream_variant, upstream_variant
+
+        circuits = [upstream_variant(pair, s) for s in settings] + [
+            downstream_variant(pair, i) for i in inits
+        ]
+        return self.run(circuits, shots=shots, seed=seed)

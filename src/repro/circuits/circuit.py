@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Sequence
 
-import numpy as np
 
 from repro.circuits.gates import Gate, get_gate_def
 from repro.circuits.instruction import Instruction

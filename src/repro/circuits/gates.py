@@ -15,7 +15,8 @@ the native set of the fake IBM-like hardware (``rz``, ``sx``, ``x``, ``cx``).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -24,6 +25,19 @@ from repro.config import COMPLEX_DTYPE
 from repro.exceptions import GateError
 
 __all__ = ["Gate", "GateDef", "GATE_REGISTRY", "get_gate_def", "gate_matrix"]
+
+
+@lru_cache(maxsize=4096)
+def _cached_matrix(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """Shared read-only matrix for a (name, params) pair.
+
+    Gate matrices are requested once per instruction per simulation; caching
+    them turns repeated variant runs into dictionary lookups.  The arrays are
+    frozen so the cache cannot be corrupted through a returned reference.
+    """
+    mat = get_gate_def(name).matrix(params)
+    mat.setflags(write=False)
+    return mat
 
 
 @dataclass(frozen=True)
@@ -84,7 +98,8 @@ class Gate:
         return self.definition.num_qubits
 
     def matrix(self) -> np.ndarray:
-        return self.definition.matrix(self.params)
+        """Unitary of this gate instance (cached, read-only)."""
+        return _cached_matrix(self.name, self.params)
 
     def inverse(self) -> "Gate":
         """Gate instance implementing the adjoint."""
@@ -267,5 +282,5 @@ def get_gate_def(name: str) -> GateDef:
 
 
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
-    """Convenience: matrix of a named gate with parameters."""
-    return get_gate_def(name).matrix(params)
+    """Convenience: matrix of a named gate with parameters (cached, read-only)."""
+    return _cached_matrix(name, tuple(float(p) for p in params))

@@ -18,7 +18,6 @@ experiments; the finite-shot detector lives in
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 
@@ -72,16 +71,19 @@ def is_golden_analytic(
     basis: str,
     atol: float = ATOL,
     data: FragmentData | None = None,
+    cache=None,
 ) -> bool:
     """Exact Definition-1 check for one (cut, basis) pair.
 
     ``data`` may be supplied to reuse a precomputed
     :func:`~repro.cutting.execution.exact_fragment_data`; otherwise the
     upstream fragment is simulated here (downstream runs are skipped — the
-    definition only involves the upstream fragment).
+    definition only involves the upstream fragment).  ``cache`` optionally
+    shares a :class:`~repro.cutting.cache.FragmentSimCache` with the
+    execution stage, so finding golden bases costs no extra simulation.
     """
     if data is None:
-        data = exact_fragment_data(pair, inits=_NO_INITS)
+        data = exact_fragment_data(pair, inits=_NO_INITS, cache=cache)
     return definition1_deviation(data, cut, basis) <= atol
 
 
@@ -91,17 +93,21 @@ _NO_INITS: tuple[tuple[str, ...], ...] = ()
 
 
 def find_golden_bases_analytic(
-    pair: FragmentPair, atol: float = ATOL
+    pair: FragmentPair, atol: float = ATOL, cache=None
 ) -> dict[int, list[str]]:
     """Exact golden bases per cut: ``{cut index: [bases...]}``.
 
-    Simulates the 3^K upstream settings once and evaluates every
-    (cut, basis) candidate from the shared data.  Empty lists mean the cut
+    Evaluates every (cut, basis) candidate from one shared upstream body
+    simulation (the ``3^K`` settings are cheap axis rotations of the cached
+    state — see :mod:`repro.cutting.cache`).  Empty lists mean the cut
     is regular.  Deviations below ``atol`` count as exact zeros — the
     default is the package's analytic tolerance, far below any physical
-    amplitude of the circuit families used here.
+    amplitude of the circuit families used here.  Pass the pipeline's
+    ``cache`` to share the body simulation with fragment execution.
     """
-    data = exact_fragment_data(pair, inits=_single_trivial_init(pair))
+    data = exact_fragment_data(
+        pair, inits=_single_trivial_init(pair), cache=cache
+    )
     out: dict[int, list[str]] = {}
     for k in range(pair.num_cuts):
         golden = [

@@ -31,6 +31,7 @@ from repro.core.neglect import (
     reduced_setting_tuples,
 )
 from repro.circuits.circuit import Circuit
+from repro.cutting.cache import FragmentSimCache
 from repro.cutting.cut import CutSpec, find_cuts
 from repro.cutting.execution import FragmentData, run_fragments
 from repro.cutting.fragments import FragmentPair, bipartition
@@ -142,6 +143,14 @@ def cut_and_run(
     pair = bipartition(circuit, cuts)
     K = pair.num_cuts
 
+    # One simulation cache shared by golden finding, pilot detection and
+    # the production run: the fragment bodies are simulated exactly once
+    # per cut_and_run invocation when the backend (or the analytic finder)
+    # can consume cached exact states.
+    cache: "FragmentSimCache | None" = None
+    if golden == "analytic" or getattr(backend, "supports_sim_cache", False):
+        cache = FragmentSimCache(pair)
+
     detection: list = []
     device_seconds = 0.0
 
@@ -154,7 +163,7 @@ def cut_and_run(
         golden_used = dict(golden_map)
     elif golden == "analytic":
         golden_used = _select_golden(
-            find_golden_bases_analytic(pair), exploit_all
+            find_golden_bases_analytic(pair, cache=cache), exploit_all
         )
     elif golden == "detect":
         pilot = pilot_shots if pilot_shots is not None else max(100, shots // 4)
@@ -164,6 +173,7 @@ def cut_and_run(
             shots=pilot,
             inits=[("Z+",) * K],  # pilot only needs upstream statistics
             seed=derive_rng(rng, 0x51),
+            cache=cache,
         )
         device_seconds += pilot_data.modeled_seconds
         detection = detect_golden_bases(pilot_data, alpha=alpha)
@@ -193,6 +203,7 @@ def cut_and_run(
         settings=settings,
         inits=inits,
         seed=derive_rng(rng, 0x52),
+        cache=cache,
     )
     device_seconds += data.modeled_seconds
 

@@ -15,10 +15,13 @@ from repro.cutting.variants import (
     upstream_setting_tuples,
     upstream_variant,
 )
+from repro.cutting.cache import FragmentSimCache
 from repro.cutting.execution import FragmentData, run_fragments
 from repro.cutting.reconstruction import (
     build_downstream_tensor,
+    build_downstream_tensor_reference,
     build_upstream_tensor,
+    build_upstream_tensor_reference,
     reconstruct_counts,
     reconstruct_distribution,
     reconstruct_expectation,
@@ -45,9 +48,12 @@ __all__ = [
     "upstream_variant",
     "downstream_variant",
     "FragmentData",
+    "FragmentSimCache",
     "run_fragments",
     "build_upstream_tensor",
     "build_downstream_tensor",
+    "build_upstream_tensor_reference",
+    "build_downstream_tensor_reference",
     "reconstruct_distribution",
     "reconstruct_counts",
     "reconstruct_expectation",

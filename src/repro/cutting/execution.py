@@ -3,9 +3,15 @@
 :func:`run_fragments` submits every upstream setting and downstream
 preparation variant to a backend and returns a :class:`FragmentData` holding,
 for each variant, the *joint empirical distribution* split into (output bits,
-cut bits).  :func:`exact_fragment_data` computes the same tensors in the
-infinite-shot limit directly from statevectors — used by exactness tests and
-by the analytic golden-cut finder.
+cut bits).  Submission goes through :meth:`repro.backends.base.Backend.run_variants`,
+so backends with an exact simulation engine (the ideal backend) can serve all
+variants from one shared :class:`~repro.cutting.cache.FragmentSimCache`
+instead of re-simulating ``3^K + 6^K`` circuits.
+
+:func:`exact_fragment_data` computes the same tensors in the infinite-shot
+limit directly from the cache — used by exactness tests and by the analytic
+golden-cut finder — at the cost of **one** upstream body simulation plus one
+batched downstream simulation over the ``2^K`` cut-basis initialisations.
 """
 
 from __future__ import annotations
@@ -16,17 +22,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.backends.base import Backend
+from repro.cutting.cache import FragmentSimCache
 from repro.cutting.fragments import FragmentPair
 from repro.cutting.variants import (
     downstream_init_tuples,
-    downstream_variant,
     upstream_setting_tuples,
-    upstream_variant,
 )
 from repro.exceptions import CutError
-from repro.sim.statevector import simulate_statevector
 from repro.utils.bits import split_index
-from repro.utils.rng import spawn_rngs
 
 __all__ = ["FragmentData", "run_fragments", "exact_fragment_data"]
 
@@ -94,32 +97,36 @@ def run_fragments(
     settings: Sequence[tuple[str, ...]] | None = None,
     inits: Sequence[tuple[str, ...]] | None = None,
     seed: "int | np.random.Generator | None" = None,
+    cache: "FragmentSimCache | None" = None,
 ) -> FragmentData:
     """Execute all (or the given) fragment variants on ``backend``.
 
     ``settings``/``inits`` default to the full standard sets
     (``{X,Y,Z}^K`` and ``6^K``); golden pipelines pass reduced sets.
+    ``cache`` may carry a pre-built :class:`FragmentSimCache` for backends
+    whose fast path consumes one (ignored by circuit-level backends).
     """
     if settings is None:
         settings = upstream_setting_tuples(pair.num_cuts)
     if inits is None:
         inits = downstream_init_tuples(pair.num_cuts)
+    settings = [tuple(s) for s in settings]
+    inits = [tuple(i) for i in inits]
     if not settings or not inits:
         raise CutError("empty variant sets")
 
-    up_circuits = [upstream_variant(pair, s) for s in settings]
-    down_circuits = [downstream_variant(pair, i) for i in inits]
-
     t0 = backend.clock.now
-    results = backend.run(up_circuits + down_circuits, shots=shots, seed=seed)
+    results = backend.run_variants(
+        pair, settings, inits, shots=shots, seed=seed, cache=cache
+    )
     seconds = backend.clock.now - t0
 
     upstream: dict[tuple[str, ...], np.ndarray] = {}
     for s, res in zip(settings, results[: len(settings)]):
-        upstream[tuple(s)] = _split_upstream_probs(res.probabilities(), pair)
+        upstream[s] = _split_upstream_probs(res.probabilities(), pair)
     downstream: dict[tuple[str, ...], np.ndarray] = {}
     for i, res in zip(inits, results[len(settings) :]):
-        downstream[tuple(i)] = res.probabilities()
+        downstream[i] = res.probabilities()
 
     return FragmentData(
         pair=pair,
@@ -139,22 +146,19 @@ def exact_fragment_data(
     pair: FragmentPair,
     settings: Sequence[tuple[str, ...]] | None = None,
     inits: Sequence[tuple[str, ...]] | None = None,
+    cache: "FragmentSimCache | None" = None,
 ) -> FragmentData:
-    """Infinite-shot fragment data from exact statevector simulation."""
+    """Infinite-shot fragment data from the shared simulation cache."""
     if settings is None:
         settings = upstream_setting_tuples(pair.num_cuts)
     if inits is None:
         inits = downstream_init_tuples(pair.num_cuts)
-    upstream = {
-        tuple(s): _split_upstream_probs(
-            simulate_statevector(upstream_variant(pair, s)).probabilities(), pair
-        )
-        for s in settings
-    }
-    downstream = {
-        tuple(i): simulate_statevector(downstream_variant(pair, i)).probabilities()
-        for i in inits
-    }
+    if cache is None:
+        cache = FragmentSimCache(pair)
+    upstream = {tuple(s): cache.upstream_joint(s) for s in settings}
+    inits = [tuple(i) for i in inits]
+    down_probs = cache.downstream_probabilities_batch(inits) if inits else []
+    downstream = {i: p for i, p in zip(inits, down_probs)}
     return FragmentData(
         pair=pair,
         upstream=upstream,

@@ -18,9 +18,18 @@ fragments' outputs is one GEMM:
 
     p[b_1, b_2] = \\frac{1}{2^K} \\sum_M \\hat A[M, b_1]\\, \\hat B[M, b_2].
 
-Golden cutting points drop basis elements from individual cuts' pools: the
-same kernel runs on a smaller ``M`` index set (paper's
-``O(4^{K_r} 3^{K_g})`` — see :mod:`repro.core`).
+Both tensor builders are *fully factorised over the cuts*: the measured
+data is stacked into a tensor with one axis per cut, and each cut
+contributes a small per-cut transfer matrix (basis → setting/eigenvalue
+weights upstream, basis → preparation weights downstream) that is
+contracted in with a single ``tensordot`` — no Python loop over the
+``4^K`` basis rows or the ``2^K`` preparation index.  Golden cutting
+points drop basis elements from individual cuts' pools, which simply
+*slices rows off the per-cut transfer matrices*: the paper's
+``O(4^{K_r} 3^{K_g})`` term count falls out of the factorisation for free
+(see :mod:`repro.core`).  The pre-vectorisation implementations are kept as
+``*_reference`` functions — they define the semantics and anchor the
+equivalence tests in ``tests/test_fast_path_equivalence.py``.
 
 Finite shots can leave small negative quasi-probabilities; ``postprocess``
 chooses between returning them (``"raw"``), clipping + renormalising
@@ -43,6 +52,8 @@ from repro.utils.bits import permute_probability_axes
 __all__ = [
     "build_upstream_tensor",
     "build_downstream_tensor",
+    "build_upstream_tensor_reference",
+    "build_downstream_tensor_reference",
     "reconstruct_distribution",
     "reconstruct_counts",
     "reconstruct_expectation",
@@ -72,13 +83,18 @@ def _basis_rows(bases: Sequence[Sequence[str]]) -> list[tuple[str, ...]]:
 
 
 def _signs_for(mask: int, num_cuts: int) -> np.ndarray:
-    """Vector over outcomes r∈{0,1}^K of ``Π_{k in mask} (1-2 r_k)``."""
-    r = np.arange(1 << num_cuts)
-    acc = np.zeros_like(r)
-    m = r & mask
-    for k in range(num_cuts):
-        acc ^= (m >> k) & 1
-    return 1.0 - 2.0 * acc
+    """Vector over outcomes r∈{0,1}^K of ``Π_{k in mask} (1-2 r_k)``.
+
+    Branch-free: the sign is the parity (popcount mod 2) of ``r & mask``,
+    computed by xor-folding the masked bits — no Python loop over ``K``.
+    """
+    m = np.arange(1 << num_cuts) & mask
+    m ^= m >> 16
+    m ^= m >> 8
+    m ^= m >> 4
+    m ^= m >> 2
+    m ^= m >> 1
+    return 1.0 - 2.0 * (m & 1)
 
 
 def _normalise_bases(
@@ -91,6 +107,17 @@ def _normalise_bases(
     return [tuple(b) for b in bases]
 
 
+def _upstream_pools(data: FragmentData) -> tuple[list[list[str]], list[str]]:
+    """Per-cut physically available settings and the ``I``-row fallback."""
+    K = data.pair.num_cuts
+    settings = data.upstream_settings()
+    if not settings:
+        raise ReconstructionError("no upstream data")
+    pools = [sorted({s[k] for s in settings}) for k in range(K)]
+    fallback = ["Z" if "Z" in p else p[0] for p in pools]
+    return pools, fallback
+
+
 def build_upstream_tensor(
     data: FragmentData, bases: Sequence[Sequence[str]] | None = None
 ) -> tuple[np.ndarray, list[tuple[str, ...]]]:
@@ -99,16 +126,130 @@ def build_upstream_tensor(
     For rows containing ``I`` the estimator reuses any available physical
     setting for that cut (preferring Z) — the ``I`` component is the outcome
     *marginal*, which every setting estimates.
+
+    Vectorised: the per-setting joint tensors are stacked into
+    ``A[t_0..t_{K-1}, b_out, r_0..r_{K-1}]`` and each cut's transfer tensor
+    ``U_k[m, t, r] = δ(t = setting(m)) · w_m(r)`` is contracted in with one
+    ``tensordot``; the basis-row axes accumulate in product order.
     """
     K = data.pair.num_cuts
     bases = _normalise_bases(bases, K)
     rows = _basis_rows(bases)
-    settings = data.upstream_settings()
-    if not settings:
-        raise ReconstructionError("no upstream data")
-    # per-cut pool of physically available settings
-    pools = [sorted({s[k] for s in settings}) for k in range(K)]
-    fallback = ["Z" if "Z" in p else p[0] for p in pools]
+    _, fallback = _upstream_pools(data)
+
+    # Per-cut physical letters actually referenced by the requested pools.
+    letters: list[list[str]] = []
+    for k, pool in enumerate(bases):
+        need: list[str] = []
+        for m in pool:
+            s = m if m != "I" else fallback[k]
+            if s not in need:
+                need.append(s)
+        letters.append(need)
+
+    needed = list(itertools.product(*letters))
+    for setting in needed:
+        if setting not in data.upstream:
+            row = tuple(
+                next(
+                    m
+                    for m in bases[k]
+                    if (m if m != "I" else fallback[k]) == setting[k]
+                )
+                for k in range(K)
+            )
+            raise ReconstructionError(
+                f"row {row} needs upstream setting {setting}, which was not run"
+            )
+
+    n_out_dim = 1 << data.pair.n_up_out
+    T = np.stack([data.upstream[s] for s in needed])
+    T = T.reshape(tuple(len(l) for l in letters) + (n_out_dim,) + (2,) * K)
+    # C-order split of b_cut yields bit axes most-significant first; reverse
+    # them so trailing axis j = cut j.
+    T = T.transpose(tuple(range(K + 1)) + tuple(range(2 * K, K, -1)))
+
+    for k in range(K):
+        pool, need = bases[k], letters[k]
+        U = np.zeros((len(pool), len(need), 2))
+        for i, m in enumerate(pool):
+            t = need.index(m if m != "I" else fallback[k])
+            U[i, t, 0] = 1.0
+            U[i, t, 1] = 1.0 if m == "I" else -1.0
+        nt = K - k  # remaining setting axes; r_k sits just past b_out
+        T = np.moveaxis(np.tensordot(U, T, axes=([1, 2], [0, nt + 1])), 0, -1)
+
+    # T axes: (b_out, m_0..m_{K-1}) -> (rows, b_out)
+    out = np.ascontiguousarray(np.moveaxis(T, 0, -1).reshape(len(rows), n_out_dim))
+    return out, rows
+
+
+def build_downstream_tensor(
+    data: FragmentData, bases: Sequence[Sequence[str]] | None = None
+) -> tuple[np.ndarray, list[tuple[str, ...]]]:
+    """B̂ over all basis rows: shape ``(R, 2^{n_down})``.
+
+    Vectorised like :func:`build_upstream_tensor`: preparation records are
+    stacked into ``D[c_0..c_{K-1}, b_2]`` and each cut's transfer matrix
+    ``V_k[m, c] = ±1`` (eigenvalue weight of preparation ``c`` in basis
+    ``m``; 0 when unused) is contracted in with one ``tensordot``.
+    """
+    K = data.pair.num_cuts
+    bases = _normalise_bases(bases, K)
+    rows = _basis_rows(bases)
+
+    codes: list[list[str]] = []
+    for pool in bases:
+        need: list[str] = []
+        for m in pool:
+            for c in _PREP_OF[m]:
+                if c not in need:
+                    need.append(c)
+        codes.append(need)
+
+    needed = list(itertools.product(*codes))
+    for init in needed:
+        if init not in data.downstream:
+            row = tuple(
+                next(m for m in bases[k] if init[k] in _PREP_OF[m])
+                for k in range(K)
+            )
+            raise ReconstructionError(
+                f"row {row} needs downstream init {init}, which was not run"
+            )
+
+    n_down_dim = 1 << data.pair.n_down
+    T = np.stack([data.downstream[c] for c in needed])
+    T = T.reshape(tuple(len(c) for c in codes) + (n_down_dim,))
+
+    for k in range(K):
+        pool, need = bases[k], codes[k]
+        V = np.zeros((len(pool), len(need)))
+        for i, m in enumerate(pool):
+            plus, minus = _PREP_OF[m]
+            V[i, need.index(plus)] = 1.0
+            V[i, need.index(minus)] = 1.0 if m == "I" else -1.0
+        T = np.moveaxis(np.tensordot(V, T, axes=([1], [0])), 0, -1)
+
+    out = np.ascontiguousarray(np.moveaxis(T, 0, -1).reshape(len(rows), n_down_dim))
+    return out, rows
+
+
+# ---------------------------------------------------------------------------
+# Reference (pre-vectorisation) kernels.  These are the semantic ground
+# truth: one Python iteration per basis row (and per preparation index
+# downstream), straight from paper Eq. 13.  Kept for equivalence tests,
+# benchmarks, and as executable documentation of the factorised kernels.
+
+
+def build_upstream_tensor_reference(
+    data: FragmentData, bases: Sequence[Sequence[str]] | None = None
+) -> tuple[np.ndarray, list[tuple[str, ...]]]:
+    """Row-by-row Â builder (reference semantics for the vectorised kernel)."""
+    K = data.pair.num_cuts
+    bases = _normalise_bases(bases, K)
+    rows = _basis_rows(bases)
+    _, fallback = _upstream_pools(data)
 
     n_out = data.pair.n_up_out
     out = np.empty((len(rows), 1 << n_out))
@@ -126,10 +267,10 @@ def build_upstream_tensor(
     return out, rows
 
 
-def build_downstream_tensor(
+def build_downstream_tensor_reference(
     data: FragmentData, bases: Sequence[Sequence[str]] | None = None
 ) -> tuple[np.ndarray, list[tuple[str, ...]]]:
-    """B̂ over all basis rows: shape ``(R, 2^{n_down})``."""
+    """Row-by-row B̂ builder (reference semantics for the vectorised kernel)."""
     K = data.pair.num_cuts
     bases = _normalise_bases(bases, K)
     rows = _basis_rows(bases)

@@ -12,7 +12,6 @@ default.  Two refinements are provided for the ablation benches:
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.exceptions import CutError
 

@@ -26,14 +26,12 @@ reason the method costs no accuracy at equal per-variant shots.
 
 from __future__ import annotations
 
-import itertools
 from typing import Sequence
 
 import numpy as np
 
 from repro.cutting.execution import FragmentData
 from repro.cutting.reconstruction import (
-    FULL_BASES,
     _basis_rows,
     _normalise_bases,
     _signs_for,

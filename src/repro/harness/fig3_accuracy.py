@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.backends.devices import fake_device
 from repro.backends.ideal import IdealBackend

@@ -9,12 +9,12 @@ used for gates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.config import ATOL, COMPLEX_DTYPE
+from repro.config import COMPLEX_DTYPE
 from repro.exceptions import NoiseError
 from repro.linalg.tensor import apply_matrix_to_axes
 

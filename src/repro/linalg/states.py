@@ -7,11 +7,11 @@ simulators keep their own rank-n internal layout and convert at the edges.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
-from repro.config import ATOL, COMPLEX_DTYPE
+from repro.config import COMPLEX_DTYPE
 from repro.exceptions import SimulationError
 from repro.utils.bits import bitstring_to_index
 

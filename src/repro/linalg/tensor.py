@@ -69,6 +69,21 @@ def apply_matrix_to_axes(
     order (first axis in ``axes`` ↔ least-significant bit).  The result has
     the matrix's output index split back onto the same axis positions.  This
     is the single hot kernel behind every gate application in the package.
+
+    Two layouts are used internally:
+
+    * single-qubit gates on a C-contiguous tensor take a zero-transpose fast
+      path — a ``(left, 2, right)`` reshape *view* plus four scalar-vector
+      products writing a contiguous result in one pass (the dominant case:
+      multi-qubit gates return contiguous arrays here, and
+      :func:`repro.sim.statevector.apply_circuit_to_tensor` fuses 1q runs);
+    * the general k-qubit path is a tensordot (transpose + GEMM) plus a
+      view-only ``moveaxis`` — forcing its output contiguous measured
+      slower than letting the next contraction absorb the layout.
+
+    Extra trailing axes beyond the targeted ones are treated as batch
+    dimensions (used by the fragment-simulation cache to push all ``2^K``
+    basis initialisations through a circuit at once).
     """
     axes = list(axes)
     k = len(axes)
@@ -76,6 +91,17 @@ def apply_matrix_to_axes(
         raise SimulationError(
             f"matrix shape {matrix.shape} does not match {k} target axes"
         )
+    if k == 1 and tensor.flags.c_contiguous:
+        q = axes[0]
+        shape = tensor.shape
+        left = int(np.prod(shape[:q], dtype=np.int64))
+        right = int(np.prod(shape[q + 1 :], dtype=np.int64))
+        v = tensor.reshape(left, 2, right)
+        out = np.empty(v.shape, dtype=np.result_type(matrix.dtype, v.dtype))
+        v0, v1 = v[:, 0, :], v[:, 1, :]
+        np.add(matrix[0, 0] * v0, matrix[0, 1] * v1, out=out[:, 0, :])
+        np.add(matrix[1, 0] * v0, matrix[1, 1] * v1, out=out[:, 1, :])
+        return out.reshape(shape)
     gate = matrix.reshape((2,) * (2 * k))
     # C-order reshape: gate column axis (2k-1-j) is the bit of axes[j]; pair
     # them so the least-significant gate axis meets the first listed qubit.

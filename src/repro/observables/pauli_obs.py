@@ -14,7 +14,7 @@ qubit-wise bases), which is what a VQE-style driver would need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import networkx as nx
 import numpy as np

@@ -2,28 +2,46 @@
 
 The paper notes that circuit fragments "can be simulated independently …
 run fragments in parallel" (§II-A).  Variants are embarrassingly parallel:
-each is an independent simulation with its own RNG stream.  We use a thread
+each is an independent execution with its own RNG stream.  We use a thread
 pool — NumPy's kernels release the GIL inside BLAS/tensordot, so threads
 scale for the density-matrix workloads — with a serial fallback that keeps
 results bit-identical (each variant's RNG is derived from its index, not
 from execution order).
+
+Two structural optimisations over a naive per-task fan-out:
+
+* **worker-local backends** — each pool thread builds one backend from
+  ``backend_factory`` and reuses it for every task it picks up (backends
+  keep a mutable virtual clock, so they cannot be shared *across* threads;
+  the per-worker clocks are summed into the device-time ledger);
+* **shared simulation cache** — when the backend supports it
+  (:attr:`~repro.backends.base.Backend.supports_sim_cache`), a single
+  :class:`~repro.cutting.cache.FragmentSimCache` is built and warmed up
+  front, so workers only draw samples from cached exact distributions
+  instead of re-simulating the fragment body per variant.
+
+Next scaling levers (see ROADMAP.md): a process-pool mode for noisy
+density-matrix backends whose Python-side overhead does not release the
+GIL, and fanning out over *multiple fragment pairs* (>2 partitions) once
+the cutter produces them — the cache is per-pair, so a pool of caches maps
+directly onto that design.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
 from repro.backends.base import Backend
+from repro.cutting.cache import FragmentSimCache
 from repro.cutting.execution import FragmentData, _split_upstream_probs
 from repro.cutting.fragments import FragmentPair
 from repro.cutting.variants import (
     downstream_init_tuples,
-    downstream_variant,
     upstream_setting_tuples,
-    upstream_variant,
 )
 from repro.utils.rng import spawn_rngs
 
@@ -61,38 +79,63 @@ def run_fragments_parallel(
     inits: Sequence[tuple[str, ...]] | None = None,
     seed: "int | np.random.Generator | None" = None,
     max_workers: int | None = None,
+    mode: str = "thread",
 ) -> FragmentData:
     """Threaded equivalent of :func:`repro.cutting.execution.run_fragments`.
 
-    ``backend_factory`` builds one backend per worker task (backends keep a
-    mutable virtual clock, so sharing one across threads would race); the
-    modelled seconds of all task-local clocks are summed, preserving the
-    device-time ledger.
+    ``backend_factory`` builds one backend per *worker thread* (not per
+    task); the modelled seconds accumulated by all worker clocks are summed,
+    preserving the device-time ledger.  Results are independent of worker
+    count and of ``mode`` because every variant's RNG stream is derived from
+    its index.
     """
     if settings is None:
         settings = upstream_setting_tuples(pair.num_cuts)
     if inits is None:
         inits = downstream_init_tuples(pair.num_cuts)
-    circuits = [upstream_variant(pair, s) for s in settings] + [
-        downstream_variant(pair, i) for i in inits
-    ]
-    rngs = spawn_rngs(seed, len(circuits))
+    settings = [tuple(s) for s in settings]
+    inits = [tuple(i) for i in inits]
+    variants = [("up", s) for s in settings] + [("down", i) for i in inits]
+    rngs = spawn_rngs(seed, len(variants))
+
+    probe = backend_factory()
+    backends = [probe]
+    cache: "FragmentSimCache | None" = None
+    if probe.supports_sim_cache:
+        # Warm every entry eagerly: afterwards the cache is read-only, so
+        # worker threads can share it without locking.
+        cache = FragmentSimCache(pair).warm(settings, inits)
+
+    local = threading.local()
+    local.backend = probe  # the calling thread reuses the probe
+    lock = threading.Lock()
+
+    def worker_backend() -> Backend:
+        backend = getattr(local, "backend", None)
+        if backend is None:
+            backend = backend_factory()
+            local.backend = backend
+            with lock:
+                backends.append(backend)
+        return backend
 
     def job(arg):
-        circuit, rng = arg
-        backend = backend_factory()
-        res = backend.run_one(circuit, shots=shots, seed=rng)
-        return res, backend.clock.now
+        (kind, label), rng = arg
+        backend = worker_backend()
+        up = [label] if kind == "up" else []
+        down = [label] if kind == "down" else []
+        return backend.run_variants(
+            pair, up, down, shots=shots, seed=rng, cache=cache
+        )[0]
 
-    results = parallel_map(job, list(zip(circuits, rngs)), max_workers=max_workers)
-    seconds = sum(s for _, s in results)
+    results = parallel_map(job, list(zip(variants, rngs)), max_workers=max_workers, mode=mode)
+    seconds = sum(b.clock.now for b in backends)
     upstream = {
-        tuple(s): _split_upstream_probs(res.probabilities(), pair)
-        for s, (res, _) in zip(settings, results[: len(settings)])
+        s: _split_upstream_probs(res.probabilities(), pair)
+        for s, res in zip(settings, results[: len(settings)])
     }
     downstream = {
-        tuple(i): res.probabilities()
-        for i, (res, _) in zip(inits, results[len(settings) :])
+        i: res.probabilities() for i, res in zip(inits, results[len(settings) :])
     }
     return FragmentData(
         pair=pair,
@@ -100,5 +143,10 @@ def run_fragments_parallel(
         downstream=downstream,
         shots_per_variant=shots,
         modeled_seconds=seconds,
-        metadata={"parallel": True, "num_variants": len(circuits)},
+        metadata={
+            "parallel": True,
+            "num_variants": len(variants),
+            "num_worker_backends": len(backends),
+            "cached": cache is not None,
+        },
     )

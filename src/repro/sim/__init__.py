@@ -1,6 +1,10 @@
 """Simulators: statevector, density matrix, unitary extraction, sampling."""
 
-from repro.sim.statevector import Statevector, simulate_statevector
+from repro.sim.statevector import (
+    Statevector,
+    apply_circuit_to_tensor,
+    simulate_statevector,
+)
 from repro.sim.density import DensityMatrix, simulate_density
 from repro.sim.unitary import circuit_unitary
 from repro.sim.sampler import counts_to_probs, probs_to_counts, sample_counts
@@ -9,6 +13,7 @@ from repro.sim.trajectories import simulate_trajectory, trajectory_probabilities
 
 __all__ = [
     "Statevector",
+    "apply_circuit_to_tensor",
     "simulate_statevector",
     "DensityMatrix",
     "simulate_density",

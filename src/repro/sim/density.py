@@ -17,7 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.config import ATOL, COMPLEX_DTYPE
+from repro.config import COMPLEX_DTYPE
 from repro.exceptions import SimulationError
 from repro.linalg.channels import KrausChannel, apply_channel
 from repro.linalg.tensor import apply_matrix_to_axes

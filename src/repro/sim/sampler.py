@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import ATOL
 from repro.exceptions import SimulationError
 from repro.utils.bits import bitstring_to_index, format_bitstring
 from repro.utils.rng import as_generator

@@ -6,6 +6,18 @@ targeted axes — the k-qubit gate costs ``O(2^n · 2^k)`` and never builds a
 ``2^n × 2^n`` matrix.  This is the reference "Aer simulator" stand-in of the
 reproduction (DESIGN.md §2) and also the exact engine behind the analytic
 golden-cut finder.
+
+Hot-path engineering (shared with :mod:`repro.cutting.cache`):
+
+* :func:`apply_circuit_to_tensor` fuses runs of single-qubit gates into one
+  2×2 product per qubit before touching the state, and accepts tensors with
+  trailing batch axes, so a whole bank of initial states can be pushed
+  through a circuit in one pass;
+* gate matrices come from the read-only cache in
+  :mod:`repro.circuits.gates`;
+* :meth:`Statevector.probabilities` squares amplitudes in tensor layout and
+  pays a single copy for the little-endian flattening instead of a complex
+  flat round-trip.
 """
 
 from __future__ import annotations
@@ -23,7 +35,43 @@ from repro.linalg.tensor import (
     tensor_from_flat,
 )
 
-__all__ = ["Statevector", "simulate_statevector"]
+__all__ = ["Statevector", "apply_circuit_to_tensor", "simulate_statevector"]
+
+
+def apply_circuit_to_tensor(
+    tensor: np.ndarray, circuit: Circuit, fuse: bool = True
+) -> np.ndarray:
+    """Apply a circuit to an axis-i=qubit-i tensor, fusing 1q-gate runs.
+
+    Axes beyond the circuit's qubits are batch dimensions: a tensor of shape
+    ``(2,)*n + (B,)`` simulates ``B`` initial states at once (the downstream
+    preparation-basis bank of :class:`repro.cutting.cache.FragmentSimCache`).
+
+    With ``fuse=True`` consecutive single-qubit gates on the same wire are
+    multiplied into one 2×2 matrix before being applied; single-qubit gates
+    on *different* wires commute, so deferring them past each other is exact
+    as long as every pending matrix is flushed before a multi-qubit gate
+    touches its wire.
+    """
+    pending: dict[int, np.ndarray] = {}
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        qubits = inst.qubits
+        if fuse and len(qubits) == 1:
+            q = qubits[0]
+            m = inst.gate.matrix()
+            prev = pending.get(q)
+            pending[q] = m if prev is None else m @ prev
+            continue
+        for q in qubits:
+            m = pending.pop(q, None)
+            if m is not None:
+                tensor = apply_matrix_to_axes(tensor, m, (q,))
+        tensor = apply_matrix_to_axes(tensor, inst.gate.matrix(), inst.qubits)
+    for q, m in pending.items():
+        tensor = apply_matrix_to_axes(tensor, m, (q,))
+    return tensor
 
 
 class Statevector:
@@ -69,24 +117,37 @@ class Statevector:
             return
         self.apply_matrix(inst.gate.matrix(), inst.qubits)
 
-    def apply_circuit(self, circuit: Circuit) -> "Statevector":
+    def apply_circuit(self, circuit: Circuit, fuse: bool = True) -> "Statevector":
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError(
                 f"circuit width {circuit.num_qubits} != state width {self.num_qubits}"
             )
-        for inst in circuit:
-            self.apply_instruction(inst)
+        self._tensor = apply_circuit_to_tensor(self._tensor, circuit, fuse=fuse)
         return self
 
     # ------------------------------------------------------------------
+    @property
+    def tensor(self) -> np.ndarray:
+        """The internal axis-i=qubit-i amplitude tensor (not a copy).
+
+        Exposed for zero-copy consumers (the fragment-simulation cache);
+        treat it as read-only.
+        """
+        return self._tensor
+
     def vector(self) -> np.ndarray:
         """Flat ``(2^n,)`` little-endian copy of the amplitudes."""
         return flat_from_tensor(self._tensor)
 
     def probabilities(self) -> np.ndarray:
-        """Born-rule probabilities over the ``2^n`` basis states."""
-        flat = self.vector()
-        return (flat.real**2 + flat.imag**2).astype(np.float64)
+        """Born-rule probabilities over the ``2^n`` basis states.
+
+        Computed in tensor layout (one real array, no complex flat copy),
+        then flattened little-endian with a single transpose-copy.
+        """
+        t = self._tensor
+        p = np.square(t.real) + np.square(t.imag)
+        return flat_from_tensor(p)
 
     def norm(self) -> float:
         return float(np.sqrt(self.probabilities().sum()))

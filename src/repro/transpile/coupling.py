@@ -9,7 +9,7 @@ layouts (ibmq_lima / ibmq_quito class) and the 7-qubit "H" layout
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import networkx as nx
 

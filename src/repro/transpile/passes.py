@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.gates import Gate, get_gate_def
+from repro.circuits.gates import get_gate_def
 from repro.circuits.instruction import Instruction
 from repro.transpile.basis import _emit_1q
 

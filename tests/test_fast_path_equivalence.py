@@ -1,0 +1,252 @@
+"""Equivalence of the cached/vectorised hot path against the reference path.
+
+The PR that introduced :mod:`repro.cutting.cache` and the factorised
+reconstruction kernels must be a pure performance change: every number the
+fast path produces has to match a from-scratch simulation of each physical
+variant circuit (the pre-cache semantics) to ≤1e-9.  These tests pin that
+down across random circuits, ``K ∈ {1, 2, 3}``, full and reduced/neglected
+basis pools, and both execution entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend
+from repro.core.neglect import (
+    reduced_bases,
+    reduced_init_tuples,
+    reduced_setting_tuples,
+)
+from repro.circuits.circuit import Circuit
+from repro.circuits.random import random_circuit
+from repro.cutting import FragmentSimCache, bipartition
+from repro.cutting.cut import CutPoint, CutSpec
+from repro.cutting.execution import (
+    _split_upstream_probs,
+    exact_fragment_data,
+    run_fragments,
+)
+from repro.cutting.reconstruction import (
+    _signs_for,
+    build_downstream_tensor,
+    build_downstream_tensor_reference,
+    build_upstream_tensor,
+    build_upstream_tensor_reference,
+    reconstruct_distribution,
+)
+from repro.cutting.variants import (
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.harness.scaling import multi_cut_golden_circuit
+from repro.parallel import run_fragments_parallel
+from repro.sim import simulate_statevector
+
+TOL = 1e-9
+
+
+def random_cut_circuit(num_cuts: int, seed: int):
+    """A random (complex, non-golden) circuit with ``K`` valid cut points.
+
+    Same shape as :func:`multi_cut_golden_circuit` but with a fully generic
+    upstream block, so the cached path is exercised on states with
+    nontrivial phases on every cut wire.
+    """
+    rng = np.random.default_rng(seed)
+    n_up = 2 + num_cuts
+    n = n_up + 2
+    cut_wires = list(range(2, 2 + num_cuts))
+    qc = Circuit(n, name=f"rand-cut[K={num_cuts}]")
+    qc = qc.compose(random_circuit(n_up, 3, seed=rng), qubits=list(range(n_up)))
+    for w in cut_wires:  # every cut wire needs an upstream anchor
+        if not any(w in inst.qubits for inst in qc):
+            qc.rx(float(rng.uniform(0, 6.28)), w)
+    boundary = {
+        w: max(i for i, inst in enumerate(qc) if w in inst.qubits)
+        for w in cut_wires
+    }
+    down_qubits = cut_wires + list(range(n_up, n))
+    for a, b in zip(down_qubits, down_qubits[1:]):
+        qc.cx(a, b)
+    qc = qc.compose(random_circuit(len(down_qubits), 3, seed=rng), qubits=down_qubits)
+    spec = CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
+    return qc, spec
+
+
+def reference_exact_data(pair, settings, inits):
+    """Pre-cache semantics: simulate every physical variant circuit."""
+    upstream = {
+        tuple(s): _split_upstream_probs(
+            simulate_statevector(upstream_variant(pair, s)).probabilities(), pair
+        )
+        for s in settings
+    }
+    downstream = {
+        tuple(i): simulate_statevector(downstream_variant(pair, i)).probabilities()
+        for i in inits
+    }
+    return upstream, downstream
+
+
+def pair_for(K, seed, golden_shape):
+    builder = multi_cut_golden_circuit if golden_shape else random_cut_circuit
+    if golden_shape:
+        qc, spec = builder(K, extra_up=2, extra_down=2, depth=2, seed=seed)
+    else:
+        qc, spec = builder(K, seed)
+    return qc, bipartition(qc, spec)
+
+
+@pytest.mark.parametrize("K", [1, 2, 3])
+@pytest.mark.parametrize("golden_shape", [False, True])
+class TestCacheMatchesVariantSimulation:
+    def test_exact_fragment_data_full_sets(self, K, golden_shape):
+        _, pair = pair_for(K, 100 + K, golden_shape)
+        settings = upstream_setting_tuples(K)
+        inits = downstream_init_tuples(K)
+        ref_up, ref_down = reference_exact_data(pair, settings, inits)
+        data = exact_fragment_data(pair)
+        assert set(data.upstream) == set(ref_up)
+        assert set(data.downstream) == set(ref_down)
+        for s in ref_up:
+            np.testing.assert_allclose(data.upstream[s], ref_up[s], atol=TOL)
+        for i in ref_down:
+            np.testing.assert_allclose(data.downstream[i], ref_down[i], atol=TOL)
+
+    def test_exact_fragment_data_reduced_sets(self, K, golden_shape):
+        _, pair = pair_for(K, 200 + K, golden_shape)
+        golden = {0: "Y"} if K == 1 else {0: "Y", K - 1: ("X", "Z")}
+        settings = reduced_setting_tuples(K, golden)
+        inits = reduced_init_tuples(K, golden)
+        ref_up, ref_down = reference_exact_data(pair, settings, inits)
+        data = exact_fragment_data(pair, settings=settings, inits=inits)
+        for s in ref_up:
+            np.testing.assert_allclose(data.upstream[s], ref_up[s], atol=TOL)
+        for i in ref_down:
+            np.testing.assert_allclose(data.downstream[i], ref_down[i], atol=TOL)
+
+    def test_run_fragments_ideal_exact_backend(self, K, golden_shape):
+        """The ideal backend's cached run_variants path == circuit execution."""
+        _, pair = pair_for(K, 300 + K, golden_shape)
+        shots = 4096
+        data = run_fragments(pair, IdealBackend(exact=True), shots=shots, seed=7)
+        settings = upstream_setting_tuples(K)
+        inits = downstream_init_tuples(K)
+        # reference: the physical circuits through the same exact backend
+        backend = IdealBackend(exact=True)
+        circuits = [upstream_variant(pair, s) for s in settings] + [
+            downstream_variant(pair, i) for i in inits
+        ]
+        results = backend.run(circuits, shots=shots, seed=7)
+        for s, res in zip(settings, results[: len(settings)]):
+            ref = _split_upstream_probs(res.probabilities(), pair)
+            np.testing.assert_allclose(data.upstream[tuple(s)], ref, atol=TOL)
+        for i, res in zip(inits, results[len(settings) :]):
+            np.testing.assert_allclose(
+                data.downstream[tuple(i)], res.probabilities(), atol=TOL
+            )
+
+    def test_reconstruction_end_to_end(self, K, golden_shape):
+        qc, pair = pair_for(K, 400 + K, golden_shape)
+        truth = simulate_statevector(qc).probabilities()
+        p = reconstruct_distribution(exact_fragment_data(pair), postprocess="raw")
+        np.testing.assert_allclose(p, truth, atol=TOL)
+
+
+@pytest.mark.parametrize("K", [1, 2, 3])
+class TestVectorisedKernelsMatchReference:
+    @pytest.fixture
+    def data(self, K):
+        _, pair = pair_for(K, 500 + K, False)
+        return exact_fragment_data(pair)
+
+    def test_full_bases(self, K, data):
+        A, rows_a = build_upstream_tensor(data)
+        Ar, rows_ar = build_upstream_tensor_reference(data)
+        B, rows_b = build_downstream_tensor(data)
+        Br, rows_br = build_downstream_tensor_reference(data)
+        assert rows_a == rows_ar and rows_b == rows_br
+        np.testing.assert_allclose(A, Ar, atol=TOL)
+        np.testing.assert_allclose(B, Br, atol=TOL)
+
+    @pytest.mark.parametrize(
+        "pool", [("I", "X", "Z"), ("I", "Y"), ("I", "X", "Y"), ("I",)]
+    )
+    def test_neglected_pools(self, K, data, pool):
+        """Neglecting basis elements just slices the per-cut factors."""
+        bases = [pool] + [("I", "X", "Y", "Z")] * (K - 1)
+        A, rows_a = build_upstream_tensor(data, bases)
+        Ar, rows_ar = build_upstream_tensor_reference(data, bases)
+        B, _ = build_downstream_tensor(data, bases)
+        Br, _ = build_downstream_tensor_reference(data, bases)
+        assert rows_a == rows_ar and len(rows_a) == len(pool) * 4 ** (K - 1)
+        np.testing.assert_allclose(A, Ar, atol=TOL)
+        np.testing.assert_allclose(B, Br, atol=TOL)
+
+    def test_reduced_data_reduced_bases(self, K, data):
+        _, pair = pair_for(K, 600 + K, True)
+        golden = {k: "Y" for k in range(K)}
+        d = exact_fragment_data(
+            pair,
+            settings=reduced_setting_tuples(K, golden),
+            inits=reduced_init_tuples(K, golden),
+        )
+        bases = reduced_bases(K, golden)
+        A, _ = build_upstream_tensor(d, bases)
+        Ar, _ = build_upstream_tensor_reference(d, bases)
+        B, _ = build_downstream_tensor(d, bases)
+        Br, _ = build_downstream_tensor_reference(d, bases)
+        np.testing.assert_allclose(A, Ar, atol=TOL)
+        np.testing.assert_allclose(B, Br, atol=TOL)
+
+
+class TestSampledPaths:
+    def test_sampled_run_fragments_statistics(self):
+        """The cached sampling path still concentrates on the exact data."""
+        _, pair = pair_for(2, 700, False)
+        exact = exact_fragment_data(pair)
+        data = run_fragments(pair, IdealBackend(), shots=200_000, seed=11)
+        for key in exact.upstream:
+            assert np.abs(exact.upstream[key] - data.upstream[key]).max() < 0.01
+        for key in exact.downstream:
+            assert np.abs(exact.downstream[key] - data.downstream[key]).max() < 0.01
+
+    def test_parallel_thread_matches_serial(self):
+        """Worker-local backends + shared cache keep results bit-identical."""
+        _, pair = pair_for(2, 800, False)
+        a = run_fragments_parallel(
+            pair, IdealBackend, shots=500, seed=3, max_workers=4, mode="thread"
+        )
+        b = run_fragments_parallel(
+            pair, IdealBackend, shots=500, seed=3, mode="serial"
+        )
+        assert set(a.upstream) == set(b.upstream)
+        for k in a.upstream:
+            np.testing.assert_array_equal(a.upstream[k], b.upstream[k])
+        for k in a.downstream:
+            np.testing.assert_array_equal(a.downstream[k], b.downstream[k])
+
+    def test_cache_is_shared_across_pipeline_stages(self):
+        """One FragmentSimCache instance serves finder + execution."""
+        _, pair = pair_for(2, 900, True)
+        cache = FragmentSimCache(pair)
+        d1 = exact_fragment_data(pair, cache=cache)
+        body = cache._up_tensor
+        assert body is not None
+        d2 = run_fragments(pair, IdealBackend(exact=True), shots=100, cache=cache)
+        assert cache._up_tensor is body  # body simulated exactly once
+        for k in d1.upstream:
+            assert d2.upstream[k].shape == d1.upstream[k].shape
+
+
+class TestSignsFor:
+    @pytest.mark.parametrize("K", [1, 2, 3, 5, 8])
+    def test_popcount_parity_matches_loop(self, K):
+        r = np.arange(1 << K)
+        for mask in range(1 << K):
+            naive = np.array(
+                [1.0 - 2.0 * (bin(x & mask).count("1") & 1) for x in r]
+            )
+            np.testing.assert_array_equal(_signs_for(mask, K), naive)
