@@ -1,0 +1,130 @@
+"""Benchmarks of *noisy* fragment-variant execution (the hardware hot path).
+
+Measures the cost of producing a full fragment-variant result set on the
+fake-hardware (density-matrix) backend across cut counts, two ways:
+
+* ``noisy-fragments-cached`` — the production fast path:
+  :meth:`~repro.backends.fake_hardware.FakeHardwareBackend.run_variants`
+  served by a fresh :class:`~repro.cutting.noisy_cache.NoisyFragmentSimCache`
+  (one transpile per fragment body, ``1 + 4^K`` noisy evolutions total);
+* ``noisy-fragments-reference`` — the pre-cache semantics: every variant
+  circuit transpiled and density-evolved from scratch (``3^K + 6^K``
+  transpiles + evolutions, what the paper's cost model counts).
+
+Both paths produce identical counts (asserted once per case at ≤ 1e-9 on
+the underlying distributions by ``tests/test_noisy_fast_path_equivalence``).
+Baselines live in ``benchmarks/BENCH_noisy_fragments.json``; refresh with
+``python benchmarks/compare.py --write-baseline --suite noisy_fragments``
+and compare a working tree against them with
+``python benchmarks/compare.py``.
+"""
+
+import pytest
+
+from repro.backends.base import Backend
+from repro.backends.fake_hardware import FakeHardwareBackend
+from repro.cutting import bipartition
+from repro.cutting.variants import (
+    downstream_init_tuples,
+    upstream_setting_tuples,
+)
+from repro.harness.scaling import multi_cut_golden_circuit
+from repro.noise.kraus import (
+    amplitude_damping,
+    depolarizing,
+    two_qubit_depolarizing,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError
+from repro.transpile.coupling import CouplingMap
+
+_SHOTS = 1000
+
+
+def _noise(num_qubits: int) -> NoiseModel:
+    nm = NoiseModel()
+    nm.add_gate_noise(["sx", "x", "rz"], depolarizing(2e-3))
+    nm.add_gate_noise(["sx", "x"], amplitude_damping(1.5e-3))
+    nm.add_gate_noise(["cx"], two_qubit_depolarizing(8e-3))
+    for q in range(num_qubits):
+        nm.add_readout_error(q, ReadoutError(p01=0.015, p10=0.03))
+    return nm
+
+
+def _device() -> FakeHardwareBackend:
+    return FakeHardwareBackend(
+        CouplingMap.linear(5), _noise(5), name="bench_noisy_5q"
+    )
+
+
+_PAIRS = {}
+for K in (1, 2, 3):
+    qc, spec = multi_cut_golden_circuit(
+        K, extra_up=2, extra_down=2, depth=2, seed=900 + K
+    )
+    _PAIRS[K] = bipartition(qc, spec)
+
+
+def _run_cached(pair):
+    """Fast path: run_variants + fresh NoisyFragmentSimCache (cold)."""
+    dev = _device()
+    K = pair.num_cuts
+    return dev.run_variants(
+        pair,
+        upstream_setting_tuples(K),
+        downstream_init_tuples(K),
+        shots=_SHOTS,
+        seed=0,
+    )
+
+
+def _run_reference(pair):
+    """Pre-cache semantics: every variant circuit through ``_execute``."""
+    dev = _device()
+    K = pair.num_cuts
+    # the base-class implementation materialises and executes each circuit
+    return Backend.run_variants(
+        dev,
+        pair,
+        upstream_setting_tuples(K),
+        downstream_init_tuples(K),
+        shots=_SHOTS,
+        seed=0,
+    )
+
+
+@pytest.mark.benchmark(group="noisy-fragments-cached")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_noisy_variants_cached(benchmark, K):
+    pair = _PAIRS[K]
+    results = benchmark(_run_cached, pair)
+    assert len(results) == 3**K + 6**K
+
+
+@pytest.mark.benchmark(group="noisy-fragments-reference")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_noisy_variants_reference(benchmark, K):
+    pair = _PAIRS[K]
+    results = benchmark.pedantic(
+        _run_reference, args=(pair,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(results) == 3**K + 6**K
+
+
+@pytest.mark.benchmark(group="noisy-fragments-warm")
+@pytest.mark.parametrize("K", [1, 2, 3])
+def test_noisy_variants_warm_cache(benchmark, K):
+    """Marginal cost of re-serving all variants from a warmed cache — the
+    pilot→production reuse inside :func:`repro.core.pipeline.cut_and_run`."""
+    pair = _PAIRS[K]
+    K_ = pair.num_cuts
+    dev = _device()
+    settings = upstream_setting_tuples(K_)
+    inits = downstream_init_tuples(K_)
+    cache = dev.make_variant_cache(pair).warm(settings, inits)
+    results = benchmark(
+        lambda: dev.run_variants(
+            pair, settings, inits, shots=_SHOTS, seed=0, cache=cache
+        )
+    )
+    assert len(results) == 3**K + 6**K

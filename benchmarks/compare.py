@@ -6,10 +6,15 @@ Write (or refresh) the committed baselines::
 
     PYTHONPATH=src python benchmarks/compare.py --write-baseline
 
-runs the two hot-path suites through pytest-benchmark and dumps
+runs the hot-path suites through pytest-benchmark and dumps
 
-* ``benchmarks/BENCH_reconstruction.json`` ← ``bench_reconstruction_kernel.py``
-* ``benchmarks/BENCH_fragments.json``      ← ``bench_fragments.py``
+* ``benchmarks/BENCH_reconstruction.json``   ← ``bench_reconstruction_kernel.py``
+* ``benchmarks/BENCH_fragments.json``        ← ``bench_fragments.py``
+* ``benchmarks/BENCH_noisy_fragments.json``  ← ``bench_noisy_fragments.py``
+
+``--suite NAME`` (repeatable; matches the json/bench file stem) restricts
+either mode to a subset, e.g. ``--write-baseline --suite noisy_fragments``
+after intentionally shifting only the noisy path.
 
 Compare the working tree against the baselines (the default)::
 
@@ -37,7 +42,25 @@ BENCH_DIR = Path(__file__).resolve().parent
 SUITES = {
     "BENCH_reconstruction.json": "bench_reconstruction_kernel.py",
     "BENCH_fragments.json": "bench_fragments.py",
+    "BENCH_noisy_fragments.json": "bench_noisy_fragments.py",
 }
+
+
+def select_suites(names: "list[str] | None") -> dict[str, str]:
+    """Restrict SUITES to the requested stems (``noisy_fragments``, ...)."""
+    if not names:
+        return SUITES
+    out = {}
+    for name in names:
+        for json_name, bench_file in SUITES.items():
+            stem = json_name[len("BENCH_") : -len(".json")]
+            if name in (stem, json_name, bench_file):
+                out[json_name] = bench_file
+                break
+        else:
+            stems = [j[len("BENCH_") : -len(".json")] for j in SUITES]
+            raise SystemExit(f"unknown suite {name!r}; choose from {stems}")
+    return out
 
 
 def run_suite(bench_file: str, json_path: Path) -> None:
@@ -61,16 +84,18 @@ def load_means(json_path: Path) -> dict[str, float]:
     return {b["fullname"]: b["stats"]["mean"] for b in payload["benchmarks"]}
 
 
-def write_baselines() -> None:
-    for json_name, bench_file in SUITES.items():
+def write_baselines(suites: dict[str, str]) -> None:
+    for json_name, bench_file in suites.items():
         run_suite(bench_file, BENCH_DIR / json_name)
         print(f"wrote {BENCH_DIR / json_name}")
 
 
-def compare(max_regression: float, fail_on_regression: bool) -> int:
+def compare(
+    max_regression: float, fail_on_regression: bool, suites: dict[str, str]
+) -> int:
     regressions: list[str] = []
     with tempfile.TemporaryDirectory() as tmp:
-        for json_name, bench_file in SUITES.items():
+        for json_name, bench_file in suites.items():
             baseline_path = BENCH_DIR / json_name
             if not baseline_path.exists():
                 print(f"!! no baseline {baseline_path}; run --write-baseline first")
@@ -122,11 +147,17 @@ def main() -> int:
         action="store_true",
         help="exit non-zero when a regression is flagged",
     )
+    ap.add_argument(
+        "--suite",
+        action="append",
+        help="restrict to one suite (stem of BENCH_*.json; repeatable)",
+    )
     args = ap.parse_args()
+    suites = select_suites(args.suite)
     if args.write_baseline:
-        write_baselines()
+        write_baselines(suites)
         return 0
-    return compare(args.max_regression, args.fail_on_regression)
+    return compare(args.max_regression, args.fail_on_regression, suites)
 
 
 if __name__ == "__main__":

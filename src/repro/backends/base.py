@@ -62,10 +62,6 @@ class Backend(abc.ABC):
     name: str = "backend"
     #: maximum circuit width accepted (None = unlimited)
     max_qubits: int | None = None
-    #: True when :meth:`run_variants` consumes a
-    #: :class:`~repro.cutting.cache.FragmentSimCache` (callers then build and
-    #: share one cache across pilot/detection/production runs).
-    supports_sim_cache: bool = False
 
     def __init__(self) -> None:
         self.clock = VirtualClock()
@@ -114,6 +110,22 @@ class Backend(abc.ABC):
         """Convenience wrapper returning a single result."""
         return self.run(circuit, shots, seed)[0]
 
+    def make_variant_cache(self, pair):
+        """Build the per-pair simulation cache :meth:`run_variants` consumes.
+
+        Returns ``None`` for backends that really execute circuits.  The
+        ideal backend returns a
+        :class:`~repro.cutting.cache.FragmentSimCache`; the fake-hardware
+        backend a
+        :class:`~repro.cutting.noisy_cache.NoisyFragmentSimCache` bound to
+        its coupling map and noise model.  Callers
+        (:func:`~repro.core.pipeline.cut_and_run`,
+        :func:`~repro.parallel.executor.run_fragments_parallel`) build one
+        cache here and thread it through every stage, so fragment bodies
+        are transpiled/simulated exactly once per pipeline invocation.
+        """
+        return None
+
     def run_variants(
         self,
         pair,
@@ -129,9 +141,9 @@ class Backend(abc.ABC):
         circuits and submits them through :meth:`run` — each variant draws
         its own child RNG stream, exactly as a plain batched run would.
         Backends with an exact simulation engine override this to serve
-        every variant from a shared
-        :class:`~repro.cutting.cache.FragmentSimCache` (``cache`` is ignored
-        here, where circuits must really be executed).
+        every variant from the shared cache built by
+        :meth:`make_variant_cache` (``cache`` is ignored here, where
+        circuits must really be executed).
         """
         from repro.cutting.variants import downstream_variant, upstream_variant
 

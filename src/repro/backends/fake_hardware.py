@@ -13,24 +13,65 @@ Pipeline per job:
 Everything is deterministic given a seed.  The noise strength scales with
 transpiled gate counts, so deeper/wider circuits degrade more — the property
 Fig. 3 exercises.
+
+Fragment variants take a fast path: :meth:`FakeHardwareBackend.run_variants`
+serves every measurement/preparation variant of a fragment pair from a
+shared :class:`~repro.cutting.noisy_cache.NoisyFragmentSimCache` — each
+fragment body is transpiled once and evolved ``1 + 4^K`` times total instead
+of once per variant — while charging the timing model per variant job
+exactly as circuit-level execution would.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
 from repro.backends.base import Backend, ExecutionResult
 from repro.backends.timing import DeviceTimingModel
 from repro.circuits.circuit import Circuit
+from repro.exceptions import BackendError
 from repro.noise.model import NoiseModel
 from repro.noise.readout import apply_readout_error
-from repro.sim.density import DensityMatrix
+from repro.sim.density import (
+    evolve_noisy_tensor,
+    probabilities_from_tensor,
+    zero_density_tensor,
+)
 from repro.sim.sampler import sample_counts
 from repro.transpile.coupling import CouplingMap
 from repro.transpile.pipeline import transpile
 from repro.utils.bits import marginalize_probs, permute_probability_axes
+from repro.utils.rng import spawn_rngs
 
-__all__ = ["FakeHardwareBackend"]
+__all__ = ["FakeHardwareBackend", "finalize_physical_probs"]
+
+
+def finalize_physical_probs(
+    probs: np.ndarray,
+    readout: dict,
+    layout: Sequence[int],
+    logical_width: int,
+) -> np.ndarray:
+    """Post-process a physical-register distribution into logical results.
+
+    Readout confusion matrices → layout un-permutation → marginalisation of
+    unused physical wires.  This is *the* definition of steps 3–4 of the
+    job pipeline, shared by per-circuit execution and the noisy fragment
+    cache so the two paths cannot drift.
+    """
+    n_phys = int(np.log2(probs.size))
+    probs = apply_readout_error(probs, readout, n_phys)
+    # Physical wire layout[i] holds logical wire i: permute back, then
+    # marginalise away unused physical wires beyond the logical width.
+    perm = [0] * n_phys
+    for logical, phys in enumerate(layout):
+        perm[phys] = logical
+    probs = permute_probability_axes(probs, perm)
+    if logical_width < n_phys:
+        probs = marginalize_probs(probs, range(logical_width), n_phys)
+    return probs
 
 
 class FakeHardwareBackend(Backend):
@@ -65,16 +106,11 @@ class FakeHardwareBackend(Backend):
     # ------------------------------------------------------------------
     def _noisy_probabilities(self, physical: Circuit) -> np.ndarray:
         """Exact outcome distribution of the noisy physical circuit."""
-        dm = DensityMatrix(physical.num_qubits)
-        for inst in physical:
-            if inst.name == "barrier":
-                continue
-            dm.apply_matrix(inst.gate.matrix(), inst.qubits)
-            for channel, qubits in self.noise_model.channels_for(
-                inst.name, inst.qubits
-            ):
-                dm.apply_channel(channel, qubits)
-        probs = dm.probabilities()
+        n = physical.num_qubits
+        t = evolve_noisy_tensor(
+            zero_density_tensor(n), physical, self.noise_model, n
+        )
+        probs = probabilities_from_tensor(t, n)
         total = probs.sum()
         if abs(total - 1.0) > 1e-6:
             # CPTP channels preserve trace; drift means a bug upstream.
@@ -86,31 +122,100 @@ class FakeHardwareBackend(Backend):
     ) -> ExecutionResult:
         physical, layout = transpile(circuit, self.coupling)
         probs = self._noisy_probabilities(physical)
-        probs = apply_readout_error(
-            probs, self.noise_model.readout, physical.num_qubits
+        probs = finalize_physical_probs(
+            probs, self.noise_model.readout, layout, circuit.num_qubits
         )
-        # Physical wire layout[i] holds logical wire i: permute back, then
-        # marginalise away unused physical wires beyond the logical width.
-        perm = [0] * physical.num_qubits
-        for logical, phys in enumerate(layout):
-            perm[phys] = logical
-        probs = permute_probability_axes(probs, perm)
-        if circuit.num_qubits < physical.num_qubits:
-            probs = marginalize_probs(
-                probs, range(circuit.num_qubits), physical.num_qubits
-            )
         counts = sample_counts(probs, shots, seed=rng, num_qubits=circuit.num_qubits)
-        seconds = self.timing.job_seconds(physical, shots)
-        self.clock.charge(seconds, label=f"job:{circuit.name}")
+        seconds = self._charge(physical, circuit.name, shots)
         return ExecutionResult(
             counts=counts,
             shots=shots,
             num_qubits=circuit.num_qubits,
             seconds=seconds,
-            metadata={
-                "backend": self.name,
-                "transpiled_ops": len(physical),
-                "transpiled_depth": physical.depth(),
-                "layout": list(layout),
-            },
+            metadata=self._job_metadata(physical, layout),
         )
+
+    def _charge(self, physical: Circuit, label: str, shots: int) -> float:
+        seconds = self.timing.job_seconds(physical, shots)
+        self.clock.charge(seconds, label=f"job:{label}")
+        return seconds
+
+    def _job_metadata(self, physical: Circuit, layout: Sequence[int]) -> dict:
+        # barriers are zero-duration fences (the timing model skips them);
+        # report only real gates in the op/depth bookkeeping
+        gates = [inst for inst in physical if inst.name != "barrier"]
+        return {
+            "backend": self.name,
+            "transpiled_ops": len(gates),
+            "transpiled_depth": Circuit(physical.num_qubits, gates).depth(),
+            "layout": list(layout),
+        }
+
+    # ------------------------------------------------------------------
+    def make_variant_cache(self, pair):
+        """Fragment variants are served from a :class:`NoisyFragmentSimCache`."""
+        from repro.cutting.noisy_cache import NoisyFragmentSimCache
+
+        return NoisyFragmentSimCache(pair, self.coupling, self.noise_model)
+
+    def run_variants(
+        self,
+        pair,
+        settings: Sequence[tuple[str, ...]],
+        inits: Sequence[tuple[str, ...]],
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Serve all fragment variants from one shared noisy-body cache.
+
+        Distributions come from the cache (one transpile + one noisy
+        evolution per upstream body, one transpile + a batched ``4^K``
+        response evolution per downstream body); sampling, RNG streams and
+        virtual-clock charges mirror circuit-level execution per variant.
+        A ``cache`` of the wrong type or built for a different pair is
+        replaced by a fresh one; device *equivalence* cannot be checked and
+        is the caller's contract — the ``cache`` must come from
+        :meth:`make_variant_cache` of this or an identically configured
+        device (as in :func:`~repro.parallel.executor.run_fragments_parallel`,
+        where worker backends share the probe's cache), otherwise the
+        served physics is the cache's device, not this one.
+        """
+        from repro.cutting.noisy_cache import NoisyFragmentSimCache
+
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        for width in (pair.n_up if settings else 0, pair.n_down if inits else 0):
+            if self.max_qubits is not None and width > self.max_qubits:
+                raise BackendError(
+                    f"{self.name}: circuit width {width} exceeds "
+                    f"device size {self.max_qubits}"
+                )
+        if not isinstance(cache, NoisyFragmentSimCache) or cache.pair is not pair:
+            cache = self.make_variant_cache(pair)
+        rngs = spawn_rngs(seed, len(settings) + len(inits))
+        out: list[ExecutionResult] = []
+        jobs = [("up", s) for s in settings] + [("down", i) for i in inits]
+        for (kind, label), rng in zip(jobs, rngs):
+            if kind == "up":
+                probs = cache.upstream_probabilities(label)
+                physical = cache.upstream_physical(label)
+                layout = cache.upstream_layout()
+                width = pair.n_up
+            else:
+                probs = cache.downstream_probabilities(label)
+                physical = cache.downstream_physical(label)
+                layout = cache.downstream_layout()
+                width = pair.n_down
+            counts = sample_counts(probs, shots, seed=rng, num_qubits=width)
+            seconds = self._charge(physical, physical.name, shots)
+            out.append(
+                ExecutionResult(
+                    counts=counts,
+                    shots=shots,
+                    num_qubits=width,
+                    seconds=seconds,
+                    metadata=self._job_metadata(physical, layout),
+                )
+            )
+        return out

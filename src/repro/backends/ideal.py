@@ -40,7 +40,6 @@ class IdealBackend(Backend):
     """
 
     name = "ideal"
-    supports_sim_cache = True
 
     def __init__(self, exact: bool = False, max_qubits: int | None = 24) -> None:
         super().__init__()
@@ -68,6 +67,12 @@ class IdealBackend(Backend):
             metadata={"backend": self.name, "exact": self.exact},
         )
 
+    def make_variant_cache(self, pair):
+        """Fragment variants are served from a :class:`FragmentSimCache`."""
+        from repro.cutting.cache import FragmentSimCache
+
+        return FragmentSimCache(pair)
+
     def run_variants(
         self,
         pair,
@@ -88,7 +93,8 @@ class IdealBackend(Backend):
                     f"{self.name}: circuit width {width} exceeds "
                     f"device size {self.max_qubits}"
                 )
-        if cache is None:
+        # None, a foreign cache flavour, or a cache built for another pair
+        if not isinstance(cache, FragmentSimCache) or cache.pair is not pair:
             cache = FragmentSimCache(pair)
         rngs = spawn_rngs(seed, len(settings) + len(inits))
         if inits:

@@ -143,13 +143,15 @@ def cut_and_run(
     pair = bipartition(circuit, cuts)
     K = pair.num_cuts
 
-    # One simulation cache shared by golden finding, pilot detection and
-    # the production run: the fragment bodies are simulated exactly once
-    # per cut_and_run invocation when the backend (or the analytic finder)
-    # can consume cached exact states.
-    cache: "FragmentSimCache | None" = None
-    if golden == "analytic" or getattr(backend, "supports_sim_cache", False):
-        cache = FragmentSimCache(pair)
+    # One simulation cache shared by pilot detection and the production
+    # run: each fragment body is transpiled/simulated exactly once per
+    # cut_and_run invocation when the backend consumes a cache (ideal →
+    # FragmentSimCache, fake hardware → NoisyFragmentSimCache).  The
+    # analytic golden finder always works on *ideal* states, so it keeps
+    # its own FragmentSimCache unless the backend's cache already is one.
+    cache = backend.make_variant_cache(pair)
+    if golden == "analytic":
+        finder_cache = cache if isinstance(cache, FragmentSimCache) else FragmentSimCache(pair)
 
     detection: list = []
     device_seconds = 0.0
@@ -163,7 +165,7 @@ def cut_and_run(
         golden_used = dict(golden_map)
     elif golden == "analytic":
         golden_used = _select_golden(
-            find_golden_bases_analytic(pair, cache=cache), exploit_all
+            find_golden_bases_analytic(pair, cache=finder_cache), exploit_all
         )
     elif golden == "detect":
         pilot = pilot_shots if pilot_shots is not None else max(100, shots // 4)

@@ -17,6 +17,7 @@ from repro.cutting.variants import (
 )
 from repro.cutting.cache import FragmentSimCache
 from repro.cutting.execution import FragmentData, run_fragments
+from repro.cutting.noisy_cache import NoisyFragmentSimCache
 from repro.cutting.reconstruction import (
     build_downstream_tensor,
     build_downstream_tensor_reference,
@@ -49,6 +50,7 @@ __all__ = [
     "downstream_variant",
     "FragmentData",
     "FragmentSimCache",
+    "NoisyFragmentSimCache",
     "run_fragments",
     "build_upstream_tensor",
     "build_downstream_tensor",

@@ -4,9 +4,12 @@
 preparation variant to a backend and returns a :class:`FragmentData` holding,
 for each variant, the *joint empirical distribution* split into (output bits,
 cut bits).  Submission goes through :meth:`repro.backends.base.Backend.run_variants`,
-so backends with an exact simulation engine (the ideal backend) can serve all
-variants from one shared :class:`~repro.cutting.cache.FragmentSimCache`
-instead of re-simulating ``3^K + 6^K`` circuits.
+so backends with an exact simulation engine can serve all variants from one
+shared per-pair cache instead of re-simulating ``3^K + 6^K`` circuits: the
+ideal backend from a :class:`~repro.cutting.cache.FragmentSimCache`, the
+noisy fake-hardware backend from a
+:class:`~repro.cutting.noisy_cache.NoisyFragmentSimCache` (one transpile
+and ``1 + 4^K`` density evolutions per fragment body).
 
 :func:`exact_fragment_data` computes the same tensors in the infinite-shot
 limit directly from the cache — used by exactness tests and by the analytic
@@ -103,7 +106,8 @@ def run_fragments(
 
     ``settings``/``inits`` default to the full standard sets
     (``{X,Y,Z}^K`` and ``6^K``); golden pipelines pass reduced sets.
-    ``cache`` may carry a pre-built :class:`FragmentSimCache` for backends
+    ``cache`` may carry a pre-built variant cache from
+    :meth:`~repro.backends.base.Backend.make_variant_cache` for backends
     whose fast path consumes one (ignored by circuit-level backends).
     """
     if settings is None:

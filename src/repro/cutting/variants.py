@@ -21,8 +21,26 @@ import itertools
 from typing import Sequence
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits.instruction import Instruction
 from repro.cutting.fragments import FragmentPair
 from repro.exceptions import CutError
+
+
+def _fence(num_qubits: int) -> Instruction:
+    """Full-width barrier separating a fragment body from its variant gates.
+
+    Simulators skip barriers, so ideal results are untouched; the transpile
+    pipeline keeps them as optimisation fences, so the physical circuit of
+    any variant is exactly ``transpile(body)`` plus the lowered variant
+    gates.  That factorisation is what
+    :class:`repro.cutting.noisy_cache.NoisyFragmentSimCache` relies on to
+    serve every noisy variant from one transpiled, once-evolved body — and
+    it also mirrors hardware reality: tomography rotations and preparation
+    pulses are separately calibrated operations, not part of the body's
+    optimisation scope.
+    """
+    return Instruction(Gate("barrier"), tuple(range(num_qubits)))
 
 __all__ = [
     "MEASUREMENT_SETTINGS",
@@ -120,6 +138,7 @@ def upstream_variant(pair: FragmentPair, setting: Sequence[str]) -> Circuit:
         raise CutError("setting tuple length != number of cuts")
     qc = pair.upstream.copy()
     qc.name = f"{pair.upstream.name}[{','.join(setting)}]"
+    qc.append(_fence(pair.n_up))
     for k, basis in enumerate(setting):
         q = pair.up_cut_local[k]
         if basis == "X":
@@ -146,6 +165,7 @@ def downstream_variant(pair: FragmentPair, inits: Sequence[str]) -> Circuit:
         q = pair.down_cut_local[k]
         for g in gates:
             qc.add_gate(g, (q,))
+    qc.append(_fence(pair.n_down))
     for inst in pair.downstream:
         qc.append(inst)
     return qc

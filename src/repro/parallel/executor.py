@@ -14,11 +14,13 @@ Two structural optimisations over a naive per-task fan-out:
   ``backend_factory`` and reuses it for every task it picks up (backends
   keep a mutable virtual clock, so they cannot be shared *across* threads;
   the per-worker clocks are summed into the device-time ledger);
-* **shared simulation cache** — when the backend supports it
-  (:attr:`~repro.backends.base.Backend.supports_sim_cache`), a single
-  :class:`~repro.cutting.cache.FragmentSimCache` is built and warmed up
-  front, so workers only draw samples from cached exact distributions
-  instead of re-simulating the fragment body per variant.
+* **shared simulation cache** — when the backend builds one
+  (:meth:`~repro.backends.base.Backend.make_variant_cache`), a single
+  per-pair cache — :class:`~repro.cutting.cache.FragmentSimCache` for the
+  ideal backend, :class:`~repro.cutting.noisy_cache.NoisyFragmentSimCache`
+  for fake hardware — is warmed up front, so workers only draw samples
+  from cached exact distributions instead of re-transpiling and
+  re-simulating the fragment body per variant.
 
 Next scaling levers (see ROADMAP.md): a process-pool mode for noisy
 density-matrix backends whose Python-side overhead does not release the
@@ -36,7 +38,6 @@ from typing import Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.backends.base import Backend
-from repro.cutting.cache import FragmentSimCache
 from repro.cutting.execution import FragmentData, _split_upstream_probs
 from repro.cutting.fragments import FragmentPair
 from repro.cutting.variants import (
@@ -100,11 +101,14 @@ def run_fragments_parallel(
 
     probe = backend_factory()
     backends = [probe]
-    cache: "FragmentSimCache | None" = None
-    if probe.supports_sim_cache:
-        # Warm every entry eagerly: afterwards the cache is read-only, so
-        # worker threads can share it without locking.
-        cache = FragmentSimCache(pair).warm(settings, inits)
+    # Warm every entry eagerly: afterwards the cache is read-only, so
+    # worker threads can share it without locking.  The probe decides the
+    # cache flavour (ideal → FragmentSimCache, noisy → the per-device
+    # NoisyFragmentSimCache); worker backends built by the same factory
+    # consume it as an equivalent device's cache.
+    cache = probe.make_variant_cache(pair)
+    if cache is not None:
+        cache.warm(settings, inits)
 
     local = threading.local()
     local.backend = probe  # the calling thread reuses the probe

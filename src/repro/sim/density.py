@@ -20,7 +20,7 @@ from repro.circuits.circuit import Circuit
 from repro.config import COMPLEX_DTYPE
 from repro.exceptions import SimulationError
 from repro.linalg.channels import KrausChannel, apply_channel
-from repro.linalg.tensor import apply_matrix_to_axes
+from repro.linalg.tensor import apply_matrix_to_axes, flat_from_tensor
 
 def _dm_tensor_from_matrix(mat: np.ndarray, n: int) -> np.ndarray:
     """(2^n, 2^n) little-endian matrix -> rank-2n tensor, ket/bra axis i = qubit i."""
@@ -37,7 +37,76 @@ def _dm_matrix_from_tensor(tensor: np.ndarray, n: int) -> np.ndarray:
     dim = 1 << n
     return np.ascontiguousarray(tensor.transpose(ket + bra).reshape(dim, dim))
 
-__all__ = ["DensityMatrix", "simulate_density"]
+__all__ = [
+    "DensityMatrix",
+    "evolve_noisy_tensor",
+    "probabilities_from_tensor",
+    "simulate_density",
+    "zero_density_tensor",
+]
+
+
+def zero_density_tensor(num_qubits: int) -> np.ndarray:
+    """Rank-2n tensor of ``|0..0⟩⟨0..0|`` — the canonical evolution input."""
+    t = np.zeros((2,) * (2 * num_qubits), dtype=COMPLEX_DTYPE)
+    t[(0,) * (2 * num_qubits)] = 1.0
+    return t
+
+
+def probabilities_from_tensor(
+    tensor: np.ndarray, num_qubits: int, clip: bool = True
+) -> np.ndarray:
+    """Computational-basis probabilities of a rank-2n density tensor.
+
+    Pairs ket axis ``i`` with bra axis ``n + i`` via one einsum — never
+    building the flat ``(2^n, 2^n)`` matrix — and returns the little-endian
+    real diagonal.  Trailing batch axes are preserved: a tensor of shape
+    ``(2,)*2n + (B,)`` yields probabilities of shape ``(B, 2^n)``.
+
+    ``clip=False`` keeps tiny roundoff negatives — for consumers that
+    combine several diagonals linearly *before* flooring (the noisy
+    fragment cache's response columns), so clipping happens once on the
+    combined result exactly as per-variant execution would do it.
+    """
+    n = num_qubits
+    ket = list(range(n))
+    batch = list(range(n, tensor.ndim - n))  # labels for trailing batch axes
+    diag = np.einsum(tensor, ket + ket + batch, ket + batch)
+    probs = diag.real.astype(np.float64)
+    if clip:
+        # numerical floor: tiny negatives from roundoff
+        np.clip(probs, 0.0, None, out=probs)
+    if batch:
+        flat = probs.reshape((2,) * n + (-1,))
+        flat = flat.transpose(tuple(range(n - 1, -1, -1)) + (n,))
+        return np.ascontiguousarray(flat.reshape(1 << n, -1).T)
+    return flat_from_tensor(probs)
+
+
+def evolve_noisy_tensor(
+    tensor: np.ndarray, circuit: Circuit, noise_model, num_qubits: int
+) -> np.ndarray:
+    """Push a rank-2n density tensor through a circuit with interleaved noise.
+
+    ``noise_model`` is any object with the
+    :meth:`~repro.noise.model.NoiseModel.channels_for` protocol.  Extra
+    trailing axes of ``tensor`` are batch dimensions, so a whole bank of
+    initial states can share one noisy evolution — the engine behind
+    :class:`repro.cutting.noisy_cache.NoisyFragmentSimCache`'s ``4^K``
+    cut-basis response columns.
+    """
+    n = num_qubits
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        m = inst.gate.matrix()
+        ket_axes = list(inst.qubits)
+        bra_axes = [q + n for q in inst.qubits]
+        tensor = apply_matrix_to_axes(tensor, m, ket_axes)
+        tensor = apply_matrix_to_axes(tensor, m.conj(), bra_axes)
+        for channel, qubits in noise_model.channels_for(inst.name, inst.qubits):
+            tensor = apply_channel(tensor, channel, qubits, n)
+    return tensor
 
 
 class DensityMatrix:
@@ -110,12 +179,14 @@ class DensityMatrix:
         return _dm_matrix_from_tensor(self._tensor, self.num_qubits)
 
     def probabilities(self) -> np.ndarray:
-        """Diagonal of ρ — computational-basis outcome probabilities."""
-        diag = np.einsum("ii->i", self.matrix())
-        probs = diag.real.astype(np.float64)
-        # numerical floor: tiny negatives from roundoff
-        np.clip(probs, 0.0, None, out=probs)
-        return probs
+        """Diagonal of ρ — computational-basis outcome probabilities.
+
+        Read directly off the rank-2n tensor by pairing each ket axis with
+        its bra axis, so no ``(2^n, 2^n)`` matrix is materialised (the old
+        path paid a transposing copy of the whole state just to look at its
+        diagonal).
+        """
+        return probabilities_from_tensor(self._tensor, self.num_qubits)
 
     def trace(self) -> float:
         return float(self.probabilities().sum())
@@ -124,8 +195,8 @@ class DensityMatrix:
         """``tr(M ρ)`` for an operator on a subset of qubits."""
         n = self.num_qubits
         work = apply_matrix_to_axes(self._tensor, matrix, list(qubits))
-        dim = 1 << n
-        return complex(np.einsum("ii->", work.reshape(dim, dim)))
+        ket = list(range(n))
+        return complex(np.einsum(work, ket + ket))
 
     def purity(self) -> float:
         m = self.matrix()

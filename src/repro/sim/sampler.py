@@ -71,10 +71,7 @@ def probs_to_counts(
     probs = np.asarray(probs, dtype=np.float64)
     if num_qubits is None:
         num_qubits = int(np.log2(probs.size))
-    raw = probs * shots
-    out = {}
-    for i, v in enumerate(raw):
-        r = int(round(v))
-        if r > 0:
-            out[format_bitstring(i, num_qubits)] = r
-    return out
+    # np.round matches the old per-entry round() (both half-to-even)
+    raw = np.round(probs * shots)
+    hit = np.nonzero(raw > 0)[0]
+    return {format_bitstring(int(i), num_qubits): int(raw[i]) for i in hit}

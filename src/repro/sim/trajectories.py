@@ -43,24 +43,25 @@ def simulate_trajectory(
 
 
 def _apply_stochastic_channel(sv, channel, qubits, rng) -> None:
-    """Sample one Kraus branch with its Born weight and renormalise."""
-    # compute branch norms ‖K_i ψ‖² without keeping every branch alive
-    weights = []
-    branches = []
-    for op in channel.operators:
-        branch = sv.copy()
-        branch.apply_matrix(op, qubits)
-        w = float(branch.probabilities().sum())
-        weights.append(w)
-        branches.append(branch)
+    """Sample one Kraus branch with its Born weight and renormalise.
+
+    Branch weights are ``⟨ψ|K_i†K_i|ψ⟩`` — expectation values of the
+    channel's cached small :meth:`~repro.linalg.channels.KrausChannel.gram_matrices`
+    — so no branch state ``K_i|ψ⟩`` is materialised before the draw; only
+    the sampled operator is applied, one state write per noisy gate instead
+    of one full copy per Kraus term.
+    """
+    weights = [
+        max(float(sv.expectation(g, qubits).real), 0.0)
+        for g in channel.gram_matrices()
+    ]
     total = sum(weights)
     if total <= 0:
         raise SimulationError("trajectory hit a zero-norm channel output")
     probs = np.asarray(weights) / total
-    choice = int(rng.choice(len(branches), p=probs))
-    chosen = branches[choice]
-    chosen._tensor /= np.sqrt(max(weights[choice], 1e-300))
-    sv._tensor = chosen._tensor
+    choice = int(rng.choice(len(weights), p=probs))
+    sv.apply_matrix(channel.operators[choice], qubits)
+    sv._tensor /= np.sqrt(max(weights[choice], 1e-300))
 
 
 def trajectory_probabilities(

@@ -145,6 +145,7 @@ def decompose_to_basis(circuit: Circuit) -> Circuit:
     stage1 = Circuit(circuit.num_qubits, name=f"{circuit.name}_basis")
     for inst in circuit:
         if inst.name == "barrier":
+            stage1.append(inst)  # fences survive lowering
             continue
         if len(inst.qubits) == 1:
             stage1.append(inst)
@@ -155,6 +156,9 @@ def decompose_to_basis(circuit: Circuit) -> Circuit:
     # Stage 2: 1q gates -> rz/sx (x kept as-is; id dropped).
     out = Circuit(circuit.num_qubits, name=stage1.name)
     for inst in stage1:
+        if inst.name == "barrier":
+            out.append(inst)
+            continue
         if len(inst.qubits) == 2:
             out.append(inst)
             continue

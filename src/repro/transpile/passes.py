@@ -25,10 +25,15 @@ __all__ = ["merge_single_qubit_runs", "cancel_adjacent_inverses"]
 def merge_single_qubit_runs(circuit: Circuit) -> Circuit:
     """Collapse consecutive 1q gates per wire into a single ZSX sequence.
 
-    Multi-qubit gates act as barriers on their wires.  The merged unitary is
-    re-emitted through the ZSX basis immediately, so the output contains only
-    ``rz``/``sx`` (plus the untouched multi-qubit gates); this pass therefore
-    also functions as a 1q basis translator.
+    Multi-qubit gates act as barriers on their wires, and explicit
+    ``barrier`` instructions fence their listed wires: pending runs are
+    flushed and the barrier is kept, so gates on opposite sides of a fence
+    are never merged.  That invariant is what lets the noisy fragment cache
+    (:mod:`repro.cutting.noisy_cache`) share one transpiled body across all
+    measurement/preparation variants.  The merged unitary is re-emitted
+    through the ZSX basis immediately, so the output contains only
+    ``rz``/``sx`` (plus the untouched multi-qubit gates and barriers); this
+    pass therefore also functions as a 1q basis translator.
     """
     n = circuit.num_qubits
     pending: dict[int, np.ndarray] = {}
@@ -41,6 +46,11 @@ def merge_single_qubit_runs(circuit: Circuit) -> Circuit:
 
     for inst in circuit:
         if inst.name == "barrier":
+            # sorted, like the terminal flush, so a trailing fence emits the
+            # same gate order as no fence at all
+            for q in sorted(inst.qubits):
+                flush(q)
+            out.append(inst)
             continue
         if len(inst.qubits) == 1:
             q = inst.qubits[0]
@@ -86,6 +96,8 @@ def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
 
 
 def _are_inverse(a: Instruction, b: Instruction) -> bool:
+    if a.name == "barrier" or b.name == "barrier":
+        return False
     if a.qubits != b.qubits:
         return False
     da = get_gate_def(a.name)

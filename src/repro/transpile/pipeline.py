@@ -10,6 +10,13 @@ Order of passes::
 The output satisfies: every gate is in :data:`HARDWARE_BASIS` and every 2q
 gate acts on a coupled pair.  ``transpile`` returns the physical circuit and
 the final logical→physical layout for result un-permutation.
+
+``barrier`` instructions are preserved end to end and act as optimisation
+fences: no merging or cancellation crosses one.  Fragment variant circuits
+exploit this — the tomography rotations / preparation gates are fenced off
+from the fragment body, so one transpiled body is shared verbatim by every
+variant (the invariant behind
+:class:`repro.cutting.noisy_cache.NoisyFragmentSimCache`).
 """
 
 from __future__ import annotations
@@ -45,6 +52,6 @@ def transpile(
         qc = merge_single_qubit_runs(qc)
         qc = cancel_adjacent_inverses(qc)
     assert all(
-        inst.name in HARDWARE_BASIS for inst in qc
+        inst.name in HARDWARE_BASIS or inst.name == "barrier" for inst in qc
     ), "transpile produced non-native gates"
     return qc, layout

@@ -38,6 +38,8 @@ def route_circuit(
 
     for inst in circuit:
         if inst.name == "barrier":
+            # fences travel with their wires' current physical positions
+            out.append(inst.remap(layout))
             continue
         if len(inst.qubits) == 1:
             out.add_gate(inst.name, (layout[inst.qubits[0]],), inst.params)

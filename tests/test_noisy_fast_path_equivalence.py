@@ -1,0 +1,338 @@
+"""Equivalence of the noisy fragment cache against per-variant execution.
+
+:class:`repro.cutting.noisy_cache.NoisyFragmentSimCache` must be a pure
+performance change: every distribution the fake-hardware fast path serves
+has to match transpiling and density-evolving each physical variant circuit
+from scratch (the per-variant ``_execute`` reference semantics) to ≤ 1e-9 —
+across random circuits, ``K ∈ {1, 2, 3}``, full and reduced/neglected
+variant pools, trivial and depolarizing+amplitude-damping noise, and with
+readout error on and off.  The cost side of the contract is pinned too:
+exactly one transpile per fragment body and ``1 + 4^K`` noisy body
+evolutions per (pair, device), no matter how many variants are served.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.fake_hardware import FakeHardwareBackend
+from repro.core.neglect import reduced_init_tuples, reduced_setting_tuples
+from repro.core.pipeline import cut_and_run
+from repro.cutting import NoisyFragmentSimCache, bipartition
+from repro.cutting.execution import run_fragments
+from repro.cutting.variants import (
+    downstream_init_tuples,
+    downstream_variant,
+    upstream_setting_tuples,
+    upstream_variant,
+)
+from repro.noise.kraus import (
+    amplitude_damping,
+    depolarizing,
+    two_qubit_depolarizing,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.readout import ReadoutError, apply_readout_error
+from repro.parallel import run_fragments_parallel
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.pipeline import transpile
+from repro.utils.bits import marginalize_probs, permute_probability_axes
+from test_fast_path_equivalence import random_cut_circuit
+
+TOL = 1e-9
+
+#: noise configurations the satellite demands: trivial, gate noise without
+#: readout error, gate noise with readout error
+NOISE_CONFIGS = ("trivial", "gates", "gates+readout")
+
+
+def make_noise(config: str, num_qubits: int = 5) -> NoiseModel:
+    nm = NoiseModel()
+    if config == "trivial":
+        return nm
+    # depolarizing + amplitude damping, including on the rz/sx gates the
+    # variant rotations lower to — the fast path must carry the variant
+    # gates' own noise, not just the body's
+    nm.add_gate_noise(["sx", "x", "rz"], depolarizing(2e-3))
+    nm.add_gate_noise(["sx", "x"], amplitude_damping(1.5e-3))
+    nm.add_gate_noise(["cx"], two_qubit_depolarizing(8e-3))
+    if config == "gates+readout":
+        for q in range(num_qubits):
+            nm.add_readout_error(q, ReadoutError(p01=0.015, p10=0.03))
+    return nm
+
+
+def make_device(config: str, topology: str = "linear") -> FakeHardwareBackend:
+    coupling = (
+        CouplingMap.linear(5)
+        if topology == "linear"
+        else CouplingMap.ibm_t_shape_5q()
+    )
+    return FakeHardwareBackend(
+        coupling, make_noise(config), name=f"test[{config},{topology}]"
+    )
+
+
+def reference_variant_probs(dev: FakeHardwareBackend, circuit) -> np.ndarray:
+    """The exact distribution ``_execute`` samples from (pre-cache semantics):
+    transpile the full variant circuit, evolve the noisy density matrix,
+    readout error, layout un-permutation, marginalisation."""
+    physical, layout = transpile(circuit, dev.coupling)
+    probs = dev._noisy_probabilities(physical)
+    probs = apply_readout_error(probs, dev.noise_model.readout, physical.num_qubits)
+    perm = [0] * physical.num_qubits
+    for logical, phys in enumerate(layout):
+        perm[phys] = logical
+    probs = permute_probability_axes(probs, perm)
+    if circuit.num_qubits < physical.num_qubits:
+        probs = marginalize_probs(
+            probs, range(circuit.num_qubits), physical.num_qubits
+        )
+    return probs
+
+
+def pair_for(K: int, seed: int):
+    qc, spec = random_cut_circuit(K, seed)
+    return bipartition(qc, spec)
+
+
+class TestCacheMatchesPerVariantExecution:
+    @pytest.mark.parametrize("K", [1, 2, 3])
+    @pytest.mark.parametrize("config", NOISE_CONFIGS)
+    def test_full_variant_pools(self, K, config):
+        pair = pair_for(K, 1100 + K)
+        dev = make_device(config)
+        cache = dev.make_variant_cache(pair)
+        for s in upstream_setting_tuples(K):
+            ref = reference_variant_probs(dev, upstream_variant(pair, s))
+            np.testing.assert_allclose(
+                cache.upstream_probabilities(s), ref, atol=TOL
+            )
+        for i in downstream_init_tuples(K):
+            ref = reference_variant_probs(dev, downstream_variant(pair, i))
+            np.testing.assert_allclose(
+                cache.downstream_probabilities(i), ref, atol=TOL
+            )
+
+    @pytest.mark.parametrize("K", [1, 2, 3])
+    @pytest.mark.parametrize("config", ["gates+readout"])
+    def test_reduced_and_neglected_pools(self, K, config):
+        """Golden pipelines pass reduced pools; the cache must serve them."""
+        pair = pair_for(K, 1200 + K)
+        golden = {0: "Y"} if K == 1 else {0: "Y", K - 1: ("X", "Z")}
+        dev = make_device(config)
+        cache = dev.make_variant_cache(pair)
+        for s in reduced_setting_tuples(K, golden):
+            ref = reference_variant_probs(dev, upstream_variant(pair, s))
+            np.testing.assert_allclose(
+                cache.upstream_probabilities(s), ref, atol=TOL
+            )
+        for i in reduced_init_tuples(K, golden):
+            ref = reference_variant_probs(dev, downstream_variant(pair, i))
+            np.testing.assert_allclose(
+                cache.downstream_probabilities(i), ref, atol=TOL
+            )
+
+    @pytest.mark.parametrize("config", NOISE_CONFIGS)
+    def test_routed_topology(self, config):
+        """SWAP insertion and layout permutation survive the factorisation."""
+        K = 2
+        pair = pair_for(K, 1300 + K)
+        dev = make_device(config, topology="t_shape")
+        cache = dev.make_variant_cache(pair)
+        for s in upstream_setting_tuples(K):
+            ref = reference_variant_probs(dev, upstream_variant(pair, s))
+            np.testing.assert_allclose(
+                cache.upstream_probabilities(s), ref, atol=TOL
+            )
+        for i in downstream_init_tuples(K):
+            ref = reference_variant_probs(dev, downstream_variant(pair, i))
+            np.testing.assert_allclose(
+                cache.downstream_probabilities(i), ref, atol=TOL
+            )
+
+    def test_physical_circuits_match_transpile(self):
+        """The cache's assembled physical circuits equal a fresh transpile,
+        instruction for instruction — the invariant behind one-transpile."""
+        K = 2
+        pair = pair_for(K, 1400 + K)
+        dev = make_device("gates", topology="t_shape")
+        cache = dev.make_variant_cache(pair)
+        variants = [
+            (cache.upstream_physical(s), upstream_variant(pair, s))
+            for s in upstream_setting_tuples(K)
+        ] + [
+            (cache.downstream_physical(i), downstream_variant(pair, i))
+            for i in downstream_init_tuples(K)
+        ]
+        for assembled, logical in variants:
+            physical, _ = transpile(logical, dev.coupling)
+            assert len(assembled) == len(physical)
+            for a, b in zip(assembled, physical):
+                assert a.name == b.name
+                assert a.qubits == b.qubits
+                assert a.params == pytest.approx(b.params, abs=1e-12)
+
+
+class TestRunVariantsFastPath:
+    def test_counts_and_clock_identical_to_execution(self):
+        """Same RNG streams + same distributions ⇒ identical counts, and the
+        timing model charges exactly what per-variant jobs would."""
+        K = 2
+        pair = pair_for(K, 1500 + K)
+        settings = upstream_setting_tuples(K)
+        inits = downstream_init_tuples(K)
+        fast_dev = make_device("gates+readout")
+        fast = fast_dev.run_variants(pair, settings, inits, shots=4000, seed=17)
+        ref_dev = make_device("gates+readout")
+        circuits = [upstream_variant(pair, s) for s in settings] + [
+            downstream_variant(pair, i) for i in inits
+        ]
+        ref = ref_dev.run(circuits, shots=4000, seed=17)
+        assert len(fast) == len(ref)
+        for f, r in zip(fast, ref):
+            assert f.counts == r.counts
+            assert f.shots == r.shots
+            assert f.num_qubits == r.num_qubits
+            assert f.seconds == pytest.approx(r.seconds, rel=1e-12)
+            assert f.metadata["transpiled_ops"] == r.metadata["transpiled_ops"]
+            assert f.metadata["layout"] == r.metadata["layout"]
+        assert fast_dev.clock.now == pytest.approx(ref_dev.clock.now, rel=1e-12)
+        # the virtual-clock ledger labels must match per-variant jobs too
+        assert [lbl for lbl, _ in fast_dev.clock.log] == [
+            lbl for lbl, _ in ref_dev.clock.log
+        ]
+
+    def test_run_fragments_uses_fast_path(self):
+        """run_fragments on fake hardware == per-variant circuit submission."""
+        K = 1
+        pair = pair_for(K, 1600 + K)
+        dev = make_device("gates")
+        data = run_fragments(pair, dev, shots=2000, seed=5)
+        ref_dev = make_device("gates")
+        settings = upstream_setting_tuples(K)
+        inits = downstream_init_tuples(K)
+        circuits = [upstream_variant(pair, s) for s in settings] + [
+            downstream_variant(pair, i) for i in inits
+        ]
+        results = ref_dev.run(circuits, shots=2000, seed=5)
+        from repro.cutting.execution import _split_upstream_probs
+
+        for s, res in zip(settings, results[: len(settings)]):
+            np.testing.assert_allclose(
+                data.upstream[s],
+                _split_upstream_probs(res.probabilities(), pair),
+                atol=TOL,
+            )
+        for i, res in zip(inits, results[len(settings) :]):
+            np.testing.assert_allclose(
+                data.downstream[i], res.probabilities(), atol=TOL
+            )
+
+    def test_parallel_matches_serial_and_shares_cache(self):
+        K = 2
+        pair = pair_for(K, 1700 + K)
+        factory = lambda: make_device("gates+readout")  # noqa: E731
+        a = run_fragments_parallel(
+            pair, factory, shots=500, seed=3, max_workers=4, mode="thread"
+        )
+        b = run_fragments_parallel(pair, factory, shots=500, seed=3, mode="serial")
+        assert set(a.upstream) == set(b.upstream)
+        for k in a.upstream:
+            np.testing.assert_array_equal(a.upstream[k], b.upstream[k])
+        for k in a.downstream:
+            np.testing.assert_array_equal(a.downstream[k], b.downstream[k])
+        assert a.metadata["cached"]
+
+
+class TestSimCallCounts:
+    """The ``2 transpiles + (1 + 4^K) evolutions`` law, however many variants."""
+
+    @pytest.mark.parametrize("K", [1, 2, 3])
+    def test_full_pools_hit_the_law(self, K, monkeypatch):
+        import repro.cutting.noisy_cache as nc
+
+        calls = []
+        real = nc.transpile
+        monkeypatch.setattr(
+            nc, "transpile", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        pair = pair_for(K, 1800 + K)
+        dev = make_device("gates+readout")
+        cache = dev.make_variant_cache(pair)
+        dev.run_variants(
+            pair,
+            upstream_setting_tuples(K),
+            downstream_init_tuples(K),
+            shots=100,
+            seed=0,
+            cache=cache,
+        )
+        assert len(calls) == 2  # one per fragment body
+        assert cache.stats == {
+            "transpiles": 2,
+            "up_evolutions": 1,
+            "down_columns": 4**K,
+        }
+        # serving the same pools again costs nothing new
+        dev.run_variants(
+            pair,
+            upstream_setting_tuples(K),
+            downstream_init_tuples(K),
+            shots=100,
+            seed=1,
+            cache=cache,
+        )
+        assert len(calls) == 2
+        assert cache.stats["up_evolutions"] == 1
+        assert cache.stats["down_columns"] == 4**K
+
+    def test_cut_and_run_shares_one_cache_across_stages(self, monkeypatch):
+        """Pilot detection + production execution = still one transpile per
+        fragment body and one set of body evolutions."""
+        import repro.cutting.noisy_cache as nc
+
+        calls = []
+        real = nc.transpile
+        monkeypatch.setattr(
+            nc, "transpile", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        from repro.harness.scaling import multi_cut_golden_circuit
+
+        qc, spec = multi_cut_golden_circuit(
+            1, extra_up=1, extra_down=1, depth=2, seed=42
+        )
+        dev = make_device("gates+readout")
+        result = cut_and_run(
+            qc, dev, cuts=spec, shots=2000, golden="detect", seed=7
+        )
+        assert len(calls) == 2
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPreparationNoiseIsExact:
+    def test_noisy_prep_coefficients_reproduce_prep_state(self):
+        """The Hermitian-basis expansion must carry the preparation gates'
+        own noise: coefficients rebuild the exact noisy 2×2 state."""
+        from repro.cutting.noisy_cache import HERMITIAN_BASIS_STATES
+
+        pair = pair_for(1, 1900)
+        dev = make_device("gates")
+        cache = dev.make_variant_cache(pair)
+        q = pair.down_cut_local[0]
+        for code in ("Z+", "Z-", "X+", "X-", "Y+", "Y-"):
+            c = cache._prep_coefficients(code, q)
+            rebuilt = sum(
+                ci * b for ci, b in zip(c, HERMITIAN_BASIS_STATES)
+            )
+            # evolve the lowered prep gates + noise directly
+            from repro.linalg.channels import apply_channel
+
+            rho = np.zeros((2, 2), dtype=complex)
+            rho[0, 0] = 1.0
+            for inst in cache._lowered_prep(code):
+                m = inst.gate.matrix()
+                rho = m @ rho @ m.conj().T
+                for channel, _ in dev.noise_model.channels_for(inst.name, (q,)):
+                    rho = apply_channel(rho, channel, (0,), 1)
+            np.testing.assert_allclose(rebuilt, rho, atol=TOL)
+            assert abs(c.sum() - np.trace(rho).real) < TOL

@@ -17,6 +17,11 @@ from repro.linalg.paulis import pauli_eigenpairs
 from repro.sim import simulate_statevector
 
 
+def _gates(circuit) -> int:
+    """Number of real gates (barriers are fences, not operations)."""
+    return sum(1 for inst in circuit if inst.name != "barrier")
+
+
 class TestPreparationStates:
     """The six preparation codes must build the advertised eigenstates."""
 
@@ -88,9 +93,11 @@ class TestUpstreamVariant:
             assert np.isclose(p0, expect, atol=1e-10), basis
 
     def test_z_variant_adds_nothing(self, simple_cut_pair):
+        """Z appends no rotation gates — only the body/variant fence."""
         _, _, pair = simple_cut_pair
         var = upstream_variant(pair, ("Z",))
-        assert len(var) == len(pair.upstream)
+        assert _gates(var) == _gates(pair.upstream)
+        assert var[-1].name == "barrier"
 
     def test_wrong_tuple_length(self, simple_cut_pair):
         _, _, pair = simple_cut_pair
@@ -107,14 +114,17 @@ class TestDownstreamVariant:
     def test_prep_gates_prepended(self, simple_cut_pair):
         _, _, pair = simple_cut_pair
         var = downstream_variant(pair, ("Y+",))
-        assert len(var) == len(pair.downstream) + 2  # h, s
+        assert _gates(var) == _gates(pair.downstream) + 2  # h, s
         assert var[0].name == "h" and var[1].name == "s"
         assert var[0].qubits == (pair.down_cut_local[0],)
+        assert var[2].name == "barrier"  # preps fenced off from the body
 
     def test_zplus_adds_nothing(self, simple_cut_pair):
+        """Z+ prepends no gates — only the variant/body fence."""
         _, _, pair = simple_cut_pair
         var = downstream_variant(pair, ("Z+",))
-        assert len(var) == len(pair.downstream)
+        assert _gates(var) == _gates(pair.downstream)
+        assert var[0].name == "barrier"
 
     def test_invalid_code(self, simple_cut_pair):
         _, _, pair = simple_cut_pair
