@@ -11,6 +11,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_reconstruction.json``   ← ``bench_reconstruction_kernel.py``
 * ``benchmarks/BENCH_fragments.json``        ← ``bench_fragments.py``
 * ``benchmarks/BENCH_noisy_fragments.json``  ← ``bench_noisy_fragments.py``
+* ``benchmarks/BENCH_multi_fragment.json``   ← ``bench_multi_fragment.py``
 
 ``--suite NAME`` (repeatable; matches the json/bench file stem) restricts
 either mode to a subset, e.g. ``--write-baseline --suite noisy_fragments``
@@ -43,6 +44,7 @@ SUITES = {
     "BENCH_reconstruction.json": "bench_reconstruction_kernel.py",
     "BENCH_fragments.json": "bench_fragments.py",
     "BENCH_noisy_fragments.json": "bench_noisy_fragments.py",
+    "BENCH_multi_fragment.json": "bench_multi_fragment.py",
 }
 
 

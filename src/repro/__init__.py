@@ -56,14 +56,18 @@ from repro.core import (
 from repro.cutting import (
     CutPoint,
     CutSpec,
+    FragmentChain,
     FragmentPair,
     bipartition,
     find_cuts,
+    partition_chain,
+    reconstruct_chain_distribution,
     reconstruct_distribution,
     reconstruct_expectation,
+    run_chain_fragments,
     run_fragments,
 )
-from repro.cutting.execution import exact_fragment_data
+from repro.cutting.execution import exact_chain_data, exact_fragment_data
 from repro.exceptions import ReproError
 from repro.metrics import total_variation, weighted_distance
 from repro.observables import BitstringProjector, DiagonalObservable
@@ -105,11 +109,16 @@ __all__ = [
     "CutPoint",
     "CutSpec",
     "FragmentPair",
+    "FragmentChain",
     "bipartition",
+    "partition_chain",
     "find_cuts",
     "run_fragments",
+    "run_chain_fragments",
     "exact_fragment_data",
+    "exact_chain_data",
     "reconstruct_distribution",
+    "reconstruct_chain_distribution",
     "reconstruct_expectation",
     # observables / metrics / sim
     "BitstringProjector",

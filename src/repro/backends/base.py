@@ -151,3 +151,36 @@ class Backend(abc.ABC):
             downstream_variant(pair, i) for i in inits
         ]
         return self.run(circuits, shots=shots, seed=seed)
+
+    def make_chain_cache_pool(self, chain):
+        """Build the per-fragment cache pool :meth:`run_chain_variants` uses.
+
+        The chain analogue of :meth:`make_variant_cache`: ``None`` for
+        backends that really execute circuits; one cache per chain fragment
+        (wrapped in a :class:`~repro.cutting.cache.ChainCachePool`) for the
+        ideal and fake-hardware backends, so every fragment body is
+        transpiled/simulated exactly once per pipeline invocation.
+        """
+        return None
+
+    def run_chain_variants(
+        self,
+        chain,
+        index: int,
+        combos: Sequence[tuple[tuple[str, ...], tuple[str, ...]]],
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Execute one chain fragment's ``(inits, setting)`` variants.
+
+        The default implementation materialises each combined variant
+        circuit (:func:`~repro.cutting.variants.chain_variant`) and submits
+        the batch through :meth:`run` — these are the reference semantics
+        the cached fast paths must reproduce bit-identically.  ``cache`` is
+        ignored here, where circuits must really be executed.
+        """
+        from repro.cutting.variants import chain_variant
+
+        circuits = [chain_variant(chain, index, a, s) for a, s in combos]
+        return self.run(circuits, shots=shots, seed=seed)

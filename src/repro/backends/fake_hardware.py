@@ -219,3 +219,74 @@ class FakeHardwareBackend(Backend):
                 )
             )
         return out
+
+    def make_chain_cache_pool(self, chain):
+        """One :class:`NoisyChainFragmentSimCache` per chain fragment."""
+        from repro.cutting.cache import ChainCachePool
+        from repro.cutting.noisy_cache import NoisyChainFragmentSimCache
+
+        return ChainCachePool(
+            chain,
+            [
+                NoisyChainFragmentSimCache(f, self.coupling, self.noise_model)
+                for f in chain.fragments
+            ],
+        )
+
+    def run_chain_variants(
+        self,
+        chain,
+        index: int,
+        combos,
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Serve one chain fragment's variants from its shared noisy cache.
+
+        Distributions come from the per-fragment cache (one transpile and
+        one batched Hermitian-basis response evolution per body, one batched
+        rotation pass per distinct setting); sampling, RNG streams and
+        virtual-clock charges mirror circuit-level execution per variant,
+        so counts are bit-identical to submitting each
+        :func:`~repro.cutting.variants.chain_variant` through :meth:`run`.
+        The device-equivalence contract on a foreign ``cache`` matches
+        :meth:`run_variants`.
+        """
+        from repro.cutting.noisy_cache import NoisyChainFragmentSimCache
+
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        frag = chain.fragments[index]
+        if self.max_qubits is not None and frag.num_qubits > self.max_qubits:
+            raise BackendError(
+                f"{self.name}: circuit width {frag.num_qubits} exceeds "
+                f"device size {self.max_qubits}"
+            )
+        if (
+            not isinstance(cache, NoisyChainFragmentSimCache)
+            or cache.fragment is not frag
+        ):
+            cache = NoisyChainFragmentSimCache(
+                frag, self.coupling, self.noise_model
+            )
+        rngs = spawn_rngs(seed, len(combos))
+        out: list[ExecutionResult] = []
+        for (inits, setting), rng in zip(combos, rngs):
+            probs = cache.probabilities(inits, setting)
+            physical = cache.physical(inits, setting)
+            layout = cache.layout()
+            counts = sample_counts(
+                probs, shots, seed=rng, num_qubits=frag.num_qubits
+            )
+            seconds = self._charge(physical, physical.name, shots)
+            out.append(
+                ExecutionResult(
+                    counts=counts,
+                    shots=shots,
+                    num_qubits=frag.num_qubits,
+                    seconds=seconds,
+                    metadata=self._job_metadata(physical, layout),
+                )
+            )
+        return out

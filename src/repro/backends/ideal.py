@@ -113,6 +113,47 @@ class IdealBackend(Backend):
         ]
         return out
 
+    def make_chain_cache_pool(self, chain):
+        """One :class:`ChainFragmentSimCache` per chain fragment."""
+        from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
+
+        return ChainCachePool(
+            chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+        )
+
+    def run_chain_variants(
+        self,
+        chain,
+        index: int,
+        combos,
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Serve one chain fragment's variants from its shared cache."""
+        from repro.cutting.cache import ChainFragmentSimCache
+
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        frag = chain.fragments[index]
+        if self.max_qubits is not None and frag.num_qubits > self.max_qubits:
+            raise BackendError(
+                f"{self.name}: circuit width {frag.num_qubits} exceeds "
+                f"device size {self.max_qubits}"
+            )
+        if (
+            not isinstance(cache, ChainFragmentSimCache)
+            or cache.fragment is not frag
+        ):
+            cache = ChainFragmentSimCache(frag)
+        rngs = spawn_rngs(seed, len(combos))
+        return [
+            self._result_from_probs(
+                cache.probabilities(a, s), frag.num_qubits, shots, rng
+            )
+            for (a, s), rng in zip(combos, rngs)
+        ]
+
     def exact_probabilities(self, circuit: Circuit) -> np.ndarray:
         """Ground-truth distribution (used for Fig. 3's reference)."""
         return simulate_statevector(circuit).probabilities()

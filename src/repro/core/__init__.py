@@ -37,7 +37,12 @@ from repro.core.neglect import (
     reduced_setting_tuples,
 )
 from repro.core.costs import CostReport, cost_report, predicted_speedup
-from repro.core.pipeline import CutRunResult, cut_and_run
+from repro.core.pipeline import (
+    ChainRunResult,
+    CutRunResult,
+    cut_and_run,
+    cut_and_run_chain,
+)
 
 __all__ = [
     "golden_ansatz",
@@ -61,4 +66,6 @@ __all__ = [
     "predicted_speedup",
     "CutRunResult",
     "cut_and_run",
+    "ChainRunResult",
+    "cut_and_run_chain",
 ]

@@ -40,7 +40,7 @@ from repro.exceptions import CutError
 from repro.utils.rng import as_generator, derive_rng
 from repro.utils.timing import Stopwatch
 
-__all__ = ["CutRunResult", "cut_and_run"]
+__all__ = ["ChainRunResult", "CutRunResult", "cut_and_run", "cut_and_run_chain"]
 
 #: preference order when several bases are golden at one cut — X/Y save
 #: downstream circuit executions, Z only saves upstream settings and terms.
@@ -89,6 +89,158 @@ class CutRunResult:
         from repro.cutting.variance import predicted_stddev_tv
 
         return predicted_stddev_tv(self.data, bases=self.bases)
+
+
+@dataclass
+class ChainRunResult:
+    """Everything produced by one :func:`cut_and_run_chain` invocation."""
+
+    #: reconstructed output distribution (little-endian over the full register)
+    probabilities: np.ndarray
+    #: the fragment chain used
+    chain: object
+    #: golden maps actually exploited, one per cut group
+    golden_used: list
+    #: raw chain fragment measurement data
+    data: object
+    #: per-fragment variant counts and total executions
+    costs: dict
+    #: modelled device seconds
+    device_seconds: float
+    #: real seconds spent in classical reconstruction
+    reconstruction_seconds: float
+    #: per-group reconstruction basis pools (None = full {I,X,Y,Z} everywhere)
+    bases: "list | None" = None
+
+    @property
+    def total_executions(self) -> int:
+        return self.costs["total_executions"]
+
+    def expectation(self, diagonal: np.ndarray) -> float:
+        """Expectation of a diagonal observable under the reconstruction."""
+        return float(np.dot(self.probabilities, np.asarray(diagonal)))
+
+    def variance(self) -> np.ndarray:
+        """Delta-method shot-noise variance of each reconstructed entry."""
+        from repro.cutting.variance import chain_reconstruction_variance
+
+        return chain_reconstruction_variance(self.data, bases=self.bases)
+
+    def predicted_stddev_tv(self) -> float:
+        """Scalar shot-noise summary (see :mod:`repro.cutting.variance`)."""
+        from repro.cutting.variance import chain_predicted_stddev_tv
+
+        return chain_predicted_stddev_tv(self.data, bases=self.bases)
+
+
+def cut_and_run_chain(
+    circuit: Circuit,
+    backend: Backend,
+    specs,
+    shots: int = 1000,
+    golden: str = "off",
+    golden_maps: "list | None" = None,
+    postprocess: str = "clip",
+    seed: "int | np.random.Generator | None" = None,
+) -> ChainRunResult:
+    """Cut ``circuit`` into a fragment chain, run it, reconstruct.
+
+    The multi-fragment analogue of :func:`cut_and_run`: ``specs`` lists one
+    :class:`~repro.cutting.cut.CutSpec` per cut group (original-circuit
+    coordinates, see :func:`repro.cutting.chain.partition_chain`).  Golden
+    modes: ``"off"`` runs the full CutQC-style variant products;
+    ``"known"`` takes ``golden_maps`` — one
+    :data:`~repro.core.neglect.GoldenMap` (or ``None``) per cut group — and
+    neglects those bases group by group: fragment ``i`` then runs the
+    reduced ``inits(group i−1) × settings(group i)`` product and the
+    reconstruction drops the corresponding rows of each group's factors.
+    One cache pool (:meth:`~repro.backends.base.Backend.make_chain_cache_pool`)
+    serves all fragments, so each body is transpiled/simulated once.
+    """
+    from repro.cutting.chain import partition_chain
+    from repro.cutting.execution import run_chain_fragments
+    from repro.cutting.reconstruction import reconstruct_chain_distribution
+    from repro.cutting.shots import allocate_chain_shots
+
+    rng = as_generator(seed)
+    chain = partition_chain(circuit, specs)
+
+    if golden == "off":
+        golden_used = [None] * chain.num_groups
+    elif golden == "known":
+        if golden_maps is None:
+            raise CutError('golden="known" requires golden_maps')
+        if len(golden_maps) != chain.num_groups:
+            raise CutError("need one golden map (or None) per cut group")
+        golden_used = [
+            dict(normalize_golden_map(chain.group_sizes[g], gm)) if gm else None
+            for g, gm in enumerate(golden_maps)
+        ]
+    else:
+        raise CutError(f'golden must be "off"/"known" for chains, got {golden!r}')
+
+    if any(golden_used):
+        from repro.cutting.variants import (
+            downstream_init_tuples,
+            upstream_setting_tuples,
+        )
+
+        bases = [
+            reduced_bases(chain.group_sizes[g], gm)
+            if gm
+            else [("I", "X", "Y", "Z")] * chain.group_sizes[g]
+            for g, gm in enumerate(golden_used)
+        ]
+        variants = []
+        for i in range(chain.num_fragments):
+            gm_prev = golden_used[i - 1] if i > 0 else None
+            gm_next = golden_used[i] if i < chain.num_groups else None
+            kp = chain.fragments[i].num_prep
+            kn = chain.fragments[i].num_meas
+            if not kp:
+                inits = [()]
+            elif gm_prev:
+                inits = reduced_init_tuples(kp, gm_prev)
+            else:
+                inits = downstream_init_tuples(kp)
+            if not kn:
+                settings = [()]
+            elif gm_next:
+                settings = reduced_setting_tuples(kn, gm_next)
+            else:
+                settings = upstream_setting_tuples(kn)
+            variants.append([(a, s) for a in inits for s in settings])
+    else:
+        bases = None
+        variants = None
+
+    pool = backend.make_chain_cache_pool(chain)
+    data = run_chain_fragments(
+        chain,
+        backend,
+        shots=shots,
+        variants=variants,
+        seed=derive_rng(rng, 0x53),
+        pool=pool,
+    )
+
+    with Stopwatch() as sw:
+        probs = reconstruct_chain_distribution(
+            data, bases=bases, postprocess=postprocess
+        )
+
+    counts = [len(r) for r in data.records]
+    _, costs = allocate_chain_shots(counts, shots_per_variant=shots)
+    return ChainRunResult(
+        probabilities=probs,
+        chain=chain,
+        golden_used=golden_used,
+        data=data,
+        costs=costs,
+        device_seconds=data.modeled_seconds,
+        reconstruction_seconds=sw.elapsed,
+        bases=bases,
+    )
 
 
 def _select_golden(

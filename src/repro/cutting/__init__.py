@@ -8,21 +8,46 @@ basis sets.
 
 from repro.cutting.cut import CutPoint, CutSpec, find_cuts
 from repro.cutting.fragments import FragmentPair, bipartition
+from repro.cutting.chain import (
+    ChainFragment,
+    FragmentChain,
+    chain_from_pair,
+    partition_chain,
+)
 from repro.cutting.variants import (
     PREPARATION_STATES,
+    chain_variant,
+    chain_variant_tuples,
     downstream_init_tuples,
     downstream_variant,
     upstream_setting_tuples,
     upstream_variant,
 )
-from repro.cutting.cache import FragmentSimCache
-from repro.cutting.execution import FragmentData, run_fragments
-from repro.cutting.noisy_cache import NoisyFragmentSimCache
+from repro.cutting.cache import (
+    ChainCachePool,
+    ChainFragmentSimCache,
+    FragmentSimCache,
+)
+from repro.cutting.execution import (
+    ChainFragmentData,
+    FragmentData,
+    exact_chain_data,
+    run_chain_fragments,
+    run_fragments,
+)
+from repro.cutting.noisy_cache import (
+    NoisyChainFragmentSimCache,
+    NoisyFragmentSimCache,
+)
 from repro.cutting.reconstruction import (
+    build_chain_fragment_tensor,
+    build_chain_fragment_tensor_reference,
     build_downstream_tensor,
     build_downstream_tensor_reference,
     build_upstream_tensor,
     build_upstream_tensor_reference,
+    reconstruct_chain_distribution,
+    reconstruct_chain_distribution_reference,
     reconstruct_counts,
     reconstruct_distribution,
     reconstruct_expectation,
@@ -33,8 +58,13 @@ from repro.cutting.pauli_cut import (
     cut_pauli_sum_expectation,
     rotated_fragment_pair,
 )
-from repro.cutting.shots import allocate_shots
-from repro.cutting.variance import predicted_stddev_tv, reconstruction_variance
+from repro.cutting.shots import allocate_chain_shots, allocate_shots
+from repro.cutting.variance import (
+    chain_predicted_stddev_tv,
+    chain_reconstruction_variance,
+    predicted_stddev_tv,
+    reconstruction_variance,
+)
 from repro.cutting.allocation import AllocationPlan, suggest_allocation
 
 __all__ = [
@@ -43,20 +73,36 @@ __all__ = [
     "find_cuts",
     "FragmentPair",
     "bipartition",
+    "ChainFragment",
+    "FragmentChain",
+    "chain_from_pair",
+    "partition_chain",
     "PREPARATION_STATES",
     "upstream_setting_tuples",
     "downstream_init_tuples",
     "upstream_variant",
     "downstream_variant",
+    "chain_variant",
+    "chain_variant_tuples",
     "FragmentData",
+    "ChainFragmentData",
     "FragmentSimCache",
+    "ChainFragmentSimCache",
+    "ChainCachePool",
     "NoisyFragmentSimCache",
+    "NoisyChainFragmentSimCache",
     "run_fragments",
+    "run_chain_fragments",
+    "exact_chain_data",
     "build_upstream_tensor",
     "build_downstream_tensor",
     "build_upstream_tensor_reference",
     "build_downstream_tensor_reference",
+    "build_chain_fragment_tensor",
+    "build_chain_fragment_tensor_reference",
     "reconstruct_distribution",
+    "reconstruct_chain_distribution",
+    "reconstruct_chain_distribution_reference",
     "reconstruct_counts",
     "reconstruct_expectation",
     "save_fragment_data",
@@ -65,8 +111,11 @@ __all__ = [
     "cut_pauli_sum_expectation",
     "rotated_fragment_pair",
     "allocate_shots",
+    "allocate_chain_shots",
     "reconstruction_variance",
+    "chain_reconstruction_variance",
     "predicted_stddev_tv",
+    "chain_predicted_stddev_tv",
     "AllocationPlan",
     "suggest_allocation",
 ]

@@ -41,7 +41,12 @@ from repro.exceptions import CutError
 from repro.sim.statevector import apply_circuit_to_tensor, simulate_statevector
 from repro.linalg.tensor import apply_matrix_to_axes, flat_from_tensor
 
-__all__ = ["FragmentSimCache", "PREPARATION_AMPLITUDES"]
+__all__ = [
+    "ChainCachePool",
+    "ChainFragmentSimCache",
+    "FragmentSimCache",
+    "PREPARATION_AMPLITUDES",
+]
 
 
 def _prep_amplitudes() -> dict[str, np.ndarray]:
@@ -255,4 +260,184 @@ class FragmentSimCache:
             self.downstream_probabilities_batch(inits)
         for s in settings:
             self.upstream_probabilities(s)
+        return self
+
+
+class ChainFragmentSimCache:
+    """Lazy per-chain-fragment cache of ideal body simulations.
+
+    The chain generalisation of :class:`FragmentSimCache`: one fragment may
+    have *both* a preparation side (cut group ``g − 1`` entering) and a
+    measurement side (cut group ``g`` exiting).  The two existing techniques
+    compose because they touch different ends of the same linear map:
+
+    * the body is simulated **once**, batched over the ``2^{K_prev}``
+      computational initialisations of the entering cut wires (amplitude
+      response columns, as in the pair cache's downstream half);
+    * each measurement setting rotates the cut axes of that whole cached
+      column bank (as in the pair cache's upstream half) — memoised per
+      setting;
+    * any preparation tuple is a linear combination of the rotated columns,
+      one GEMV (or GEMM per batch) away, *before* squaring — amplitudes mix
+      linearly, probabilities do not.
+
+    Cost: ``6^{K_prev} · 3^{K}`` full variant simulations collapse to one
+    batched body simulation plus ``3^{K}`` cheap axis rotations.
+    """
+
+    __slots__ = ("fragment", "_columns", "_rotated", "_probs", "_joint", "_axes")
+
+    def __init__(self, fragment) -> None:
+        self.fragment = fragment
+        self._columns: "np.ndarray | None" = None
+        #: setting -> rotated amplitude bank, shape ``(2,)*n + (2^{K_prev},)``
+        self._rotated: dict[tuple[str, ...], np.ndarray] = {}
+        self._probs: dict[tuple, np.ndarray] = {}
+        self._joint: dict[tuple, np.ndarray] = {}
+        #: transpose order mapping a probability tensor onto (b_out, b_cut)
+        self._axes = tuple(reversed(fragment.out_local)) + tuple(
+            reversed(fragment.cut_local)
+        )
+
+    # ------------------------------------------------------------------
+    def _response_columns(self) -> np.ndarray:
+        """Body output amplitudes per entering-cut initialisation.
+
+        Shape ``(2,)*n + (2^{K_prev},)``: batch column ``j`` is the final
+        state when entering cut ``k`` starts in computational state bit
+        ``k`` of ``j`` (a single batched body simulation; ``K_prev = 0``
+        degenerates to one plain body run).
+        """
+        if self._columns is None:
+            frag = self.fragment
+            n, B = frag.num_qubits, 1 << frag.num_prep
+            js = np.arange(B)
+            init = np.zeros((2,) * n + (B,), dtype=COMPLEX_DTYPE)
+            pos = {q: k for k, q in enumerate(frag.prep_local)}
+            coords = tuple(
+                ((js >> pos[q]) & 1) if q in pos else np.zeros(B, dtype=np.int64)
+                for q in range(n)
+            )
+            init[coords + (js,)] = 1.0
+            cols = apply_circuit_to_tensor(init, frag.circuit)
+            cols.setflags(write=False)
+            self._columns = cols
+        return self._columns
+
+    def _rotated_columns(self, setting: tuple[str, ...]) -> np.ndarray:
+        """The response bank with one setting's terminal rotations applied."""
+        out = self._rotated.get(setting)
+        if out is not None:
+            return out
+        if len(setting) != self.fragment.num_meas:
+            raise CutError("setting tuple length != number of exiting cuts")
+        t = self._response_columns()
+        for k, basis in enumerate(setting):
+            try:
+                rot = MEASUREMENT_ROTATIONS[basis]
+            except KeyError:
+                raise CutError(f"invalid measurement basis {basis!r}") from None
+            if rot is not None:
+                t = apply_matrix_to_axes(t, rot, (self.fragment.cut_local[k],))
+        t.setflags(write=False)
+        self._rotated[setting] = t
+        return t
+
+    def _prep_coefficients(self, inits: tuple[str, ...]) -> np.ndarray:
+        """Expansion of a preparation product state over the basis columns."""
+        if len(inits) != self.fragment.num_prep:
+            raise CutError("init tuple length != number of entering cuts")
+        B = 1 << self.fragment.num_prep
+        js = np.arange(B)
+        c = np.ones(B, dtype=COMPLEX_DTYPE)
+        for k, code in enumerate(inits):
+            try:
+                amp = PREPARATION_AMPLITUDES[code]
+            except KeyError:
+                raise CutError(f"invalid preparation code {code!r}") from None
+            c *= amp[(js >> k) & 1]
+        return c
+
+    # ------------------------------------------------------------------
+    def _probs_tensor(
+        self, inits: tuple[str, ...], setting: tuple[str, ...]
+    ) -> np.ndarray:
+        rot = self._rotated_columns(setting)
+        n = self.fragment.num_qubits
+        psi = np.tensordot(rot, self._prep_coefficients(inits), axes=([n], [0]))
+        return np.square(psi.real) + np.square(psi.imag)
+
+    def probabilities(
+        self, inits: Sequence[str], setting: Sequence[str]
+    ) -> np.ndarray:
+        """Full little-endian distribution of one ``(inits, setting)`` variant."""
+        key = (tuple(inits), tuple(setting))
+        out = self._probs.get(key)
+        if out is None:
+            out = flat_from_tensor(self._probs_tensor(*key))
+            out.setflags(write=False)
+            self._probs[key] = out
+        return out
+
+    def joint(self, inits: Sequence[str], setting: Sequence[str]) -> np.ndarray:
+        """Joint ``A[b_out, b_cut]`` record (``b_cut`` dimension 1 at chain end)."""
+        key = (tuple(inits), tuple(setting))
+        out = self._joint.get(key)
+        if out is None:
+            frag = self.fragment
+            p = self._probs_tensor(*key)
+            out = np.ascontiguousarray(
+                p.transpose(self._axes).reshape(
+                    1 << frag.n_out, 1 << frag.num_meas
+                )
+            )
+            out.setflags(write=False)
+            self._joint[key] = out
+        return out
+
+    def warm(
+        self, combos: Iterable[tuple[Sequence[str], Sequence[str]]] = ()
+    ) -> "ChainFragmentSimCache":
+        """Precompute distributions so later reads are lock-free/thread-safe."""
+        for inits, setting in combos:
+            self.probabilities(inits, setting)
+        return self
+
+
+class ChainCachePool:
+    """One per-fragment simulation cache per chain link.
+
+    The chain analogue of handing a single per-pair cache to every consumer:
+    ``pool[i]`` is fragment ``i``'s cache (ideal
+    :class:`ChainFragmentSimCache` or noisy
+    :class:`~repro.cutting.noisy_cache.NoisyChainFragmentSimCache`,
+    whichever the backend's
+    :meth:`~repro.backends.base.Backend.make_chain_cache_pool` built).
+    After :meth:`warm` every cache is read-only, so the whole pool is safe
+    to share across worker threads — exactly like today's per-pair caches.
+    """
+
+    __slots__ = ("chain", "caches")
+
+    def __init__(self, chain, caches: Sequence) -> None:
+        if len(caches) != chain.num_fragments:
+            raise CutError("cache pool needs one cache per chain fragment")
+        self.chain = chain
+        self.caches = list(caches)
+
+    def __len__(self) -> int:
+        return len(self.caches)
+
+    def __getitem__(self, index: int):
+        return self.caches[index]
+
+    def __iter__(self):
+        return iter(self.caches)
+
+    def warm(self, variants_per_fragment: Sequence[Sequence[tuple]]) -> "ChainCachePool":
+        """Warm every fragment's cache with its variant combos."""
+        if len(variants_per_fragment) != len(self.caches):
+            raise CutError("need one variant list per fragment")
+        for cache, combos in zip(self.caches, variants_per_fragment):
+            cache.warm(combos)
         return self

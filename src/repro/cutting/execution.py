@@ -34,7 +34,14 @@ from repro.cutting.variants import (
 from repro.exceptions import CutError
 from repro.utils.bits import split_index
 
-__all__ = ["FragmentData", "run_fragments", "exact_fragment_data"]
+__all__ = [
+    "ChainFragmentData",
+    "FragmentData",
+    "exact_chain_data",
+    "exact_fragment_data",
+    "run_chain_fragments",
+    "run_fragments",
+]
 
 
 @dataclass
@@ -81,16 +88,27 @@ class FragmentData:
         return list(self.downstream)
 
 
+def _split_joint_probs(
+    probs: np.ndarray, out_local: Sequence[int], cut_local: Sequence[int]
+) -> np.ndarray:
+    """Rearrange a full fragment distribution into ``A[b_out, b_cut]``.
+
+    ``b_cut`` is little-endian in the cut index; an empty ``cut_local``
+    yields a single column (pure-output fragments at the chain end).
+    """
+    n = len(out_local) + len(cut_local)
+    idx = np.arange(1 << n)
+    sub_out, sub_cut = split_index(idx, [out_local, cut_local])
+    out = np.zeros((1 << len(out_local), 1 << len(cut_local)))
+    np.add.at(out, (sub_out, sub_cut), probs)
+    return out
+
+
 def _split_upstream_probs(
     probs: np.ndarray, pair: FragmentPair
 ) -> np.ndarray:
     """Rearrange a full upstream distribution into ``A[b_out, b_cut]``."""
-    n = pair.n_up
-    idx = np.arange(1 << n)
-    sub_out, sub_cut = split_index(idx, [pair.up_out_local, pair.up_cut_local])
-    out = np.zeros((1 << pair.n_up_out, 1 << pair.num_cuts))
-    np.add.at(out, (sub_out, sub_cut), probs)
-    return out
+    return _split_joint_probs(probs, pair.up_out_local, pair.up_cut_local)
 
 
 def run_fragments(
@@ -143,6 +161,168 @@ def run_fragments(
             "num_upstream": len(settings),
             "num_downstream": len(inits),
         },
+    )
+
+
+@dataclass
+class ChainFragmentData:
+    """Measurement records of every variant of every chain fragment.
+
+    Attributes
+    ----------
+    chain:
+        The :class:`~repro.cutting.chain.FragmentChain` the data belongs to.
+    records:
+        One dict per fragment: ``(inits, setting) → A[b_out, b_cut]`` of
+        shape ``(2^{n_out}, 2^{K_g})`` (``K_g`` the fragment's exiting cut
+        group size; the last fragment's records have one column).  The first
+        fragment's keys carry an empty init tuple, the last an empty
+        setting tuple.
+    shots_per_variant:
+        Shot budget each variant was run with (0 for exact data).
+    modeled_seconds:
+        Total device-model wall time charged by the backend.
+    """
+
+    chain: object
+    records: list[dict[tuple[tuple[str, ...], tuple[str, ...]], np.ndarray]]
+    shots_per_variant: int
+    modeled_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_variants(self) -> int:
+        return sum(len(r) for r in self.records)
+
+    @property
+    def total_shots(self) -> int:
+        return self.shots_per_variant * self.num_variants
+
+    def fragment_variants(
+        self, index: int
+    ) -> list[tuple[tuple[str, ...], tuple[str, ...]]]:
+        return list(self.records[index])
+
+
+def _chain_variant_lists(chain, variants):
+    """Normalise the per-fragment variant lists (default: full pools)."""
+    from repro.cutting.variants import chain_variant_tuples
+
+    if variants is None:
+        variants = [
+            chain_variant_tuples(chain, i) for i in range(chain.num_fragments)
+        ]
+    if len(variants) != chain.num_fragments:
+        raise CutError("need one variant list per chain fragment")
+    out = []
+    for i, combos in enumerate(variants):
+        combos = [(tuple(a), tuple(s)) for a, s in combos]
+        if not combos:
+            raise CutError(f"fragment {i} has an empty variant set")
+        out.append(combos)
+    return out
+
+
+def run_chain_fragments(
+    chain,
+    backend: Backend,
+    shots: int,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    pool=None,
+) -> ChainFragmentData:
+    """Execute every chain fragment's variants on ``backend``.
+
+    The chain analogue of :func:`run_fragments`: fragment ``i``'s combos
+    (default: the full ``6^{K_{i-1}} · 3^{K_i}`` product; golden pipelines
+    pass reduced lists) are submitted through
+    :meth:`~repro.backends.base.Backend.run_chain_variants`, so backends
+    with an exact engine serve them from the per-fragment cache ``pool[i]``
+    (built by :meth:`~repro.backends.base.Backend.make_chain_cache_pool`)
+    instead of re-simulating the body per variant.
+    """
+    from repro.utils.rng import as_generator, derive_rng
+
+    variants = _chain_variant_lists(chain, variants)
+    rng = as_generator(seed)
+    records: list[dict] = []
+    t0 = backend.clock.now
+    for i, combos in enumerate(variants):
+        frag = chain.fragments[i]
+        results = backend.run_chain_variants(
+            chain,
+            i,
+            combos,
+            shots=shots,
+            seed=derive_rng(rng, 0x60 + i),
+            cache=pool[i] if pool is not None else None,
+        )
+        records.append(
+            {
+                combo: _split_joint_probs(
+                    res.probabilities(), frag.out_local, frag.cut_local
+                )
+                for combo, res in zip(combos, results)
+            }
+        )
+    seconds = backend.clock.now - t0
+
+    return ChainFragmentData(
+        chain=chain,
+        records=records,
+        shots_per_variant=shots,
+        modeled_seconds=seconds,
+        metadata={
+            "backend": getattr(backend, "name", "backend"),
+            "variants_per_fragment": [len(c) for c in variants],
+        },
+    )
+
+
+def exact_chain_data(
+    chain,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    pool=None,
+) -> ChainFragmentData:
+    """Infinite-shot chain fragment data from the shared (ideal) cache pool.
+
+    ``pool`` must hold :class:`~repro.cutting.cache.ChainFragmentSimCache`
+    instances (e.g. from :meth:`IdealBackend.make_chain_cache_pool`) — exact
+    data is an ideal-simulation notion, so a noisy backend's pool is
+    rejected rather than silently served.
+    """
+    from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
+
+    variants = _chain_variant_lists(chain, variants)
+    if pool is None:
+        pool = ChainCachePool(
+            chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+        )
+    elif not all(isinstance(c, ChainFragmentSimCache) for c in pool):
+        raise CutError(
+            "exact_chain_data needs ideal ChainFragmentSimCache caches; "
+            "got a pool of a different flavour (noisy pools serve "
+            "run_chain_fragments, not exact data)"
+        )
+    elif any(
+        c.fragment is not f for c, f in zip(pool, chain.fragments)
+    ):
+        raise CutError(
+            "cache pool was built for a different chain; build one with "
+            "make_chain_cache_pool(chain) for this chain"
+        )
+    records: list[dict] = []
+    for i, combos in enumerate(variants):
+        cache = pool[i]
+        records.append(
+            {combo: cache.joint(*combo) for combo in combos}
+        )
+    return ChainFragmentData(
+        chain=chain,
+        records=records,
+        shots_per_variant=0,
+        modeled_seconds=0.0,
+        metadata={"backend": "exact"},
     )
 
 

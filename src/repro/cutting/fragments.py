@@ -56,6 +56,12 @@ class FragmentPair:
     down_out_original: list[int]
     #: the cut spec this pair was built from
     spec: CutSpec = field(repr=False, default=None)  # type: ignore[assignment]
+    #: instruction indices (in the parent circuit) that went downstream, in
+    #: the order they appear in ``downstream`` — local instruction ``j`` of
+    #: the downstream fragment is parent instruction ``down_node_indices[j]``.
+    #: Consumed by :func:`repro.cutting.chain.partition_chain` to translate
+    #: later cut specs into the remainder's coordinates.
+    down_node_indices: tuple[int, ...] = field(repr=False, default=())
 
     # ------------------------------------------------------------------
     @property
@@ -224,4 +230,5 @@ def bipartition(circuit: Circuit, spec: CutSpec) -> FragmentPair:
         down_out_local=[down_map[q] for q in down_out_original],
         down_out_original=down_out_original,
         spec=spec,
+        down_node_indices=tuple(sorted(down_nodes)),
     )

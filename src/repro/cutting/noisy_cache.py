@@ -68,7 +68,11 @@ from repro.transpile.coupling import CouplingMap
 from repro.transpile.passes import cancel_adjacent_inverses, merge_single_qubit_runs
 from repro.transpile.pipeline import transpile
 
-__all__ = ["HERMITIAN_BASIS_STATES", "NoisyFragmentSimCache"]
+__all__ = [
+    "HERMITIAN_BASIS_STATES",
+    "NoisyChainFragmentSimCache",
+    "NoisyFragmentSimCache",
+]
 
 _SQ2 = 1.0 / np.sqrt(2.0)
 
@@ -414,4 +418,215 @@ class NoisyFragmentSimCache:
         for i in inits:
             self.downstream_probabilities(i)
             self.downstream_physical(i)
+        return self
+
+
+class NoisyChainFragmentSimCache:
+    """Lazy per-(chain fragment, device) cache of noisy body evolutions.
+
+    The chain generalisation of :class:`NoisyFragmentSimCache`: one fragment
+    may both receive preparations (cut group ``g − 1``) and measure cut
+    wires (cut group ``g``).  The same two linear-response arguments
+    compose:
+
+    * **one transpile per fragment body** — preparation gates and terminal
+      rotations are fenced off, so the physical variant is exactly
+      ``lowered preps + transpile(body) + lowered rotations``;
+    * the body channel is evolved **once**, batched over the ``4^{K_prev}``
+      Hermitian cut-basis product initialisations of the entering wires
+      (``K_prev = 0`` degenerates to the single upstream-body evolution);
+    * each measurement setting conjugates the *whole cached batch* by its
+      lowered terminal rotations (with their own gate noise) — one batched
+      rotation evolution per distinct setting, memoised;
+    * any preparation tuple is a real linear combination of the rotated
+      batch's diagonals, with coefficients from exact noisy 2×2 prep-state
+      evolutions.
+
+    Cost per fragment: ``6^{K_prev} · 3^{K}`` transpiles + evolutions become
+    ``1`` transpile + ``4^{K_prev}`` body evolutions + ``3^{K}`` batched
+    rotation passes.  Across an ``N``-fragment chain that is exactly ``N``
+    body transpiles — the law pinned by
+    ``tests/test_noisy_fast_path_equivalence.py``.
+    """
+
+    __slots__ = (
+        "fragment",
+        "coupling",
+        "noise_model",
+        "stats",
+        "_body",
+        "_rotated_diag",
+        "_probs",
+        "_phys",
+        "_prep_lowered",
+        "_prep_coeff",
+    )
+
+    def __init__(self, fragment, coupling: CouplingMap, noise_model) -> None:
+        self.fragment = fragment
+        self.coupling = coupling
+        self.noise_model = noise_model
+        self.stats = {
+            "transpiles": 0,
+            "body_evolutions": 0,
+            "rotation_evolutions": 0,
+        }
+        self._body: "tuple | None" = None  # (physical, layout, rho batch)
+        #: setting -> raw diagonals, shape (4^{K_prev}, 2^{n_phys})
+        self._rotated_diag: dict[tuple[str, ...], np.ndarray] = {}
+        self._probs: dict[tuple, np.ndarray] = {}
+        self._phys: dict[tuple, Circuit] = {}
+        self._prep_lowered: dict[str, Circuit] = {}
+        self._prep_coeff: dict[tuple[str, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------- helpers
+    _finalize = NoisyFragmentSimCache._finalize
+    _lowered_prep = NoisyFragmentSimCache._lowered_prep
+    _prep_coefficients = NoisyFragmentSimCache._prep_coefficients
+
+    # ------------------------------------------------------------------
+    def _body_state(self) -> tuple:
+        """Transpile the body and evolve the Hermitian response batch once."""
+        if self._body is None:
+            frag = self.fragment
+            physical, layout = transpile(frag.circuit, self.coupling)
+            self.stats["transpiles"] += 1
+            n = physical.num_qubits
+            Kp = frag.num_prep
+            B = 1 << (2 * Kp)
+            init = np.zeros((2,) * (2 * n) + (B,), dtype=COMPLEX_DTYPE)
+            # preparation gates act before any routing SWAP, so entering
+            # cut wires sit at their logical physical positions
+            preps = list(frag.prep_local)
+            sl: list = [0] * (2 * n)
+            for q in preps:
+                sl[q] = slice(None)
+                sl[q + n] = slice(None)
+            order = sorted(range(Kp), key=lambda k: preps[k])
+            for j in range(B):
+                if Kp:
+                    operands: list = []
+                    for a, k in enumerate(order):
+                        d = (j >> (2 * k)) & 3
+                        operands += [HERMITIAN_BASIS_STATES[d], [a, Kp + a]]
+                    init[tuple(sl) + (j,)] = np.einsum(
+                        *operands, list(range(2 * Kp))
+                    )
+                else:
+                    init[tuple(sl) + (j,)] = 1.0
+            t = evolve_noisy_tensor(init, physical, self.noise_model, n)
+            self.stats["body_evolutions"] += B
+            self._body = (physical, layout, t)
+        return self._body
+
+    def _rotation_circuit(
+        self, setting: tuple[str, ...], layout: Sequence[int], n_phys: int
+    ) -> Circuit:
+        """Lowered terminal rotations of one setting, on physical wires."""
+        rot = Circuit(n_phys, name="rot")
+        for k, basis in enumerate(setting):
+            p = layout[self.fragment.cut_local[k]]
+            if basis == "X":
+                rot.h(p)
+            elif basis == "Y":
+                rot.sdg(p).h(p)
+            elif basis != "Z":
+                raise CutError(f"invalid measurement basis {basis!r}")
+        return _lower_1q(rot)
+
+    def _setting_diag(self, setting: tuple[str, ...]) -> np.ndarray:
+        """Raw physical diagonals of the rotated response batch."""
+        out = self._rotated_diag.get(setting)
+        if out is not None:
+            return out
+        if len(setting) != self.fragment.num_meas:
+            raise CutError("setting tuple length != number of exiting cuts")
+        physical, layout, rho = self._body_state()
+        n = physical.num_qubits
+        if setting:
+            rot = self._rotation_circuit(setting, layout, n)
+            rho = evolve_noisy_tensor(rho, rot, self.noise_model, n)
+            self.stats["rotation_evolutions"] += 1
+        out = probabilities_from_tensor(rho, n, clip=False)
+        out = out.reshape(1 << (2 * self.fragment.num_prep), 1 << n)
+        out.setflags(write=False)
+        self._rotated_diag[setting] = out
+        return out
+
+    def _init_coefficients(self, inits: tuple[str, ...]) -> np.ndarray:
+        """Response-row coefficients of one preparation tuple (length 4^{K_prev})."""
+        if len(inits) != self.fragment.num_prep:
+            raise CutError("init tuple length != number of entering cuts")
+        Kp = self.fragment.num_prep
+        js = np.arange(1 << (2 * Kp))
+        c = np.ones(js.size, dtype=np.float64)
+        for k, code in enumerate(inits):
+            ck = self._prep_coefficients(code, self.fragment.prep_local[k])
+            c *= ck[(js >> (2 * k)) & 3]
+        return c
+
+    def probabilities(
+        self, inits: Sequence[str], setting: Sequence[str]
+    ) -> np.ndarray:
+        """Noisy logical distribution of one ``(inits, setting)`` variant."""
+        key = (tuple(inits), tuple(setting))
+        out = self._probs.get(key)
+        if out is None:
+            _, layout, _ = self._body_state()
+            raw = self._init_coefficients(key[0]) @ self._setting_diag(key[1])
+            out = self._finalize(raw, layout, self.fragment.num_qubits)
+            self._probs[key] = out
+        return out
+
+    def physical(self, inits: Sequence[str], setting: Sequence[str]) -> Circuit:
+        """The physical circuit of one chain variant (for timing/metadata).
+
+        Identical, instruction for instruction, to transpiling the logical
+        :func:`~repro.cutting.variants.chain_variant` from scratch — the
+        fenced-transpile factorisation invariant.
+        """
+        key = (tuple(inits), tuple(setting))
+        out = self._phys.get(key)
+        if out is None:
+            frag = self.fragment
+            physical, layout, _ = self._body_state()
+            n = physical.num_qubits
+            prep = Circuit(n)
+            for k, code in enumerate(key[0]):
+                q = frag.prep_local[k]
+                for g in PREPARATION_STATES[code]:
+                    prep.add_gate(g, (q,))
+            label = f"{','.join(key[0])}|{','.join(key[1])}"
+            out = Circuit(n, name=f"{frag.circuit.name}[{label}]")
+            for inst in _lower_1q(prep):
+                out.append(inst)
+            if key[0]:
+                out.append(
+                    Instruction(Gate("barrier"), tuple(range(frag.num_qubits)))
+                )
+            for inst in physical:
+                out.append(inst)
+            if key[1]:
+                out.append(
+                    Instruction(
+                        Gate("barrier"),
+                        tuple(layout[q] for q in range(frag.num_qubits)),
+                    )
+                )
+            for inst in self._rotation_circuit(key[1], layout, n):
+                out.append(inst)
+            self._phys[key] = out
+        return out
+
+    def layout(self) -> list[int]:
+        """Final logical→physical layout of the transpiled body."""
+        return list(self._body_state()[1])
+
+    def warm(
+        self, combos: Iterable[tuple[Sequence[str], Sequence[str]]] = ()
+    ) -> "NoisyChainFragmentSimCache":
+        """Precompute entries so later reads are lock-free and thread-safe."""
+        for inits, setting in combos:
+            self.probabilities(inits, setting)
+            self.physical(inits, setting)
         return self

@@ -54,7 +54,11 @@ __all__ = [
     "build_downstream_tensor",
     "build_upstream_tensor_reference",
     "build_downstream_tensor_reference",
+    "build_chain_fragment_tensor",
+    "build_chain_fragment_tensor_reference",
     "reconstruct_distribution",
+    "reconstruct_chain_distribution",
+    "reconstruct_chain_distribution_reference",
     "reconstruct_counts",
     "reconstruct_expectation",
     "project_to_simplex",
@@ -290,6 +294,305 @@ def build_downstream_tensor_reference(
             sign = 1.0 - 2.0 * (bin(s & mask).count("1") & 1)
             out[i] += sign * vec
     return out, rows
+
+
+# ---------------------------------------------------------------------------
+# Multi-fragment chain reconstruction.  With fragments F_0 .. F_{N-1} and cut
+# groups g = 0 .. N-2 (group g linking F_g to F_{g+1}), the joint output
+# distribution is the matrix-product contraction
+#
+#     p[b_0..b_{N-1}] = (Π_g 2^{-K_g}) Σ_{M_0..M_{N-2}}
+#         T_0[M_0, b_0] · T_1[M_0, M_1, b_1] · ... · T_{N-1}[M_{N-2}, b_{N-1}]
+#
+# where T_i is fragment i's *reduced tensor*: its prep side is contracted
+# like B̂ (signed sum over preparation eigenstates of the entering group's
+# basis row) and its measure side like Â (eigenvalue-weighted outcome sum of
+# the exiting group's basis row).  Each side factorises over its cuts into
+# the same per-cut transfer matrices the pair builders use, so neglected
+# pools still just slice rows off individual cuts' factors — the paper's
+# O(4^{K_r} 3^{K_g}) reduction applies per cut group.  The contraction runs
+# left to right, one tensordot per fragment, accumulating output axes in
+# fragment order (earlier fragments least significant).
+
+
+def _normalise_chain_bases(bases, group_sizes: Sequence[int]):
+    """Per-group basis pools: ``bases[g][k]`` is cut k of group g's pool."""
+    if bases is None:
+        return [[FULL_BASES] * k for k in group_sizes]
+    if len(bases) != len(group_sizes):
+        raise ReconstructionError("bases list length != number of cut groups")
+    return [
+        _normalise_bases(pools, k) for pools, k in zip(bases, group_sizes)
+    ]
+
+
+def _chain_fallback(
+    records: dict, num_meas: int
+) -> list[str]:
+    """Per-cut ``I``-row fallback letters from the settings actually run."""
+    settings = {s for _, s in records}
+    if not settings:
+        raise ReconstructionError("no fragment data")
+    pools = [sorted({s[k] for s in settings}) for k in range(num_meas)]
+    return ["Z" if "Z" in p else p[0] for p in pools]
+
+
+def _chain_rows(data, index: int, bases):
+    """Shared per-fragment row bookkeeping of all chain builders.
+
+    Returns ``(frag, records, prev_bases, next_bases, rows_prev, rows_next,
+    fallback)`` — the entering/exiting group pools resolved from ``bases``,
+    their basis-row products (``[()]`` at the chain ends) and the per-cut
+    ``I``-row fallback letters.
+    """
+    chain = data.chain
+    frag = chain.fragments[index]
+    records = data.records[index]
+    group_bases = _normalise_chain_bases(bases, chain.group_sizes)
+    prev_bases = group_bases[index - 1] if index > 0 else []
+    next_bases = group_bases[index] if index < chain.num_groups else []
+    rows_prev = list(itertools.product(*prev_bases)) if prev_bases else [()]
+    rows_next = list(itertools.product(*next_bases)) if next_bases else [()]
+    fallback = _chain_fallback(records, frag.num_meas)
+    return frag, records, prev_bases, next_bases, rows_prev, rows_next, fallback
+
+
+def _chain_row_runs(index, frag, records, rows_prev, rows_next, fallback):
+    """Iterate every record one fragment's reduced rows consume.
+
+    Yields ``(a, b, sign, signs_n, A)``: for entering row ``rows_prev[a]``
+    and exiting row ``rows_next[b]``, each preparation-eigenstate run with
+    its entering-side sign, the exiting-side eigenvalue weight vector and
+    the measured record ``A[b_out, b_cut]``.  This is the *single*
+    definition of which variant serves which row (``I``-fallback
+    substitution included) — shared by the reference tensor builder and the
+    variance model so the two cannot drift.
+    """
+    Kp, Kn = frag.num_prep, frag.num_meas
+    for a, row_p in enumerate(rows_prev):
+        mask_p = sum(1 << k for k, m in enumerate(row_p) if m != "I")
+        for b, row_n in enumerate(rows_next):
+            setting = tuple(
+                m if m != "I" else fallback[k] for k, m in enumerate(row_n)
+            )
+            mask_n = sum(1 << k for k, m in enumerate(row_n) if m != "I")
+            signs_n = _signs_for(mask_n, Kn)
+            for s in range(1 << Kp):
+                init = tuple(
+                    _PREP_OF[m][(s >> k) & 1] for k, m in enumerate(row_p)
+                )
+                A = records.get((init, setting))
+                if A is None:
+                    raise ReconstructionError(
+                        f"fragment {index} is missing variant "
+                        f"{(init, setting)}"
+                    )
+                sign = 1.0 - 2.0 * (bin(s & mask_p).count("1") & 1)
+                yield a, b, sign, signs_n, A
+
+
+def _contract_chain(tensors: Sequence[np.ndarray]) -> np.ndarray:
+    """Left-to-right matrix-product contraction of per-fragment tensors.
+
+    ``tensors[i]`` has shape ``(R_prev, R_next, D_i)``; the result is the
+    joint vector over all fragment outputs with earlier fragments' bits
+    least significant (before ``2^{-ΣK}`` scaling and register
+    permutation).  One ``einsum`` per fragment — the shared kernel of
+    :func:`reconstruct_chain_distribution` and the chain variance model.
+    """
+    acc = tensors[0][0].T  # (D_0, R_0)
+    for T in tensors[1:-1]:
+        # acc[a, r] , T[r, s, b] -> (b, a, s); C-ravel of (b, a) keeps the
+        # earlier fragments' bits least significant
+        acc = np.einsum("ar,rsb->bas", acc, T).reshape(-1, T.shape[1])
+    joint = np.einsum("ar,rb->ba", acc, tensors[-1][:, 0, :])
+    return joint.reshape(-1)
+
+
+def build_chain_fragment_tensor(
+    data, index: int, bases=None
+) -> tuple[np.ndarray, list, list]:
+    """Reduced tensor of one chain fragment: shape ``(R_prev, R_next, 2^{n_out})``.
+
+    ``bases`` lists the per-group basis pools (see
+    :func:`reconstruct_chain_distribution`); ``R_prev``/``R_next`` run over
+    the basis rows of the entering/exiting cut group (dimension 1 at the
+    chain ends).  Vectorised exactly like the pair builders: the fragment's
+    records are stacked into one array with an axis per entering
+    preparation code and exiting setting letter, then each exiting cut's
+    ``U_k[m, t, r]`` and each entering cut's ``V_k[m, c]`` transfer matrix
+    is contracted in with a single ``tensordot``.
+    """
+    frag, records, prev_bases, next_bases, rows_prev, rows_next, fallback = (
+        _chain_rows(data, index, bases)
+    )
+    Kp, Kn = frag.num_prep, frag.num_meas
+
+    # entering side: preparation codes referenced by each cut's basis pool
+    codes: list[list[str]] = []
+    for pool in prev_bases:
+        need: list[str] = []
+        for m in pool:
+            for c in _PREP_OF[m]:
+                if c not in need:
+                    need.append(c)
+        codes.append(need)
+    # exiting side: physical setting letters referenced by each pool
+    letters: list[list[str]] = []
+    for k, pool in enumerate(next_bases):
+        need = []
+        for m in pool:
+            s = m if m != "I" else fallback[k]
+            if s not in need:
+                need.append(s)
+        letters.append(need)
+
+    needed = list(
+        itertools.product(
+            itertools.product(*codes), itertools.product(*letters)
+        )
+    )
+    for combo in needed:
+        if combo not in records:
+            raise ReconstructionError(
+                f"fragment {index} is missing variant {combo}"
+            )
+
+    n_out_dim = 1 << frag.n_out
+    T = np.stack([records[c] for c in needed])
+    shape = (
+        tuple(len(c) for c in codes)
+        + tuple(len(l) for l in letters)
+        + (n_out_dim,)
+        + (2,) * Kn
+    )
+    T = T.reshape(shape)
+    # C-order split of b_cut yields bit axes most-significant first; reverse
+    # them so trailing axis j = exiting cut j.
+    lead = Kp + Kn + 1
+    T = T.transpose(
+        tuple(range(lead)) + tuple(range(lead + Kn - 1, lead - 1, -1))
+    )
+
+    # exiting cuts: U_k[m, t, r] = δ(t = setting(m)) · w_m(r)
+    for k in range(Kn):
+        pool, need = next_bases[k], letters[k]
+        U = np.zeros((len(pool), len(need), 2))
+        for i, m in enumerate(pool):
+            t = need.index(m if m != "I" else fallback[k])
+            U[i, t, 0] = 1.0
+            U[i, t, 1] = 1.0 if m == "I" else -1.0
+        nt = Kn - k  # remaining setting axes; r_k sits just past b_out
+        T = np.moveaxis(
+            np.tensordot(U, T, axes=([1, 2], [Kp, Kp + nt + 1])), 0, -1
+        )
+    # entering cuts: V_k[m, c] = eigenvalue weight of preparation c in m
+    for k in range(Kp):
+        pool, need = prev_bases[k], codes[k]
+        V = np.zeros((len(pool), len(need)))
+        for i, m in enumerate(pool):
+            plus, minus = _PREP_OF[m]
+            V[i, need.index(plus)] = 1.0
+            V[i, need.index(minus)] = 1.0 if m == "I" else -1.0
+        T = np.moveaxis(np.tensordot(V, T, axes=([1], [0])), 0, -1)
+
+    # T axes: (b_out, m_next_0..m_next_{Kn-1}, m_prev_0..m_prev_{Kp-1})
+    # -> (rows_prev, rows_next, b_out)
+    T = np.moveaxis(T, 0, -1)
+    T = T.transpose(
+        tuple(range(Kn, Kn + Kp)) + tuple(range(Kn)) + (Kn + Kp,)
+    )
+    out = np.ascontiguousarray(
+        T.reshape(len(rows_prev), len(rows_next), n_out_dim)
+    )
+    return out, rows_prev, rows_next
+
+
+def build_chain_fragment_tensor_reference(
+    data, index: int, bases=None
+) -> tuple[np.ndarray, list, list]:
+    """Row-by-row chain fragment tensor (reference semantics).
+
+    One Python iteration per (entering row, exiting row) pair and per
+    preparation eigenstate index — straight from the paper's Eq. 13 applied
+    to both sides of the fragment.  Semantic ground truth for
+    :func:`build_chain_fragment_tensor`.
+    """
+    frag, records, _, _, rows_prev, rows_next, fallback = _chain_rows(
+        data, index, bases
+    )
+    out = np.zeros((len(rows_prev), len(rows_next), 1 << frag.n_out))
+    for a, b, sign, signs_n, A in _chain_row_runs(
+        index, frag, records, rows_prev, rows_next, fallback
+    ):
+        out[a, b] += sign * (A @ signs_n)
+    return out, rows_prev, rows_next
+
+
+def reconstruct_chain_distribution(
+    data,
+    bases=None,
+    postprocess: str = "clip",
+) -> np.ndarray:
+    """Full output distribution of an uncut circuit from chain fragment data.
+
+    The generalised (einsum-path) contraction: every fragment's reduced
+    tensor is built once, then the chain is contracted left to right — each
+    step is one ``tensordot`` over the shared cut-group row axis, so the
+    cost is linear in the number of fragments and the per-group row counts
+    multiply only pairwise, never globally.  ``bases`` lists per-group
+    per-cut basis pools (``bases[g][k]``; ``None`` = full ``{I,X,Y,Z}``),
+    letting golden cuts neglect elements group by group.
+    """
+    chain = data.chain
+    # adjacent fragments share their group's rows by construction: both
+    # sides are itertools.product over the same per-group pools in `bases`
+    tensors = [
+        build_chain_fragment_tensor(data, i, bases)[0]
+        for i in range(chain.num_fragments)
+    ]
+    v = _contract_chain(tensors) / float(1 << chain.total_cuts)
+    full = permute_probability_axes(v, chain.output_order())
+    return _postprocess(full, postprocess)
+
+
+def reconstruct_chain_distribution_reference(
+    data,
+    bases=None,
+    postprocess: str = "raw",
+) -> np.ndarray:
+    """Brute-force chain reconstruction (reference semantics).
+
+    One Python iteration per element of the *full basis-row product across
+    all cut groups* (``Π_g R_g`` terms — the cost the einsum path avoids),
+    each term an outer product of per-fragment reduced-row vectors taken
+    from :func:`build_chain_fragment_tensor_reference`.  Ground truth for
+    ``tests/test_multi_fragment_equivalence.py``.
+    """
+    chain = data.chain
+    tensors = []
+    all_rows = None
+    for i in range(chain.num_fragments):
+        T, _, rows_next = build_chain_fragment_tensor_reference(data, i, bases)
+        tensors.append(T)
+        if i < chain.num_groups:
+            all_rows = (
+                [rows_next] if all_rows is None else all_rows + [rows_next]
+            )
+
+    n_total = len(chain.output_order())
+    joint = np.zeros(1 << n_total)
+    for combo in itertools.product(*[range(len(r)) for r in all_rows]):
+        vec = tensors[0][0, combo[0]]
+        for i in range(1, chain.num_fragments):
+            prev_row = combo[i - 1]
+            next_row = combo[i] if i < chain.num_groups else 0
+            # outer product keeps earlier fragments least significant
+            vec = np.multiply.outer(tensors[i][prev_row, next_row], vec).ravel()
+        joint += vec
+    joint /= float(1 << chain.total_cuts)
+    full = permute_probability_axes(joint, chain.output_order())
+    return _postprocess(full, postprocess)
 
 
 def reconstruct_distribution(

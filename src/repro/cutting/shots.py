@@ -12,10 +12,11 @@ default.  Two refinements are provided for the ablation benches:
 
 from __future__ import annotations
 
+from typing import Sequence
 
 from repro.exceptions import CutError
 
-__all__ = ["allocate_shots"]
+__all__ = ["allocate_chain_shots", "allocate_shots"]
 
 
 def allocate_shots(
@@ -56,5 +57,41 @@ def allocate_shots(
         "num_downstream": num_downstream,
         "shots_per_variant": per,
         "total_executions": per * n_var,
+    }
+    return per, report
+
+
+def allocate_chain_shots(
+    variants_per_fragment: Sequence[int],
+    shots_per_variant: int | None = None,
+    total_shots: int | None = None,
+    scheme: str = "uniform",
+) -> tuple[int, dict]:
+    """Shot budget for a fragment chain: ``(shots_per_variant, report)``.
+
+    The chain generalisation of :func:`allocate_shots` —
+    ``variants_per_fragment[i]`` counts fragment ``i``'s ``(inits, setting)``
+    combos (interior fragments pay the ``6^{K_prev} · 3^{K}`` product, which
+    is why neglecting bases per cut group matters more as chains grow).  The
+    report carries the per-fragment breakdown for cost tables.
+    """
+    counts = [int(c) for c in variants_per_fragment]
+    if len(counts) < 2:
+        raise CutError("a chain has at least two fragments")
+    if any(c <= 0 for c in counts):
+        raise CutError("every chain fragment needs at least one variant")
+    per, report = allocate_shots(
+        counts[0],
+        sum(counts[1:]),
+        shots_per_variant=shots_per_variant,
+        total_shots=total_shots,
+        scheme=scheme,
+    )
+    report = {
+        "scheme": report["scheme"],
+        "variants_per_fragment": counts,
+        "num_variants": sum(counts),
+        "shots_per_variant": per,
+        "total_executions": per * sum(counts),
     }
     return per, report

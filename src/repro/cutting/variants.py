@@ -49,6 +49,8 @@ __all__ = [
     "downstream_init_tuples",
     "upstream_variant",
     "downstream_variant",
+    "chain_variant",
+    "chain_variant_tuples",
     "preparations_for_bases",
 ]
 
@@ -148,6 +150,78 @@ def upstream_variant(pair: FragmentPair, setting: Sequence[str]) -> Circuit:
         elif basis == "Z":
             pass
         else:
+            raise CutError(f"invalid measurement basis {basis!r}")
+    return qc
+
+
+def chain_variant_tuples(
+    chain,
+    index: int,
+    allowed_prep_bases: "Sequence[Sequence[str]] | None" = None,
+    allowed_settings: "Sequence[Sequence[str]] | None" = None,
+) -> list[tuple[tuple[str, ...], tuple[str, ...]]]:
+    """All ``(inits, setting)`` combos of one chain fragment.
+
+    The first fragment has an empty init side, the last an empty setting
+    side; interior fragments take the full product (``6^{K_prev} · 3^{K}``
+    by default, reduced pools via the ``allowed_*`` arguments exactly as in
+    :func:`downstream_init_tuples` / :func:`upstream_setting_tuples`).
+    """
+    frag = chain.fragments[index]
+    inits = (
+        downstream_init_tuples(frag.num_prep, allowed_prep_bases)
+        if frag.num_prep
+        else [()]
+    )
+    settings = (
+        upstream_setting_tuples(frag.num_meas, allowed_settings)
+        if frag.num_meas
+        else [()]
+    )
+    return [(i, s) for i in inits for s in settings]
+
+
+def chain_variant(
+    chain, index: int, inits: Sequence[str], setting: Sequence[str]
+) -> Circuit:
+    """One chain fragment with preparation prefix and measurement suffix.
+
+    Structure: preparation gates on the entering cut wires, a fence, the
+    fragment body, a fence, basis-change gates on the exiting cut wires —
+    the superposition of :func:`downstream_variant` and
+    :func:`upstream_variant` (either side collapses away when the fragment
+    sits at the corresponding end of the chain).  The fences keep the body
+    a standalone transpile unit, which is what lets the noisy chain cache
+    serve every combined variant from one transpiled body.
+    """
+    frag = chain.fragments[index]
+    if len(inits) != frag.num_prep:
+        raise CutError("init tuple length != number of entering cuts")
+    if len(setting) != frag.num_meas:
+        raise CutError("setting tuple length != number of exiting cuts")
+    label = f"{','.join(inits)}|{','.join(setting)}"
+    qc = Circuit(frag.num_qubits, name=f"{frag.circuit.name}[{label}]")
+    for k, code in enumerate(inits):
+        try:
+            gates = PREPARATION_STATES[code]
+        except KeyError:
+            raise CutError(f"invalid preparation code {code!r}") from None
+        q = frag.prep_local[k]
+        for g in gates:
+            qc.add_gate(g, (q,))
+    if inits:
+        qc.append(_fence(frag.num_qubits))
+    for inst in frag.circuit:
+        qc.append(inst)
+    if setting:
+        qc.append(_fence(frag.num_qubits))
+    for k, basis in enumerate(setting):
+        q = frag.cut_local[k]
+        if basis == "X":
+            qc.h(q)
+        elif basis == "Y":
+            qc.sdg(q).h(q)
+        elif basis != "Z":
             raise CutError(f"invalid measurement basis {basis!r}")
     return qc
 

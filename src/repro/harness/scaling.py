@@ -26,7 +26,11 @@ from repro.cutting.reconstruction import reconstruct_distribution
 from repro.utils.rng import as_generator
 from repro.utils.timing import Stopwatch
 
-__all__ = ["multi_cut_golden_circuit", "run_scaling"]
+__all__ = [
+    "chain_cut_circuit",
+    "multi_cut_golden_circuit",
+    "run_scaling",
+]
 
 
 def multi_cut_golden_circuit(
@@ -63,6 +67,83 @@ def multi_cut_golden_circuit(
     qc = qc.compose(random_circuit(len(down_qubits), depth, seed=rng), qubits=down_qubits)
     spec = CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
     return qc, spec
+
+
+def chain_cut_circuit(
+    num_fragments: int,
+    cuts_per_group: "int | list[int]" = 1,
+    fresh_per_fragment: int = 1,
+    depth: int = 2,
+    seed: "int | None" = None,
+    real_blocks: bool = False,
+):
+    """A CutQC-style chain circuit with ``num_fragments − 1`` cut groups.
+
+    Fragment block ``i`` acts on ``fresh_per_fragment`` fresh qubits plus
+    the ``cuts_per_group[i-1]`` wires entering from block ``i − 1``; groups
+    only share wires with their immediate neighbours, so the cut specs
+    induce a genuine chain.  Returns ``(circuit, specs)`` with one
+    :class:`~repro.cutting.cut.CutSpec` per group, all in original-circuit
+    coordinates — ready for :func:`repro.cutting.chain.partition_chain`.
+
+    ``real_blocks=True`` keeps every block real-amplitude, making every cut
+    wire Y-golden (the chain analogue of :func:`multi_cut_golden_circuit`).
+    """
+    if num_fragments < 2:
+        raise ValueError("a chain needs at least two fragments")
+    if isinstance(cuts_per_group, int):
+        cuts_per_group = [cuts_per_group] * (num_fragments - 1)
+    if len(cuts_per_group) != num_fragments - 1:
+        raise ValueError("need one cut count per adjacent fragment pair")
+    rng = as_generator(seed)
+    block = random_real_circuit if real_blocks else random_circuit
+
+    # qubit layout: block i receives the K_{i-1} carried wires (its first
+    # wires) and owns max(fresh, K_i) new ones; its *last* K_i wires — all
+    # inside the new part, so incoming and outgoing sets stay disjoint —
+    # carry on into block i + 1.
+    widths = []
+    starts = []
+    n = 0
+    for i in range(num_fragments):
+        carry_in = cuts_per_group[i - 1] if i > 0 else 0
+        carry_out = cuts_per_group[i] if i < num_fragments - 1 else 0
+        width = carry_in + max(fresh_per_fragment, carry_out)
+        starts.append(n - carry_in)
+        widths.append(width)
+        n += width - carry_in
+    qc = Circuit(n, name=f"chain[N={num_fragments}]")
+
+    specs = []
+    for i in range(num_fragments):
+        qubits = list(range(starts[i], starts[i] + widths[i]))
+        before = len(qc)
+        # entangling ladder: couples the entering wires through the whole
+        # block, pinning the intended chain shape (without it a random
+        # block may leave wires uncoupled and the bipartition cascade would
+        # assign them elsewhere); cx is real, so Y-goldenness survives
+        for a, b in zip(qubits, qubits[1:]):
+            qc.cx(a, b)
+        qc = qc.compose(block(len(qubits), depth, seed=rng), qubits=qubits)
+        if i < num_fragments - 1:
+            cut_wires = qubits[-cuts_per_group[i] :]
+            for w in cut_wires:  # every cut wire needs an anchor in block i
+                if not any(
+                    w in qc[j].qubits for j in range(before, len(qc))
+                ):
+                    angle = float(rng.uniform(0, 6.28))
+                    if real_blocks:
+                        qc.ry(angle, w)
+                    else:
+                        qc.rx(angle, w)
+            boundary = {
+                w: max(j for j, inst in enumerate(qc) if w in inst.qubits)
+                for w in cut_wires
+            }
+            specs.append(
+                CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
+            )
+    return qc, specs
 
 
 def run_scaling(max_cuts: int = 3, depth: int = 2, seed: int = 777, repeats: int = 3) -> list[dict]:

@@ -1,5 +1,13 @@
 """Parallel execution helpers for fragment variants."""
 
-from repro.parallel.executor import parallel_map, run_fragments_parallel
+from repro.parallel.executor import (
+    parallel_map,
+    run_chain_fragments_parallel,
+    run_fragments_parallel,
+)
 
-__all__ = ["parallel_map", "run_fragments_parallel"]
+__all__ = [
+    "parallel_map",
+    "run_chain_fragments_parallel",
+    "run_fragments_parallel",
+]

@@ -22,11 +22,18 @@ Two structural optimisations over a naive per-task fan-out:
   from cached exact distributions instead of re-transpiling and
   re-simulating the fragment body per variant.
 
-Next scaling levers (see ROADMAP.md): a process-pool mode for noisy
+Multi-fragment chains fan out the same way
+(:func:`run_chain_fragments_parallel`): the probe backend builds one
+:class:`~repro.cutting.cache.ChainCachePool` — one per-fragment cache per
+chain link — warms every fragment's variants up front, and the pool is
+then shared **read-only** across all worker threads; each worker samples
+any (fragment, variant) task straight from the warmed distributions, so
+fragment bodies are transpiled/simulated exactly once however many
+workers run.
+
+Next scaling lever (see ROADMAP.md): a process-pool mode for noisy
 density-matrix backends whose Python-side overhead does not release the
-GIL, and fanning out over *multiple fragment pairs* (>2 partitions) once
-the cutter produces them — the cache is per-pair, so a pool of caches maps
-directly onto that design.
+GIL, with per-worker caches replacing the shared pool.
 """
 
 from __future__ import annotations
@@ -38,7 +45,13 @@ from typing import Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.backends.base import Backend
-from repro.cutting.execution import FragmentData, _split_upstream_probs
+from repro.cutting.execution import (
+    ChainFragmentData,
+    FragmentData,
+    _chain_variant_lists,
+    _split_joint_probs,
+    _split_upstream_probs,
+)
 from repro.cutting.fragments import FragmentPair
 from repro.cutting.variants import (
     downstream_init_tuples,
@@ -49,7 +62,11 @@ from repro.utils.rng import spawn_rngs
 T = TypeVar("T")
 U = TypeVar("U")
 
-__all__ = ["parallel_map", "run_fragments_parallel"]
+__all__ = [
+    "parallel_map",
+    "run_chain_fragments_parallel",
+    "run_fragments_parallel",
+]
 
 
 def parallel_map(
@@ -70,6 +87,49 @@ def parallel_map(
         raise ValueError(f"unknown parallel mode {mode!r}")
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(fn, items))
+
+
+def _fan_out(
+    backend_factory: Callable[[], Backend],
+    probe: Backend,
+    tasks: Sequence,
+    run_task: Callable,
+    seed: "int | np.random.Generator | None",
+    max_workers: int | None,
+    mode: str,
+) -> tuple[list, float, int]:
+    """Shared worker scaffolding of both parallel executors.
+
+    Each pool thread lazily builds one backend from ``backend_factory`` and
+    reuses it for every task it picks up; ``run_task(backend, task, rng)``
+    executes one variant.  Returns the ordered results plus the summed
+    worker-clock seconds (the device-time ledger).  Results are independent
+    of worker count and of ``mode`` because every task's RNG stream is
+    derived from its index.
+    """
+    rngs = spawn_rngs(seed, len(tasks))
+    backends = [probe]
+    local = threading.local()
+    local.backend = probe  # the calling thread reuses the probe
+    lock = threading.Lock()
+
+    def worker_backend() -> Backend:
+        backend = getattr(local, "backend", None)
+        if backend is None:
+            backend = backend_factory()
+            local.backend = backend
+            with lock:
+                backends.append(backend)
+        return backend
+
+    def job(arg):
+        task, rng = arg
+        return run_task(worker_backend(), task, rng)
+
+    results = parallel_map(
+        job, list(zip(tasks, rngs)), max_workers=max_workers, mode=mode
+    )
+    return results, sum(b.clock.now for b in backends), len(backends)
 
 
 def run_fragments_parallel(
@@ -97,10 +157,8 @@ def run_fragments_parallel(
     settings = [tuple(s) for s in settings]
     inits = [tuple(i) for i in inits]
     variants = [("up", s) for s in settings] + [("down", i) for i in inits]
-    rngs = spawn_rngs(seed, len(variants))
 
     probe = backend_factory()
-    backends = [probe]
     # Warm every entry eagerly: afterwards the cache is read-only, so
     # worker threads can share it without locking.  The probe decides the
     # cache flavour (ideal → FragmentSimCache, noisy → the per-device
@@ -110,30 +168,17 @@ def run_fragments_parallel(
     if cache is not None:
         cache.warm(settings, inits)
 
-    local = threading.local()
-    local.backend = probe  # the calling thread reuses the probe
-    lock = threading.Lock()
-
-    def worker_backend() -> Backend:
-        backend = getattr(local, "backend", None)
-        if backend is None:
-            backend = backend_factory()
-            local.backend = backend
-            with lock:
-                backends.append(backend)
-        return backend
-
-    def job(arg):
-        (kind, label), rng = arg
-        backend = worker_backend()
+    def run_task(backend, task, rng):
+        kind, label = task
         up = [label] if kind == "up" else []
         down = [label] if kind == "down" else []
         return backend.run_variants(
             pair, up, down, shots=shots, seed=rng, cache=cache
         )[0]
 
-    results = parallel_map(job, list(zip(variants, rngs)), max_workers=max_workers, mode=mode)
-    seconds = sum(b.clock.now for b in backends)
+    results, seconds, num_backends = _fan_out(
+        backend_factory, probe, variants, run_task, seed, max_workers, mode
+    )
     upstream = {
         s: _split_upstream_probs(res.probabilities(), pair)
         for s, res in zip(settings, results[: len(settings)])
@@ -150,7 +195,70 @@ def run_fragments_parallel(
         metadata={
             "parallel": True,
             "num_variants": len(variants),
-            "num_worker_backends": len(backends),
+            "num_worker_backends": num_backends,
             "cached": cache is not None,
+        },
+    )
+
+
+def run_chain_fragments_parallel(
+    chain,
+    backend_factory: Callable[[], Backend],
+    shots: int,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    max_workers: int | None = None,
+    mode: str = "thread",
+) -> ChainFragmentData:
+    """Threaded equivalent of :func:`repro.cutting.execution.run_chain_fragments`.
+
+    Every (fragment, variant) task across the whole chain is one work item;
+    the probe backend's :class:`~repro.cutting.cache.ChainCachePool` is
+    warmed eagerly and then shared read-only by all workers, so each
+    fragment body is transpiled/simulated exactly once regardless of worker
+    count.  Results are independent of worker count and of ``mode``
+    (``"thread"``/``"serial"``) because every task's RNG stream is derived
+    from its global index.
+    """
+    variants = _chain_variant_lists(chain, variants)
+    tasks = [
+        (i, combo) for i, combos in enumerate(variants) for combo in combos
+    ]
+
+    probe = backend_factory()
+    pool = probe.make_chain_cache_pool(chain)
+    if pool is not None:
+        pool.warm(variants)
+
+    def run_task(backend, task, rng):
+        index, combo = task
+        return backend.run_chain_variants(
+            chain,
+            index,
+            [combo],
+            shots=shots,
+            seed=rng,
+            cache=pool[index] if pool is not None else None,
+        )[0]
+
+    results, seconds, num_backends = _fan_out(
+        backend_factory, probe, tasks, run_task, seed, max_workers, mode
+    )
+    records: list[dict] = [{} for _ in chain.fragments]
+    for (index, combo), res in zip(tasks, results):
+        frag = chain.fragments[index]
+        records[index][combo] = _split_joint_probs(
+            res.probabilities(), frag.out_local, frag.cut_local
+        )
+    return ChainFragmentData(
+        chain=chain,
+        records=records,
+        shots_per_variant=shots,
+        modeled_seconds=seconds,
+        metadata={
+            "parallel": True,
+            "num_variants": len(tasks),
+            "num_worker_backends": num_backends,
+            "cached": pool is not None,
         },
     )

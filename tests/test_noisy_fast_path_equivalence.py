@@ -309,6 +309,67 @@ class TestSimCallCounts:
         assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
 
 
+class TestChainSimCallCounts:
+    """The chain extension of the call-count law: an N-fragment chain costs
+    exactly N body transpiles on the noisy path — one per fragment, shared
+    by every ``(inits, setting)`` variant through the cache pool — with
+    ``4^{K_prev}`` body evolutions and ``3^{K}`` batched rotation passes per
+    fragment."""
+
+    @pytest.mark.parametrize("num_fragments", [3, 4])
+    def test_chain_pool_hits_n_transpile_law(self, num_fragments, monkeypatch):
+        import repro.cutting.noisy_cache as nc
+
+        from repro.cutting.chain import partition_chain
+        from repro.cutting.execution import run_chain_fragments
+        from repro.harness.scaling import chain_cut_circuit
+
+        calls = []
+        real = nc.transpile
+        monkeypatch.setattr(
+            nc, "transpile", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        qc, specs = chain_cut_circuit(
+            num_fragments, 1, fresh_per_fragment=2, depth=2,
+            seed=2100 + num_fragments,
+        )
+        chain = partition_chain(qc, specs)
+        dev = make_device("gates+readout")
+        pool = dev.make_chain_cache_pool(chain)
+        run_chain_fragments(chain, dev, shots=100, seed=0, pool=pool)
+        assert len(calls) == num_fragments  # one per fragment body
+        for i, cache in enumerate(pool):
+            frag = chain.fragments[i]
+            assert cache.stats == {
+                "transpiles": 1,
+                "body_evolutions": 4**frag.num_prep,
+                "rotation_evolutions": 3**frag.num_meas if frag.num_meas else 0,
+            }
+        # serving the same variants again costs nothing new
+        run_chain_fragments(chain, dev, shots=100, seed=1, pool=pool)
+        assert len(calls) == num_fragments
+
+    def test_cut_and_run_chain_shares_the_pool(self, monkeypatch):
+        """cut_and_run_chain builds one pool: N transpiles total."""
+        import repro.cutting.noisy_cache as nc
+
+        from repro.core.pipeline import cut_and_run_chain
+        from repro.harness.scaling import chain_cut_circuit
+
+        calls = []
+        real = nc.transpile
+        monkeypatch.setattr(
+            nc, "transpile", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        qc, specs = chain_cut_circuit(
+            3, 1, fresh_per_fragment=2, depth=2, seed=2200
+        )
+        dev = make_device("gates+readout")
+        result = cut_and_run_chain(qc, dev, specs, shots=500, seed=7)
+        assert len(calls) == 3
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+
+
 class TestPreparationNoiseIsExact:
     def test_noisy_prep_coefficients_reproduce_prep_state(self):
         """The Hermitian-basis expansion must carry the preparation gates'
