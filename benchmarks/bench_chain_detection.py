@@ -1,0 +1,135 @@
+"""Benchmarks of per-group golden detection on fragment chains.
+
+The chain analogue of ``bench_online_detection.py``: measures what the
+detection sweep costs and what it buys on a 3-fragment chain (two cut
+groups) with golden bases planted in both groups:
+
+* ``chain-detect-pipeline`` — the full ``golden="detect"`` pipeline
+  (sequential pilot sweep + hypothesis tests + reduced production run),
+  ideal backend;
+* ``chain-analytic-finder`` — the exact left-to-right Definition-1 sweep
+  from a shared ideal cache pool (the zero-shot alternative);
+* ``chain-detect-noisy`` — the same detect pipeline on fake hardware,
+  where the cache pool must keep the run at exactly N body transpiles;
+* ``chain-detection-kernel`` — the statistics alone: per-candidate z-score
+  vectors + Bonferroni verdicts over a prebuilt pilot data set.
+
+An economics table (printed after the run) compares off / known /
+analytic / detect total executions and TV error, mirroring the paper-mode
+table of the pair bench.
+
+Baselines live in ``benchmarks/BENCH_chain_detection.json``; refresh with
+``python benchmarks/compare.py --write-baseline --suite chain_detection``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import IdealBackend
+from repro.backends.devices import fake_device
+from repro.core.detection import detect_chain_golden_bases
+from repro.core.golden import find_chain_golden_bases_analytic
+from repro.core.neglect import chain_pilot_combos
+from repro.core.pipeline import cut_and_run_chain
+from repro.cutting.chain import partition_chain
+from repro.cutting.execution import run_chain_fragments
+from repro.harness.report import format_table
+from repro.harness.scaling import golden_chain_circuit
+from repro.metrics import total_variation
+from repro.sim import simulate_statevector
+
+from conftest import register_report
+
+SHOTS = 4000
+PILOT = 2000
+
+_qc, _specs, _planted = golden_chain_circuit(
+    3, planted_groups=(0, 1), fresh_per_fragment=2, depth=2, seed=0
+)
+_chain = partition_chain(_qc, _specs)
+_truth = simulate_statevector(_qc).probabilities()
+
+
+def _run(mode, backend=None, **kwargs):
+    return cut_and_run_chain(
+        _qc,
+        backend if backend is not None else IdealBackend(),
+        _specs,
+        shots=SHOTS,
+        golden=mode,
+        golden_maps=_planted if mode == "known" else None,
+        pilot_shots=PILOT if mode == "detect" else None,
+        exploit_all=True,
+        seed=3,
+        **kwargs,
+    )
+
+
+@pytest.mark.benchmark(group="chain-detect-pipeline")
+def test_chain_detect_pipeline(benchmark):
+    run = benchmark(lambda: _run("detect"))
+    assert run.golden_used == [{0: ("X", "Y")}, {0: ("X", "Y")}]
+
+
+@pytest.mark.benchmark(group="chain-analytic-finder")
+def test_chain_analytic_finder(benchmark):
+    def find():
+        return find_chain_golden_bases_analytic(_chain)
+
+    found, selected = benchmark(find)
+    assert selected == [{0: ("X", "Y")}, {0: ("X", "Y")}]
+
+
+@pytest.mark.benchmark(group="chain-detect-noisy")
+def test_chain_detect_noisy(benchmark):
+    def run():
+        return _run("detect", backend=fake_device(_qc.num_qubits))
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert res.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.benchmark(group="chain-detection-kernel")
+def test_chain_detection_kernel(benchmark):
+    """The statistics alone, on prebuilt pilot data for the interior
+    fragment (prep contexts × settings — the widest Bonferroni family)."""
+    combos = chain_pilot_combos(
+        _chain.fragments[1].num_prep, _chain.fragments[1].num_meas
+    )
+    variants = [None] * _chain.num_fragments
+    variants[1] = combos
+    data = run_chain_fragments(
+        _chain, IdealBackend(), shots=PILOT, variants=variants, seed=5
+    )
+    results = benchmark(lambda: detect_chain_golden_bases(data, 1))
+    assert len(results) == 3
+
+
+def test_chain_detection_economics_table(benchmark):
+    benchmark.pedantic(lambda: _run("off"), rounds=1, iterations=1)
+    rows = []
+    for label, run in (
+        ("off (CutQC baseline)", _run("off")),
+        ("known a priori", _run("known")),
+        ("analytic finder", _run("analytic")),
+        ("detect (pilot + test)", _run("detect")),
+    ):
+        rows.append(
+            {
+                "strategy": label,
+                "variants/fragment": "×".join(
+                    str(c) for c in run.costs["variants_per_fragment"]
+                ),
+                "pilot": run.pilot_executions,
+                "main": run.total_executions,
+                "total": run.pilot_executions + run.total_executions,
+                "TV error": round(
+                    total_variation(run.probabilities, _truth), 4
+                ),
+            }
+        )
+    table = format_table(
+        rows, title="chain golden detection economics (3 fragments, 2 groups)"
+    )
+    register_report(table)
+    assert rows[-1]["main"] == rows[1]["main"]  # detect == known pools

@@ -12,6 +12,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_fragments.json``        ← ``bench_fragments.py``
 * ``benchmarks/BENCH_noisy_fragments.json``  ← ``bench_noisy_fragments.py``
 * ``benchmarks/BENCH_multi_fragment.json``   ← ``bench_multi_fragment.py``
+* ``benchmarks/BENCH_chain_detection.json``  ← ``bench_chain_detection.py``
 
 ``--suite NAME`` (repeatable; matches the json/bench file stem) restricts
 either mode to a subset, e.g. ``--write-baseline --suite noisy_fragments``
@@ -45,6 +46,7 @@ SUITES = {
     "BENCH_fragments.json": "bench_fragments.py",
     "BENCH_noisy_fragments.json": "bench_noisy_fragments.py",
     "BENCH_multi_fragment.json": "bench_multi_fragment.py",
+    "BENCH_chain_detection.json": "bench_chain_detection.py",
 }
 
 

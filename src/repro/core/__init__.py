@@ -19,11 +19,18 @@ from repro.core.ansatz import (
     GoldenAnsatzSpec,
 )
 from repro.core.golden import (
+    chain_definition1_deviation,
     definition1_deviation,
+    find_chain_golden_bases_analytic,
     find_golden_bases_analytic,
     is_golden_analytic,
+    select_all_golden,
 )
-from repro.core.detection import GoldenDetectionResult, detect_golden_bases
+from repro.core.detection import (
+    GoldenDetectionResult,
+    detect_chain_golden_bases,
+    detect_golden_bases,
+)
 from repro.core.adaptive import (
     AdaptiveDetectionResult,
     merge_fragment_data,
@@ -31,10 +38,12 @@ from repro.core.adaptive import (
 )
 from repro.core.neglect import (
     GoldenMap,
+    chain_pilot_combos,
     normalize_golden_map,
     reduced_bases,
     reduced_init_tuples,
     reduced_setting_tuples,
+    spanning_init_tuples,
 )
 from repro.core.costs import CostReport, cost_report, predicted_speedup
 from repro.core.pipeline import (
@@ -48,10 +57,14 @@ __all__ = [
     "golden_ansatz",
     "three_qubit_example",
     "GoldenAnsatzSpec",
+    "chain_definition1_deviation",
     "definition1_deviation",
+    "find_chain_golden_bases_analytic",
     "find_golden_bases_analytic",
     "is_golden_analytic",
+    "select_all_golden",
     "GoldenDetectionResult",
+    "detect_chain_golden_bases",
     "detect_golden_bases",
     "AdaptiveDetectionResult",
     "sequential_detect",
@@ -61,6 +74,8 @@ __all__ = [
     "reduced_bases",
     "reduced_setting_tuples",
     "reduced_init_tuples",
+    "spanning_init_tuples",
+    "chain_pilot_combos",
     "CostReport",
     "cost_report",
     "predicted_speedup",

@@ -32,7 +32,11 @@ from repro.config import DEFAULT_ALPHA
 from repro.cutting.execution import FragmentData
 from repro.exceptions import DetectionError
 
-__all__ = ["GoldenDetectionResult", "detect_golden_bases"]
+__all__ = [
+    "GoldenDetectionResult",
+    "detect_chain_golden_bases",
+    "detect_golden_bases",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,8 @@ class GoldenDetectionResult:
     threshold: float
     num_contexts: int
     alpha: float
+    #: cut group the candidate belongs to (0 for bipartitions)
+    group: int = 0
 
     @property
     def p_value(self) -> float:
@@ -114,18 +120,90 @@ def detect_golden_bases(
     for k in cuts:
         for b in bases:
             z = _candidate_z_scores(data, k, b, shots)
-            m = int(z.size)
-            threshold = float(stats.norm.ppf(1.0 - alpha / (2.0 * m)))
-            max_z = float(z.max()) if m else 0.0
-            out.append(
-                GoldenDetectionResult(
-                    cut=k,
-                    basis=b,
-                    is_golden=bool(max_z < threshold),
-                    max_z=max_z,
-                    threshold=threshold,
-                    num_contexts=m,
-                    alpha=alpha,
-                )
-            )
+            out.append(_verdict(z, k, b, alpha, group=0))
+    return out
+
+
+def _verdict(
+    z: np.ndarray, cut: int, basis: str, alpha: float, group: int
+) -> GoldenDetectionResult:
+    """Bonferroni verdict from one candidate's vector of |z| statistics."""
+    m = int(z.size)
+    threshold = float(stats.norm.ppf(1.0 - alpha / (2.0 * m)))
+    max_z = float(z.max()) if m else 0.0
+    return GoldenDetectionResult(
+        cut=cut,
+        basis=basis,
+        is_golden=bool(max_z < threshold),
+        max_z=max_z,
+        threshold=threshold,
+        num_contexts=m,
+        alpha=alpha,
+        group=group,
+    )
+
+
+def _chain_candidate_z_scores(
+    data, group: int, cut: int, basis: str, shots: int
+) -> np.ndarray:
+    """Per-context |z| statistics for one chain cut-group candidate.
+
+    Contexts run over every ``(prep context, setting)`` variant of the
+    group's upstream-side fragment whose setting measures ``cut`` in
+    ``basis``, times that variant's ``(b_out, r_{-cut})`` cells — the chain
+    analogue of :func:`_candidate_z_scores` with the entering preparations
+    of the previous group counted into the Bonferroni family.
+    """
+    from repro.core.golden import iter_chain_cut_deltas
+
+    K = data.chain.group_sizes[group]
+    zs = []
+    for delta, mass in iter_chain_cut_deltas(
+        data.records[group], K, cut, basis
+    ):
+        sigma = np.sqrt(np.maximum(mass, 1.0 / shots) / shots)
+        zs.append((np.abs(delta) / sigma).ravel())
+    return np.concatenate(zs)
+
+
+def detect_chain_golden_bases(
+    data,
+    group: int,
+    alpha: float = DEFAULT_ALPHA,
+    cuts: "list[int] | None" = None,
+    bases: tuple[str, ...] = ("X", "Y", "Z"),
+) -> list[GoldenDetectionResult]:
+    """Test every (cut, basis) candidate of one chain cut group.
+
+    ``data`` is finite-shot :class:`~repro.cutting.execution.ChainFragmentData`
+    whose ``records[group]`` holds the pilot measurements of the group's
+    upstream-side fragment (interior fragments: one variant per *prep
+    context × setting*; pilot pipelines pass the spanning context pool of
+    :func:`repro.core.neglect.spanning_init_tuples`, conditioned on the
+    previous group's verdict — see
+    :func:`~repro.core.golden.find_chain_golden_bases_analytic` for why the
+    sweep is sequential).  The per-candidate hypothesis test is the same
+    Bonferroni-corrected max-|z| machinery as :func:`detect_golden_bases`,
+    with the prep contexts multiplying the corrected family size, so the
+    family-wise false-rejection guarantee (≤ ``alpha`` per candidate) is
+    preserved group by group.
+    """
+    if data.shots_per_variant <= 0:
+        raise DetectionError(
+            "detection needs finite-shot data; for exact data use "
+            "repro.core.golden.find_chain_golden_bases_analytic"
+        )
+    chain = data.chain
+    if not 0 <= group < chain.num_groups:
+        raise DetectionError(
+            f"cut group {group} out of range ({chain.num_groups} groups)"
+        )
+    shots = data.shots_per_variant
+    if cuts is None:
+        cuts = list(range(chain.group_sizes[group]))
+    out: list[GoldenDetectionResult] = []
+    for k in cuts:
+        for b in bases:
+            z = _chain_candidate_z_scores(data, group, k, b, shots)
+            out.append(_verdict(z, k, b, alpha, group=group))
     return out

@@ -27,9 +27,13 @@ from repro.cutting.fragments import FragmentPair
 from repro.exceptions import DetectionError
 
 __all__ = [
+    "chain_definition1_deviation",
     "definition1_deviation",
-    "is_golden_analytic",
+    "find_chain_golden_bases_analytic",
     "find_golden_bases_analytic",
+    "is_golden_analytic",
+    "iter_chain_cut_deltas",
+    "select_all_golden",
 ]
 
 
@@ -122,3 +126,132 @@ def find_golden_bases_analytic(
 def _single_trivial_init(pair: FragmentPair) -> list[tuple[str, ...]]:
     """Cheapest valid init set (the finder never reads downstream data)."""
     return [("Z+",) * pair.num_cuts]
+
+
+# --------------------------------------------------------------------------
+# chain generalisation: Definition 1 per cut group
+# --------------------------------------------------------------------------
+
+
+def iter_chain_cut_deltas(records, K: int, cut: int, basis: str):
+    """Yield ``(delta, mass)`` arrays per relevant variant of one candidate.
+
+    The shared kernel of the analytic chain deviation and the chain
+    detector's z-statistic: for every ``(inits, setting)`` record whose
+    setting measures ``cut`` in ``basis``, the eigenvalue-weighted outcome
+    differences ``A[:, r_cut=0] − A[:, r_cut=1]`` and the corresponding
+    total masses, over all ``(b_out, r_{-cut})`` cells.  Keeping both
+    consumers on one kernel pins them to the same record layout and cut-bit
+    convention.
+    """
+    if basis not in ("X", "Y", "Z"):
+        raise DetectionError(f"golden candidates are X/Y/Z, got {basis!r}")
+    if not 0 <= cut < K:
+        raise DetectionError(f"cut index {cut} out of range (K={K})")
+    relevant = [combo for combo in records if combo[1][cut] == basis]
+    if not relevant:
+        raise DetectionError(
+            f"no variant measures cut {cut} in basis {basis}"
+        )
+    r = np.arange(1 << K)
+    lo = np.nonzero(((r >> cut) & 1) == 0)[0]
+    hi = lo | (1 << cut)
+    for combo in relevant:
+        A = records[combo]  # (2^{n_out}, 2^{K})
+        yield A[:, lo] - A[:, hi], A[:, lo] + A[:, hi]
+
+
+def chain_definition1_deviation(
+    data, group: int, cut: int, basis: str
+) -> float:
+    """Max |Σ_r r · p| over all contexts of one chain cut group — the
+    per-group generalisation of :func:`definition1_deviation`.
+
+    ``data`` is a :class:`~repro.cutting.execution.ChainFragmentData` (exact
+    or finite-shot); the tested fragment is the *upstream* side of cut group
+    ``group``, i.e. ``data.records[group]``.  Interior fragments are also
+    downstream of group ``group − 1``, so the deviation is maximised over
+    the **preparation contexts** entering from the previous group in
+    addition to the pair notion's contexts (upstream outputs ``b_out``, the
+    group's other measurement settings, and their raw outcomes).  Fragment
+    response is linear in the entering state, so a deviation of zero on a
+    context pool spanning the previous group's kept operator space (see
+    :func:`repro.core.neglect.spanning_init_tuples`) certifies Definition 1
+    for *every* preparation the reconstruction can inject there.
+    """
+    chain = data.chain
+    if not 0 <= group < chain.num_groups:
+        raise DetectionError(
+            f"cut group {group} out of range ({chain.num_groups} groups)"
+        )
+    K = chain.group_sizes[group]
+    worst = 0.0
+    for delta, _ in iter_chain_cut_deltas(
+        data.records[group], K, cut, basis
+    ):
+        worst = max(worst, float(np.max(np.abs(delta))))
+    return worst
+
+
+def select_all_golden(found: "dict[int, list[str]]") -> dict[int, tuple[str, ...]]:
+    """Default selection policy: neglect every analytically-found basis."""
+    return {k: tuple(bases) for k, bases in found.items() if bases}
+
+
+def find_chain_golden_bases_analytic(
+    chain, atol: float = ATOL, pool=None, select=None
+) -> "tuple[list[dict[int, list[str]]], list[dict | None]]":
+    """Exact golden bases per cut group of a fragment chain.
+
+    Sweeps the chain left to right.  For group ``g`` the upstream-side
+    fragment ``g`` is evaluated over every ``(prep context, setting)``
+    combo, where the prep contexts span exactly the operator space the
+    previous group still injects *after its own neglect*: a basis kept at
+    group ``g − 1`` widens group ``g``'s context pool, a neglected one
+    shrinks it.  That conditioning is what makes e.g. a real-amplitude
+    chain jointly Y-golden — fragment ``g`` fed a ``Y`` row is *not*
+    Y-golden pointwise, but once group ``g − 1`` neglects ``Y`` that
+    context never arises.  The sweep must therefore commit to a selection
+    before moving right: ``select`` maps ``{cut: [found bases]}`` to the
+    golden map actually neglected (default: neglect everything found, the
+    maximal reduction).
+
+    Returns ``(found, selected)``: per group, the bases passing Definition 1
+    on the conditioned contexts, and the golden map the sweep committed to
+    (``None`` where nothing was selected).  ``pool`` may share the
+    pipeline's ideal :class:`~repro.cutting.cache.ChainCachePool`, so the
+    finder costs no simulation beyond the N cached bodies.
+    """
+    from repro.core.neglect import chain_pilot_combos
+    from repro.cutting.execution import exact_chain_data
+
+    if select is None:
+        select = select_all_golden
+    if pool is None:
+        from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
+
+        pool = ChainCachePool(
+            chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+        )
+    found_per_group: list[dict[int, list[str]]] = []
+    selected: "list[dict | None]" = []
+    for g in range(chain.num_groups):
+        frag = chain.fragments[g]
+        combos = chain_pilot_combos(
+            frag.num_prep, frag.num_meas, selected[g - 1] if g else None
+        )
+        variants: "list[list | None]" = [None] * chain.num_fragments
+        variants[g] = combos
+        data = exact_chain_data(chain, variants=variants, pool=pool)
+        K = chain.group_sizes[g]
+        found: dict[int, list[str]] = {}
+        for k in range(K):
+            found[k] = [
+                b
+                for b in ("X", "Y", "Z")
+                if chain_definition1_deviation(data, g, k, b) <= atol
+            ]
+        found_per_group.append(found)
+        sel = select(found)
+        selected.append(dict(sel) if sel else None)
+    return found_per_group, selected

@@ -22,12 +22,14 @@ Paulis negligible (the cut then contributes a single ``I`` term).
 
 from __future__ import annotations
 
+import itertools
 from typing import Mapping, Sequence, Union
 
 from repro.cutting.reconstruction import FULL_BASES
 from repro.cutting.variants import (
     MEASUREMENT_SETTINGS,
     downstream_init_tuples,
+    preparations_for_bases,
     upstream_setting_tuples,
 )
 from repro.exceptions import CutError
@@ -38,6 +40,8 @@ __all__ = [
     "reduced_bases",
     "reduced_setting_tuples",
     "reduced_init_tuples",
+    "spanning_init_tuples",
+    "chain_pilot_combos",
 ]
 
 #: cut index -> one golden basis or several
@@ -118,3 +122,63 @@ def reduced_init_tuples(
         for k in range(num_cuts)
     ]
     return downstream_init_tuples(num_cuts, allowed)
+
+
+#: negative-eigenstate codes redundant for *spanning* purposes: the density
+#: matrices satisfy ``X− = Z+ + Z− − X+`` and ``Y− = Z+ + Z− − Y+``, so
+#: dropping them changes no operator span, only the shot bill.
+_REDUNDANT_PREPS = ("X-", "Y-")
+
+
+def spanning_init_tuples(
+    num_cuts: int, golden: "GoldenMap | None" = None
+) -> list[tuple[str, ...]]:
+    """A minimal preparation-tuple pool spanning the kept operator space.
+
+    Per cut, the states whose density matrices span the same Hermitian
+    subspace as the full (or golden-reduced) preparation pool: ``X−`` and
+    ``Y−`` are linear combinations of the rest, so the standard 6 states
+    shrink to ``(Z+, Z−, X+, Y+)`` — the chain caches' ``4^K`` Hermitian
+    framing — and a Y-golden cut to ``(Z+, Z−, X+)``.  Because fragment
+    response is *linear* in the entering state, a deviation that vanishes on
+    this pool vanishes for every preparation the reconstruction can inject;
+    pilot detection and the analytic chain finder therefore probe only
+    these contexts (``6^K → 4^K`` pilot variants per entering group).
+    """
+    gm = normalize_golden_map(num_cuts, golden) if golden else {}
+    allowed = [
+        tuple(b for b in FULL_BASES if b not in gm.get(k, ()))
+        for k in range(num_cuts)
+    ]
+    pools = [
+        tuple(
+            code
+            for code in preparations_for_bases(b)
+            if code not in _REDUNDANT_PREPS
+        )
+        for b in allowed
+    ]
+    # pools are never empty: "I" survives any golden map, contributing Z±
+    return list(itertools.product(*pools))
+
+
+def chain_pilot_combos(
+    num_prep: int, num_meas: int, golden_prev: "GoldenMap | None" = None
+) -> list[tuple[tuple[str, ...], tuple[str, ...]]]:
+    """The ``(prep context, setting)`` combos one chain fragment pilots.
+
+    The single definition of the detection sweep's probe pool, shared by
+    the analytic finder, the pilot pipeline and the benches so they cannot
+    drift apart: the spanning preparation contexts of the *previous* group
+    (conditioned on its committed neglect ``golden_prev``) crossed with
+    every measurement setting of the fragment's own exiting group.  End
+    fragments degenerate naturally (no preps → one empty context; no
+    exiting cuts → nothing to pilot, one empty setting).
+    """
+    contexts = (
+        spanning_init_tuples(num_prep, golden_prev) if num_prep else [()]
+    )
+    settings = (
+        upstream_setting_tuples(num_meas) if num_meas else [()]
+    )
+    return [(a, s) for a in contexts for s in settings]

@@ -22,8 +22,11 @@ import numpy as np
 from repro.backends.base import Backend
 from repro.config import DEFAULT_ALPHA
 from repro.core.costs import CostReport, cost_report
-from repro.core.detection import detect_golden_bases
-from repro.core.golden import find_golden_bases_analytic
+from repro.core.detection import detect_chain_golden_bases, detect_golden_bases
+from repro.core.golden import (
+    find_chain_golden_bases_analytic,
+    find_golden_bases_analytic,
+)
 from repro.core.neglect import (
     normalize_golden_map,
     reduced_bases,
@@ -111,10 +114,19 @@ class ChainRunResult:
     reconstruction_seconds: float
     #: per-group reconstruction basis pools (None = full {I,X,Y,Z} everywhere)
     bases: "list | None" = None
+    #: pilot-detection metadata, one list of
+    #: :class:`~repro.core.detection.GoldenDetectionResult` per cut group
+    #: (empty unless golden="detect")
+    detection: list = field(default_factory=list)
 
     @property
     def total_executions(self) -> int:
         return self.costs["total_executions"]
+
+    @property
+    def pilot_executions(self) -> int:
+        """Pilot shot bill of the detection sweep (0 without a pilot)."""
+        return self.costs.get("pilot_executions", 0)
 
     def expectation(self, diagonal: np.ndarray) -> float:
         """Expectation of a diagonal observable under the reconstruction."""
@@ -142,28 +154,55 @@ def cut_and_run_chain(
     golden_maps: "list | None" = None,
     postprocess: str = "clip",
     seed: "int | np.random.Generator | None" = None,
+    alpha: float = DEFAULT_ALPHA,
+    pilot_shots: int | None = None,
+    exploit_all: bool = False,
 ) -> ChainRunResult:
     """Cut ``circuit`` into a fragment chain, run it, reconstruct.
 
     The multi-fragment analogue of :func:`cut_and_run`: ``specs`` lists one
     :class:`~repro.cutting.cut.CutSpec` per cut group (original-circuit
     coordinates, see :func:`repro.cutting.chain.partition_chain`).  Golden
-    modes: ``"off"`` runs the full CutQC-style variant products;
-    ``"known"`` takes ``golden_maps`` — one
-    :data:`~repro.core.neglect.GoldenMap` (or ``None``) per cut group — and
-    neglects those bases group by group: fragment ``i`` then runs the
-    reduced ``inits(group i−1) × settings(group i)`` product and the
-    reconstruction drops the corresponding rows of each group's factors.
+    modes, per cut group:
+
+    * ``"off"`` runs the full CutQC-style variant products;
+    * ``"known"`` takes ``golden_maps`` — one
+      :data:`~repro.core.neglect.GoldenMap` (or ``None``) per cut group —
+      and neglects those bases group by group: fragment ``i`` then runs the
+      reduced ``inits(group i−1) × settings(group i)`` product and the
+      reconstruction drops the corresponding rows of each group's factors;
+    * ``"analytic"`` finds each group's golden bases exactly with
+      :func:`~repro.core.golden.find_chain_golden_bases_analytic` (a
+      left-to-right sweep whose interior-fragment contexts honour the
+      previous group's neglect), selected per group by the same policy as
+      :func:`cut_and_run` (``exploit_all``);
+    * ``"detect"`` spends ``pilot_shots`` per pilot variant (default
+      ``max(100, shots // 4)``) on a sequential detection sweep: fragment
+      ``g`` measures its spanning prep contexts × full settings, the
+      hypothesis-test detector
+      (:func:`~repro.core.detection.detect_chain_golden_bases`, level
+      ``alpha`` per candidate) rules on group ``g``, and the verdict
+      conditions group ``g + 1``'s contexts.  The terminal fragment has no
+      exiting cuts and never runs a pilot.
+
     One cache pool (:meth:`~repro.backends.base.Backend.make_chain_cache_pool`)
-    serves all fragments, so each body is transpiled/simulated once.
+    serves the pilot sweep *and* the production run, so each fragment body
+    is transpiled/simulated exactly once — an N-fragment chain costs N body
+    transpiles no matter the mode.
     """
+    from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
     from repro.cutting.chain import partition_chain
     from repro.cutting.execution import run_chain_fragments
     from repro.cutting.reconstruction import reconstruct_chain_distribution
-    from repro.cutting.shots import allocate_chain_shots
+    from repro.cutting.shots import allocate_chain_pilot_shots, allocate_chain_shots
 
     rng = as_generator(seed)
     chain = partition_chain(circuit, specs)
+    pool = backend.make_chain_cache_pool(chain)
+
+    detection: list = []
+    pilot_report: "dict | None" = None
+    pilot_seconds = 0.0
 
     if golden == "off":
         golden_used = [None] * chain.num_groups
@@ -176,8 +215,74 @@ def cut_and_run_chain(
             dict(normalize_golden_map(chain.group_sizes[g], gm)) if gm else None
             for g, gm in enumerate(golden_maps)
         ]
+    elif golden == "analytic":
+        # The finder works on *ideal* states: reuse the backend's pool when
+        # it is an ideal one, otherwise build a finder-only ideal pool (no
+        # transpiles — the noisy production pool is untouched).
+        if pool is not None and all(
+            isinstance(c, ChainFragmentSimCache) for c in pool
+        ):
+            finder_pool = pool
+        else:
+            finder_pool = ChainCachePool(
+                chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+            )
+        _, selected = find_chain_golden_bases_analytic(
+            chain,
+            pool=finder_pool,
+            select=lambda found: _select_golden(found, exploit_all),
+        )
+        golden_used = [sel if sel else None for sel in selected]
+    elif golden == "detect":
+        from repro.core.neglect import chain_pilot_combos
+
+        pilot_counts = [0] * chain.num_fragments
+        pilot: "int | None" = None
+        golden_used = []
+        for g in range(chain.num_groups):
+            frag = chain.fragments[g]
+            combos = chain_pilot_combos(
+                frag.num_prep,
+                frag.num_meas,
+                golden_used[g - 1] if g else None,
+            )
+            pilot_counts[g] = len(combos)
+            if pilot is None:
+                # the sweep is sequential, so the per-variant pilot budget
+                # is fixed before fragment 0 runs
+                pilot, _ = allocate_chain_pilot_shots(
+                    pilot_counts,
+                    shots_per_variant=shots,
+                    pilot_shots=pilot_shots,
+                )
+            pilot_variants: list = [None] * chain.num_fragments
+            pilot_variants[g] = combos
+            pilot_data = run_chain_fragments(
+                chain,
+                backend,
+                shots=pilot,
+                variants=pilot_variants,
+                seed=derive_rng(rng, 0x70 + g),
+                pool=pool,
+            )
+            pilot_seconds += pilot_data.modeled_seconds
+            results = detect_chain_golden_bases(pilot_data, g, alpha=alpha)
+            detection.append(results)
+            found: dict[int, list[str]] = {
+                k: [] for k in range(chain.group_sizes[g])
+            }
+            for res in results:
+                if res.is_golden:
+                    found[res.cut].append(res.basis)
+            golden_used.append(_select_golden(found, exploit_all) or None)
+        _, pilot_report = allocate_chain_pilot_shots(
+            pilot_counts, shots_per_variant=shots, pilot_shots=pilot
+        )
     else:
-        raise CutError(f'golden must be "off"/"known" for chains, got {golden!r}')
+        raise CutError(
+            'golden must be "off"/"known"/"analytic"/"detect" for chains, '
+            f"got {golden!r}"
+        )
 
     if any(golden_used):
         from repro.cutting.variants import (
@@ -214,7 +319,6 @@ def cut_and_run_chain(
         bases = None
         variants = None
 
-    pool = backend.make_chain_cache_pool(chain)
     data = run_chain_fragments(
         chain,
         backend,
@@ -231,15 +335,18 @@ def cut_and_run_chain(
 
     counts = [len(r) for r in data.records]
     _, costs = allocate_chain_shots(counts, shots_per_variant=shots)
+    if pilot_report is not None:
+        costs = {**costs, **pilot_report}
     return ChainRunResult(
         probabilities=probs,
         chain=chain,
         golden_used=golden_used,
         data=data,
         costs=costs,
-        device_seconds=data.modeled_seconds,
+        device_seconds=data.modeled_seconds + pilot_seconds,
         reconstruction_seconds=sw.elapsed,
         bases=bases,
+        detection=detection,
     )
 
 

@@ -435,9 +435,15 @@ class ChainCachePool:
         return iter(self.caches)
 
     def warm(self, variants_per_fragment: Sequence[Sequence[tuple]]) -> "ChainCachePool":
-        """Warm every fragment's cache with its variant combos."""
+        """Warm every fragment's cache with its variant combos.
+
+        ``None`` entries mark fragments skipped by a partial pass (see
+        :func:`repro.cutting.execution.run_chain_fragments`) — their caches
+        are left cold.
+        """
         if len(variants_per_fragment) != len(self.caches):
             raise CutError("need one variant list per fragment")
         for cache, combos in zip(self.caches, variants_per_fragment):
-            cache.warm(combos)
+            if combos is not None:
+                cache.warm(combos)
         return self

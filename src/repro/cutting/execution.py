@@ -205,7 +205,16 @@ class ChainFragmentData:
 
 
 def _chain_variant_lists(chain, variants):
-    """Normalise the per-fragment variant lists (default: full pools)."""
+    """Normalise the per-fragment variant lists (default: full pools).
+
+    ``variants[i] = None`` marks fragment ``i`` as *skipped* — it is not
+    executed and its record dict stays empty.  Partial passes are what
+    pilot detection runs: group ``g``'s verdict only needs fragment ``g``'s
+    measurements, so the sweep submits one fragment at a time and the
+    terminal fragment (no exiting cuts) never runs at all.  An explicitly
+    empty list is still an error: it would mean a fragment that *should*
+    run has nothing to run.
+    """
     from repro.cutting.variants import chain_variant_tuples
 
     if variants is None:
@@ -216,10 +225,15 @@ def _chain_variant_lists(chain, variants):
         raise CutError("need one variant list per chain fragment")
     out = []
     for i, combos in enumerate(variants):
+        if combos is None:
+            out.append(None)
+            continue
         combos = [(tuple(a), tuple(s)) for a, s in combos]
         if not combos:
             raise CutError(f"fragment {i} has an empty variant set")
         out.append(combos)
+    if not any(c for c in out):
+        raise CutError("every chain fragment is skipped; nothing to run")
     return out
 
 
@@ -248,6 +262,9 @@ def run_chain_fragments(
     records: list[dict] = []
     t0 = backend.clock.now
     for i, combos in enumerate(variants):
+        if combos is None:  # skipped fragment (partial/pilot pass)
+            records.append({})
+            continue
         frag = chain.fragments[i]
         results = backend.run_chain_variants(
             chain,
@@ -274,7 +291,9 @@ def run_chain_fragments(
         modeled_seconds=seconds,
         metadata={
             "backend": getattr(backend, "name", "backend"),
-            "variants_per_fragment": [len(c) for c in variants],
+            "variants_per_fragment": [
+                0 if c is None else len(c) for c in variants
+            ],
         },
     )
 
@@ -313,6 +332,9 @@ def exact_chain_data(
         )
     records: list[dict] = []
     for i, combos in enumerate(variants):
+        if combos is None:  # skipped fragment (partial/pilot pass)
+            records.append({})
+            continue
         cache = pool[i]
         records.append(
             {combo: cache.joint(*combo) for combo in combos}

@@ -16,7 +16,16 @@ from typing import Sequence
 
 from repro.exceptions import CutError
 
-__all__ = ["allocate_chain_shots", "allocate_shots"]
+__all__ = [
+    "allocate_chain_pilot_shots",
+    "allocate_chain_shots",
+    "allocate_shots",
+]
+
+#: default pilot sizing (matches ``cut_and_run``'s detect mode): a quarter
+#: of the production per-variant budget, but never fewer than this floor.
+PILOT_FRACTION = 0.25
+PILOT_FLOOR = 100
 
 
 def allocate_shots(
@@ -95,3 +104,42 @@ def allocate_chain_shots(
         "total_executions": per * sum(counts),
     }
     return per, report
+
+
+def allocate_chain_pilot_shots(
+    pilot_variants_per_fragment: Sequence[int],
+    shots_per_variant: int,
+    pilot_shots: int | None = None,
+) -> tuple[int, dict]:
+    """Pilot budget for chain golden detection: ``(pilot_shots, report)``.
+
+    ``pilot_variants_per_fragment[i]`` counts the *pilot* combos fragment
+    ``i`` runs during the detection sweep — zero for fragments the sweep
+    skips (always the terminal fragment, which has no exiting cuts and
+    therefore nothing to test).  ``pilot_shots=None`` derives the paper-mode
+    default from the production per-variant budget:
+    ``max(PILOT_FLOOR, shots_per_variant · PILOT_FRACTION)``, the same rule
+    :func:`~repro.core.pipeline.cut_and_run` applies to bipartitions.  The
+    report feeds the pipeline's cost accounting (pilot executions are kept
+    separate from production ones, mirroring the pair path's bookkeeping).
+    """
+    counts = [int(c) for c in pilot_variants_per_fragment]
+    if len(counts) < 2:
+        raise CutError("a chain has at least two fragments")
+    if any(c < 0 for c in counts):
+        raise CutError("pilot variant counts cannot be negative")
+    if sum(counts) == 0:
+        raise CutError("no pilot variants to allocate shots to")
+    if pilot_shots is None:
+        if shots_per_variant <= 0:
+            raise CutError("shots_per_variant must be positive")
+        pilot_shots = max(PILOT_FLOOR, int(shots_per_variant * PILOT_FRACTION))
+    if pilot_shots <= 0:
+        raise CutError("pilot_shots must be positive")
+    report = {
+        "pilot_shots_per_variant": pilot_shots,
+        "pilot_variants_per_fragment": counts,
+        "pilot_num_variants": sum(counts),
+        "pilot_executions": pilot_shots * sum(counts),
+    }
+    return pilot_shots, report

@@ -28,6 +28,7 @@ from repro.utils.timing import Stopwatch
 
 __all__ = [
     "chain_cut_circuit",
+    "golden_chain_circuit",
     "multi_cut_golden_circuit",
     "run_scaling",
 ]
@@ -144,6 +145,83 @@ def chain_cut_circuit(
                 CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
             )
     return qc, specs
+
+
+def golden_chain_circuit(
+    num_fragments: int,
+    planted_groups: "tuple[int, ...] | list[int]" = (),
+    fresh_per_fragment: int = 2,
+    depth: int = 2,
+    seed: "int | None" = None,
+):
+    """A chain circuit with X/Y-golden cut groups planted where asked.
+
+    One cut per group.  A *planted* group's cut wire is driven only by
+    Z-diagonal gates (``rz``/``t``/``cz``) from ``|0⟩``, so the state
+    entering that cut carries no X or Y information **for every
+    preparation context** the previous group can inject — both bases are
+    golden at that cut unconditionally, while Z stays maximally informative
+    (the wire sits in a computational eigenstate).  A *regular* group's cut
+    wire is mixed into the block with generic complex rotations and an
+    entangling gate, so generically no basis is golden there; detection
+    tests verify the induced deviations analytically before relying on
+    them.
+
+    Returns ``(circuit, specs, planted_maps)``: ``planted_maps[g]`` is
+    ``{0: ("X", "Y")}`` for planted groups and ``None`` otherwise — ready
+    to compare ``golden="detect"`` verdicts (or feed ``golden="known"``)
+    in :func:`repro.core.pipeline.cut_and_run_chain`.
+    """
+    if num_fragments < 2:
+        raise ValueError("a chain needs at least two fragments")
+    if fresh_per_fragment < 2:
+        raise ValueError("need at least two fresh qubits per fragment")
+    planted = set(planted_groups)
+    if planted - set(range(num_fragments - 1)):
+        raise ValueError(
+            f"planted groups {sorted(planted)} out of range "
+            f"(chain has {num_fragments - 1} groups)"
+        )
+    rng = as_generator(seed)
+    n = fresh_per_fragment * num_fragments
+    qc = Circuit(n, name=f"golden_chain[N={num_fragments}]")
+    specs = []
+    start = 0
+    for i in range(num_fragments):
+        carry_in = 1 if i > 0 else 0
+        qubits = list(range(start - carry_in, start + fresh_per_fragment))
+        start += fresh_per_fragment
+        last_group = i == num_fragments - 1
+        # the *last* local qubit carries on into block i + 1
+        cut_wire = None if last_group else qubits[-1]
+        body = [q for q in qubits if q != cut_wire]
+        before = len(qc)
+        qc = qc.compose(
+            random_circuit(len(body), depth, seed=rng), qubits=body
+        )
+        if i > 0 and not any(  # anchor the entering wire in this block
+            qubits[0] in qc[j].qubits for j in range(before, len(qc))
+        ):
+            qc.cx(qubits[0], body[1])
+        if cut_wire is None:
+            continue
+        if i in planted:
+            # Z-diagonal drive only: the cut wire stays |0⟩ exactly, so X
+            # and Y are golden for every entering preparation
+            qc.rz(float(rng.uniform(0, 6.28)), cut_wire)
+            qc.cz(cut_wire, body[0])
+            qc.t(cut_wire)
+        else:
+            qc.ry(float(rng.uniform(0.5, 2.6)), cut_wire)
+            qc.cx(body[0], cut_wire)
+            qc.rx(float(rng.uniform(0.5, 2.6)), cut_wire)
+        boundary = max(j for j, inst in enumerate(qc) if cut_wire in inst.qubits)
+        specs.append(CutSpec((CutPoint(cut_wire, boundary),)))
+    planted_maps = [
+        {0: ("X", "Y")} if g in planted else None
+        for g in range(num_fragments - 1)
+    ]
+    return qc, specs, planted_maps
 
 
 def run_scaling(max_cuts: int = 3, depth: int = 2, seed: int = 777, repeats: int = 3) -> list[dict]:

@@ -222,7 +222,10 @@ def run_chain_fragments_parallel(
     """
     variants = _chain_variant_lists(chain, variants)
     tasks = [
-        (i, combo) for i, combos in enumerate(variants) for combo in combos
+        (i, combo)
+        for i, combos in enumerate(variants)
+        if combos is not None  # None = fragment skipped (partial pass)
+        for combo in combos
     ]
 
     probe = backend_factory()

@@ -369,6 +369,36 @@ class TestChainSimCallCounts:
         assert len(calls) == 3
         assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
 
+    @pytest.mark.parametrize("mode", ["detect", "analytic"])
+    def test_chain_pilot_and_production_share_the_pool(self, mode, monkeypatch):
+        """Golden detection keeps the law: the pilot sweep and the
+        production run are served by the same pool, so an N-fragment chain
+        still costs exactly N body transpiles (the analytic finder works on
+        a transpile-free ideal pool)."""
+        import repro.cutting.noisy_cache as nc
+
+        from repro.core.pipeline import cut_and_run_chain
+        from repro.harness.scaling import golden_chain_circuit
+
+        calls = []
+        real = nc.transpile
+        monkeypatch.setattr(
+            nc, "transpile", lambda *a, **k: calls.append(1) or real(*a, **k)
+        )
+        qc, specs, _ = golden_chain_circuit(
+            3, planted_groups=(0,), seed=2300
+        )
+        dev = make_device("gates+readout")
+        result = cut_and_run_chain(
+            qc, dev, specs, shots=400, golden=mode, pilot_shots=800,
+            seed=7, exploit_all=True,
+        )
+        assert len(calls) == 3  # pilot + production: one per fragment body
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-6)
+        if mode == "detect":
+            assert result.pilot_executions > 0
+            assert [len(d) for d in result.detection] == [3, 3]
+
 
 class TestPreparationNoiseIsExact:
     def test_noisy_prep_coefficients_reproduce_prep_state(self):
