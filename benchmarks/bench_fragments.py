@@ -79,3 +79,62 @@ def test_run_fragments_ideal(benchmark, K):
         lambda: run_fragments(pair, IdealBackend(), shots=1000, seed=0)
     )
     assert data.num_variants == 3**K + 6**K
+
+
+# ---------------------------------------------------------------------------
+# Batched upstream rotation application (ROADMAP lever, PR 5 satellite).
+# At K = 4 the tree cache must rotate its cached column bank for all
+# ``3^4 = 81`` measurement settings; the per-setting loop re-reads the whole
+# bank 81 times, the batched path builds every rotated bank with one stacked
+# tensor contraction per cut (``warm_rotations``).
+
+_ROT_K = 4
+
+
+def _rotation_fragment():
+    from repro.cutting.tree import partition_tree
+    from repro.harness.scaling import tree_cut_circuit
+
+    qc, specs = tree_cut_circuit(
+        [0], _ROT_K, fresh_per_fragment=2, depth=2, seed=940
+    )
+    tree = partition_tree(qc, specs)
+    frag = tree.fragments[0]
+    assert frag.num_meas == _ROT_K
+    return frag
+
+
+_ROT_FRAG = _rotation_fragment()
+
+
+@pytest.mark.benchmark(group="rotations-K4")
+def test_rotations_per_setting_loop(benchmark):
+    from repro.cutting.cache import TreeFragmentSimCache
+    from repro.cutting.variants import upstream_setting_tuples
+
+    settings = upstream_setting_tuples(_ROT_K)
+
+    def run():
+        cache = TreeFragmentSimCache(_ROT_FRAG)
+        for s in settings:
+            cache._rotated_columns(s)
+        return cache
+
+    cache = benchmark(run)
+    assert len(cache._rotated) == 3**_ROT_K
+
+
+@pytest.mark.benchmark(group="rotations-K4")
+def test_rotations_batched_stack(benchmark):
+    from repro.cutting.cache import TreeFragmentSimCache
+    from repro.cutting.variants import upstream_setting_tuples
+
+    settings = upstream_setting_tuples(_ROT_K)
+
+    def run():
+        cache = TreeFragmentSimCache(_ROT_FRAG)
+        cache.warm_rotations(settings)
+        return cache
+
+    cache = benchmark(run)
+    assert len(cache._rotated) == 3**_ROT_K

@@ -13,6 +13,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_noisy_fragments.json``  ← ``bench_noisy_fragments.py``
 * ``benchmarks/BENCH_multi_fragment.json``   ← ``bench_multi_fragment.py``
 * ``benchmarks/BENCH_chain_detection.json``  ← ``bench_chain_detection.py``
+* ``benchmarks/BENCH_tree_fragments.json``   ← ``bench_tree_fragments.py``
 
 ``--suite NAME`` (repeatable; matches the json/bench file stem) restricts
 either mode to a subset, e.g. ``--write-baseline --suite noisy_fragments``
@@ -47,6 +48,7 @@ SUITES = {
     "BENCH_noisy_fragments.json": "bench_noisy_fragments.py",
     "BENCH_multi_fragment.json": "bench_multi_fragment.py",
     "BENCH_chain_detection.json": "bench_chain_detection.py",
+    "BENCH_tree_fragments.json": "bench_tree_fragments.py",
 }
 
 

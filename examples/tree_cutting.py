@@ -1,0 +1,122 @@
+"""Fragment-tree cutting: branched topologies beyond chains (PR 5).
+
+Chains cover circuits whose cut wires flow strictly left to right, but the
+branched workloads that dominate NISQ practice — GHZ-star state
+distribution, DQVA/QAOA-style ansätze with a shared mixing core — induce
+fragment *trees*: one fragment feeds several downstream neighbourhoods.
+This example
+
+1. builds a **GHZ-star**: a central core distributing entanglement into
+   three arms, cuts every arm, and reconstructs the uncut distribution
+   exactly through the tree-order (leaves-to-root) contraction;
+2. shows the chain entry point pointing branched specs at
+   :func:`~repro.cutting.tree.partition_tree` instead of dead-ending;
+3. runs the golden machinery on a planted tree: the analytic root-to-leaves
+   sweep finds the planted X/Y-golden groups, and ``golden="detect"``
+   buys the same reduced pools from a finite pilot — the paper's
+   ``4^{K_r} 3^{K_g}`` neglect applied per cut group of a *tree*.
+
+Run:  python examples/tree_cutting.py
+"""
+
+import numpy as np
+
+from repro import IdealBackend, partition_tree, simulate_statevector
+from repro.circuits.circuit import Circuit
+from repro.core.pipeline import cut_and_run_tree
+from repro.cutting.cut import CutPoint, CutSpec
+from repro.cutting.execution import exact_tree_data
+from repro.cutting.reconstruction import reconstruct_tree_distribution
+from repro.exceptions import CutError
+from repro.harness.scaling import golden_tree_circuit
+
+
+def ghz_star() -> tuple[Circuit, list[CutSpec]]:
+    """A 3-armed GHZ-star: core GHZ on 4 qubits, one 2-qubit arm per spoke.
+
+    Wires 1, 2, 3 each carry the core's entanglement into a private arm
+    (fresh qubits 4–6), so the three arm specs branch off one root — a
+    fragment tree no chain can express.
+    """
+    qc = Circuit(7, name="ghz_star")
+    qc.h(0)
+    for spoke in (1, 2, 3):
+        qc.cx(0, spoke)
+    boundaries = {
+        w: max(i for i, inst in enumerate(qc) if w in inst.qubits)
+        for w in (1, 2, 3)
+    }
+    for spoke, fresh in ((1, 4), (2, 5), (3, 6)):
+        qc.cx(spoke, fresh)
+        qc.ry(0.4 * spoke, fresh)
+        qc.rz(0.2 * spoke, spoke)
+    specs = [CutSpec((CutPoint(w, boundaries[w]),)) for w in (1, 2, 3)]
+    return qc, specs
+
+
+def main() -> None:
+    qc, specs = ghz_star()
+    print("cutting a 7-qubit GHZ-star into a fragment tree...")
+
+    # chains reject the branched specs, pointing at the tree engine
+    from repro.cutting.chain import partition_chain
+
+    try:
+        partition_chain(qc, specs)
+    except CutError as err:
+        print(f"  partition_chain: {err}")
+    tree = partition_tree(qc, specs)
+    print(f"  {tree.describe()}")
+    root = tree.fragments[0]
+    print(
+        f"  root measures {root.num_meas} cut wires across "
+        f"{len(root.meas_groups)} child groups"
+    )
+
+    data = exact_tree_data(tree)
+    p = reconstruct_tree_distribution(data, postprocess="raw")
+    truth = simulate_statevector(qc).probabilities()
+    err = float(np.abs(p - truth).max())
+    print(f"  exact tree reconstruction: max |error| = {err:.2e}")
+    assert err < 1e-9
+
+    print("\nplanted-golden tree: analytic sweep and pilot detection")
+    qc2, specs2, planted = golden_tree_circuit(
+        [0, 0, 1, 1], planted_groups=(0, 2, 3), fresh_per_fragment=3, seed=1
+    )
+    backend = IdealBackend()
+    known = cut_and_run_tree(
+        qc2, backend, specs2, shots=400, golden="known",
+        golden_maps=planted, exploit_all=True, seed=0,
+    )
+    analytic = cut_and_run_tree(
+        qc2, backend, specs2, shots=400, golden="analytic",
+        exploit_all=True, seed=0,
+    )
+    assert analytic.golden_used == known.golden_used
+    print(f"  analytic sweep found the planted maps: {analytic.golden_used}")
+
+    off = cut_and_run_tree(qc2, backend, specs2, shots=400, seed=0)
+    det = cut_and_run_tree(
+        qc2, backend, specs2, shots=400, golden="detect",
+        pilot_shots=2000, exploit_all=True, seed=0,
+    )
+    print(
+        f"  executions  off: {off.total_executions:>7}   "
+        f"known: {known.total_executions:>7}   "
+        f"detect: {det.total_executions:>7} "
+        f"(+{det.pilot_executions} pilot)"
+    )
+    assert known.total_executions < off.total_executions
+    truth2 = simulate_statevector(qc2).probabilities()
+    for label, res in (("known", known), ("detect", det)):
+        tv = 0.5 * float(np.abs(res.probabilities - truth2).sum())
+        print(f"  {label:>6}: TV error {tv:.4f}")
+        assert tv < 0.2
+
+    print("\ntree cutting OK — branched fragment topologies reconstruct "
+          "exactly and golden neglect applies per cut group.")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,16 +58,24 @@ from repro.cutting import (
     CutSpec,
     FragmentChain,
     FragmentPair,
+    FragmentTree,
     bipartition,
     find_cuts,
     partition_chain,
+    partition_tree,
     reconstruct_chain_distribution,
     reconstruct_distribution,
     reconstruct_expectation,
+    reconstruct_tree_distribution,
     run_chain_fragments,
     run_fragments,
+    run_tree_fragments,
 )
-from repro.cutting.execution import exact_chain_data, exact_fragment_data
+from repro.cutting.execution import (
+    exact_chain_data,
+    exact_fragment_data,
+    exact_tree_data,
+)
 from repro.exceptions import ReproError
 from repro.metrics import total_variation, weighted_distance
 from repro.observables import BitstringProjector, DiagonalObservable
@@ -110,15 +118,20 @@ __all__ = [
     "CutSpec",
     "FragmentPair",
     "FragmentChain",
+    "FragmentTree",
     "bipartition",
     "partition_chain",
+    "partition_tree",
     "find_cuts",
     "run_fragments",
     "run_chain_fragments",
+    "run_tree_fragments",
     "exact_fragment_data",
     "exact_chain_data",
+    "exact_tree_data",
     "reconstruct_distribution",
     "reconstruct_chain_distribution",
+    "reconstruct_tree_distribution",
     "reconstruct_expectation",
     # observables / metrics / sim
     "BitstringProjector",

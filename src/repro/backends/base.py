@@ -152,16 +152,43 @@ class Backend(abc.ABC):
         ]
         return self.run(circuits, shots=shots, seed=seed)
 
-    def make_chain_cache_pool(self, chain):
-        """Build the per-fragment cache pool :meth:`run_chain_variants` uses.
+    def make_tree_cache_pool(self, tree):
+        """Build the per-fragment cache pool :meth:`run_tree_variants` uses.
 
-        The chain analogue of :meth:`make_variant_cache`: ``None`` for
-        backends that really execute circuits; one cache per chain fragment
-        (wrapped in a :class:`~repro.cutting.cache.ChainCachePool`) for the
+        The tree analogue of :meth:`make_variant_cache`: ``None`` for
+        backends that really execute circuits; one cache per tree fragment
+        (wrapped in a :class:`~repro.cutting.cache.TreeCachePool`) for the
         ideal and fake-hardware backends, so every fragment body is
-        transpiled/simulated exactly once per pipeline invocation.
+        transpiled/simulated exactly once per pipeline invocation —
+        the exactly-``N``-body-transpiles law for an ``N``-node tree.
         """
         return None
+
+    def make_chain_cache_pool(self, chain):
+        """Chain alias of :meth:`make_tree_cache_pool` (a linear tree)."""
+        return self.make_tree_cache_pool(chain)
+
+    def run_tree_variants(
+        self,
+        tree,
+        index: int,
+        combos: Sequence[tuple[tuple[str, ...], tuple[str, ...]]],
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Execute one tree fragment's ``(inits, setting)`` variants.
+
+        The default implementation materialises each combined variant
+        circuit (:func:`~repro.cutting.variants.tree_variant`) and submits
+        the batch through :meth:`run` — these are the reference semantics
+        the cached fast paths must reproduce bit-identically.  ``cache`` is
+        ignored here, where circuits must really be executed.
+        """
+        from repro.cutting.variants import tree_variant
+
+        circuits = [tree_variant(tree, index, a, s) for a, s in combos]
+        return self.run(circuits, shots=shots, seed=seed)
 
     def run_chain_variants(
         self,
@@ -172,15 +199,15 @@ class Backend(abc.ABC):
         seed: "int | np.random.Generator | None" = None,
         cache=None,
     ) -> list[ExecutionResult]:
-        """Execute one chain fragment's ``(inits, setting)`` variants.
+        """Chain alias of :meth:`run_tree_variants` (a linear tree).
 
-        The default implementation materialises each combined variant
-        circuit (:func:`~repro.cutting.variants.chain_variant`) and submits
-        the batch through :meth:`run` — these are the reference semantics
-        the cached fast paths must reproduce bit-identically.  ``cache`` is
-        ignored here, where circuits must really be executed.
+        Deliberately pinned to the *base* tree implementation:
+        ``Backend.run_chain_variants(dev, ...)`` is how tests obtain the
+        per-circuit reference semantics on a backend whose own methods take
+        the cached fast path, and that contract must not dispatch
+        virtually.  Cached backends override this alias alongside
+        :meth:`run_tree_variants`.
         """
-        from repro.cutting.variants import chain_variant
-
-        circuits = [chain_variant(chain, index, a, s) for a, s in combos]
-        return self.run(circuits, shots=shots, seed=seed)
+        return Backend.run_tree_variants(
+            self, chain, index, combos, shots=shots, seed=seed, cache=cache
+        )

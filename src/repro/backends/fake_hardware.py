@@ -220,54 +220,54 @@ class FakeHardwareBackend(Backend):
             )
         return out
 
-    def make_chain_cache_pool(self, chain):
-        """One :class:`NoisyChainFragmentSimCache` per chain fragment."""
-        from repro.cutting.cache import ChainCachePool
-        from repro.cutting.noisy_cache import NoisyChainFragmentSimCache
+    def make_tree_cache_pool(self, tree):
+        """One :class:`NoisyTreeFragmentSimCache` per tree fragment."""
+        from repro.cutting.cache import TreeCachePool
+        from repro.cutting.noisy_cache import NoisyTreeFragmentSimCache
 
-        return ChainCachePool(
-            chain,
+        return TreeCachePool(
+            tree,
             [
-                NoisyChainFragmentSimCache(f, self.coupling, self.noise_model)
-                for f in chain.fragments
+                NoisyTreeFragmentSimCache(f, self.coupling, self.noise_model)
+                for f in tree.fragments
             ],
         )
 
-    def run_chain_variants(
+    def run_tree_variants(
         self,
-        chain,
+        tree,
         index: int,
         combos,
         shots: int = 1000,
         seed: "int | np.random.Generator | None" = None,
         cache=None,
     ) -> list[ExecutionResult]:
-        """Serve one chain fragment's variants from its shared noisy cache.
+        """Serve one tree fragment's variants from its shared noisy cache.
 
         Distributions come from the per-fragment cache (one transpile and
         one batched Hermitian-basis response evolution per body, one batched
         rotation pass per distinct setting); sampling, RNG streams and
         virtual-clock charges mirror circuit-level execution per variant,
         so counts are bit-identical to submitting each
-        :func:`~repro.cutting.variants.chain_variant` through :meth:`run`.
+        :func:`~repro.cutting.variants.tree_variant` through :meth:`run`.
         The device-equivalence contract on a foreign ``cache`` matches
         :meth:`run_variants`.
         """
-        from repro.cutting.noisy_cache import NoisyChainFragmentSimCache
+        from repro.cutting.noisy_cache import NoisyTreeFragmentSimCache
 
         if shots <= 0:
             raise BackendError(f"shots must be positive, got {shots}")
-        frag = chain.fragments[index]
+        frag = tree.fragments[index]
         if self.max_qubits is not None and frag.num_qubits > self.max_qubits:
             raise BackendError(
                 f"{self.name}: circuit width {frag.num_qubits} exceeds "
                 f"device size {self.max_qubits}"
             )
         if (
-            not isinstance(cache, NoisyChainFragmentSimCache)
+            not isinstance(cache, NoisyTreeFragmentSimCache)
             or cache.fragment is not frag
         ):
-            cache = NoisyChainFragmentSimCache(
+            cache = NoisyTreeFragmentSimCache(
                 frag, self.coupling, self.noise_model
             )
         rngs = spawn_rngs(seed, len(combos))
@@ -290,3 +290,17 @@ class FakeHardwareBackend(Backend):
                 )
             )
         return out
+
+    def run_chain_variants(
+        self,
+        chain,
+        index: int,
+        combos,
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Chain alias of :meth:`run_tree_variants` (a linear tree)."""
+        return self.run_tree_variants(
+            chain, index, combos, shots=shots, seed=seed, cache=cache
+        )

@@ -113,13 +113,46 @@ class IdealBackend(Backend):
         ]
         return out
 
-    def make_chain_cache_pool(self, chain):
-        """One :class:`ChainFragmentSimCache` per chain fragment."""
-        from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
+    def make_tree_cache_pool(self, tree):
+        """One :class:`TreeFragmentSimCache` per tree fragment."""
+        from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
 
-        return ChainCachePool(
-            chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+        return TreeCachePool(
+            tree, [TreeFragmentSimCache(f) for f in tree.fragments]
         )
+
+    def run_tree_variants(
+        self,
+        tree,
+        index: int,
+        combos,
+        shots: int = 1000,
+        seed: "int | np.random.Generator | None" = None,
+        cache=None,
+    ) -> list[ExecutionResult]:
+        """Serve one tree fragment's variants from its shared cache."""
+        from repro.cutting.cache import TreeFragmentSimCache
+
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        frag = tree.fragments[index]
+        if self.max_qubits is not None and frag.num_qubits > self.max_qubits:
+            raise BackendError(
+                f"{self.name}: circuit width {frag.num_qubits} exceeds "
+                f"device size {self.max_qubits}"
+            )
+        if (
+            not isinstance(cache, TreeFragmentSimCache)
+            or cache.fragment is not frag
+        ):
+            cache = TreeFragmentSimCache(frag)
+        rngs = spawn_rngs(seed, len(combos))
+        return [
+            self._result_from_probs(
+                cache.probabilities(a, s), frag.num_qubits, shots, rng
+            )
+            for (a, s), rng in zip(combos, rngs)
+        ]
 
     def run_chain_variants(
         self,
@@ -130,29 +163,10 @@ class IdealBackend(Backend):
         seed: "int | np.random.Generator | None" = None,
         cache=None,
     ) -> list[ExecutionResult]:
-        """Serve one chain fragment's variants from its shared cache."""
-        from repro.cutting.cache import ChainFragmentSimCache
-
-        if shots <= 0:
-            raise BackendError(f"shots must be positive, got {shots}")
-        frag = chain.fragments[index]
-        if self.max_qubits is not None and frag.num_qubits > self.max_qubits:
-            raise BackendError(
-                f"{self.name}: circuit width {frag.num_qubits} exceeds "
-                f"device size {self.max_qubits}"
-            )
-        if (
-            not isinstance(cache, ChainFragmentSimCache)
-            or cache.fragment is not frag
-        ):
-            cache = ChainFragmentSimCache(frag)
-        rngs = spawn_rngs(seed, len(combos))
-        return [
-            self._result_from_probs(
-                cache.probabilities(a, s), frag.num_qubits, shots, rng
-            )
-            for (a, s), rng in zip(combos, rngs)
-        ]
+        """Chain alias of :meth:`run_tree_variants` (a linear tree)."""
+        return self.run_tree_variants(
+            chain, index, combos, shots=shots, seed=seed, cache=cache
+        )
 
     def exact_probabilities(self, circuit: Circuit) -> np.ndarray:
         """Ground-truth distribution (used for Fig. 3's reference)."""

@@ -23,13 +23,16 @@ from repro.core.golden import (
     definition1_deviation,
     find_chain_golden_bases_analytic,
     find_golden_bases_analytic,
+    find_tree_golden_bases_analytic,
     is_golden_analytic,
     select_all_golden,
+    tree_definition1_deviation,
 )
 from repro.core.detection import (
     GoldenDetectionResult,
     detect_chain_golden_bases,
     detect_golden_bases,
+    detect_tree_golden_bases,
 )
 from repro.core.adaptive import (
     AdaptiveDetectionResult,
@@ -40,6 +43,7 @@ from repro.core.neglect import (
     GoldenMap,
     chain_pilot_combos,
     normalize_golden_map,
+    tree_pilot_combos,
     reduced_bases,
     reduced_init_tuples,
     reduced_setting_tuples,
@@ -49,8 +53,10 @@ from repro.core.costs import CostReport, cost_report, predicted_speedup
 from repro.core.pipeline import (
     ChainRunResult,
     CutRunResult,
+    TreeRunResult,
     cut_and_run,
     cut_and_run_chain,
+    cut_and_run_tree,
 )
 
 __all__ = [
@@ -58,13 +64,16 @@ __all__ = [
     "three_qubit_example",
     "GoldenAnsatzSpec",
     "chain_definition1_deviation",
+    "tree_definition1_deviation",
     "definition1_deviation",
     "find_chain_golden_bases_analytic",
+    "find_tree_golden_bases_analytic",
     "find_golden_bases_analytic",
     "is_golden_analytic",
     "select_all_golden",
     "GoldenDetectionResult",
     "detect_chain_golden_bases",
+    "detect_tree_golden_bases",
     "detect_golden_bases",
     "AdaptiveDetectionResult",
     "sequential_detect",
@@ -76,11 +85,14 @@ __all__ = [
     "reduced_init_tuples",
     "spanning_init_tuples",
     "chain_pilot_combos",
+    "tree_pilot_combos",
     "CostReport",
     "cost_report",
     "predicted_speedup",
     "CutRunResult",
     "cut_and_run",
     "ChainRunResult",
+    "TreeRunResult",
     "cut_and_run_chain",
+    "cut_and_run_tree",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "GoldenDetectionResult",
     "detect_chain_golden_bases",
     "detect_golden_bases",
+    "detect_tree_golden_bases",
 ]
 
 
@@ -143,27 +144,71 @@ def _verdict(
     )
 
 
-def _chain_candidate_z_scores(
+def _tree_candidate_z_scores(
     data, group: int, cut: int, basis: str, shots: int
 ) -> np.ndarray:
-    """Per-context |z| statistics for one chain cut-group candidate.
+    """Per-context |z| statistics for one tree cut-group candidate.
 
     Contexts run over every ``(prep context, setting)`` variant of the
-    group's upstream-side fragment whose setting measures ``cut`` in
-    ``basis``, times that variant's ``(b_out, r_{-cut})`` cells — the chain
-    analogue of :func:`_candidate_z_scores` with the entering preparations
-    of the previous group counted into the Bonferroni family.
+    group's **source node** whose setting measures the candidate cut (in
+    the node's flat layout) in ``basis``, times that variant's
+    ``(b_out, r_{-cut})`` cells — the tree analogue of
+    :func:`_candidate_z_scores` with the parent group's entering
+    preparations, and at a branching node the sibling groups' settings,
+    counted into the Bonferroni family.
     """
-    from repro.core.golden import iter_chain_cut_deltas
+    from repro.core.golden import _tree_group_frame, iter_chain_cut_deltas
 
-    K = data.chain.group_sizes[group]
+    records, K_flat, flat_cut = _tree_group_frame(data, group, cut)
     zs = []
-    for delta, mass in iter_chain_cut_deltas(
-        data.records[group], K, cut, basis
-    ):
+    for delta, mass in iter_chain_cut_deltas(records, K_flat, flat_cut, basis):
         sigma = np.sqrt(np.maximum(mass, 1.0 / shots) / shots)
         zs.append((np.abs(delta) / sigma).ravel())
     return np.concatenate(zs)
+
+
+def detect_tree_golden_bases(
+    data,
+    group: int,
+    alpha: float = DEFAULT_ALPHA,
+    cuts: "list[int] | None" = None,
+    bases: tuple[str, ...] = ("X", "Y", "Z"),
+) -> list[GoldenDetectionResult]:
+    """Test every (cut, basis) candidate of one tree cut group.
+
+    ``data`` is finite-shot :class:`~repro.cutting.execution.TreeFragmentData`
+    whose source-node records hold the pilot measurements (interior
+    fragments: one variant per *prep context × setting* over the node's
+    flat cut union; pilot pipelines pass the spanning context pool of
+    :func:`repro.core.neglect.spanning_init_tuples`, conditioned on the
+    parent group's verdict — see
+    :func:`~repro.core.golden.find_tree_golden_bases_analytic` for why the
+    sweep is a sequential root-to-leaves BFS).  The per-candidate
+    hypothesis test is the same Bonferroni-corrected max-|z| machinery as
+    :func:`detect_golden_bases`, with the prep contexts (and sibling
+    groups' settings, at a branching node) multiplying the corrected
+    family size, so the family-wise false-rejection guarantee (≤ ``alpha``
+    per candidate) is preserved group by group.
+    """
+    if data.shots_per_variant <= 0:
+        raise DetectionError(
+            "detection needs finite-shot data; for exact data use "
+            "repro.core.golden.find_tree_golden_bases_analytic"
+        )
+    tree = data.tree
+    if not 0 <= group < tree.num_groups:
+        raise DetectionError(
+            f"cut group {group} out of range ({tree.num_groups} groups)"
+        )
+    shots = data.shots_per_variant
+    if cuts is None:
+        cuts = list(range(tree.group_sizes[group]))
+    out: list[GoldenDetectionResult] = []
+    for k in cuts:
+        for b in bases:
+            z = _tree_candidate_z_scores(data, group, k, b, shots)
+            out.append(_verdict(z, k, b, alpha, group=group))
+    return out
 
 
 def detect_chain_golden_bases(
@@ -173,37 +218,7 @@ def detect_chain_golden_bases(
     cuts: "list[int] | None" = None,
     bases: tuple[str, ...] = ("X", "Y", "Z"),
 ) -> list[GoldenDetectionResult]:
-    """Test every (cut, basis) candidate of one chain cut group.
-
-    ``data`` is finite-shot :class:`~repro.cutting.execution.ChainFragmentData`
-    whose ``records[group]`` holds the pilot measurements of the group's
-    upstream-side fragment (interior fragments: one variant per *prep
-    context × setting*; pilot pipelines pass the spanning context pool of
-    :func:`repro.core.neglect.spanning_init_tuples`, conditioned on the
-    previous group's verdict — see
-    :func:`~repro.core.golden.find_chain_golden_bases_analytic` for why the
-    sweep is sequential).  The per-candidate hypothesis test is the same
-    Bonferroni-corrected max-|z| machinery as :func:`detect_golden_bases`,
-    with the prep contexts multiplying the corrected family size, so the
-    family-wise false-rejection guarantee (≤ ``alpha`` per candidate) is
-    preserved group by group.
-    """
-    if data.shots_per_variant <= 0:
-        raise DetectionError(
-            "detection needs finite-shot data; for exact data use "
-            "repro.core.golden.find_chain_golden_bases_analytic"
-        )
-    chain = data.chain
-    if not 0 <= group < chain.num_groups:
-        raise DetectionError(
-            f"cut group {group} out of range ({chain.num_groups} groups)"
-        )
-    shots = data.shots_per_variant
-    if cuts is None:
-        cuts = list(range(chain.group_sizes[group]))
-    out: list[GoldenDetectionResult] = []
-    for k in cuts:
-        for b in bases:
-            z = _chain_candidate_z_scores(data, group, k, b, shots)
-            out.append(_verdict(z, k, b, alpha, group=group))
-    return out
+    """Chain alias of :func:`detect_tree_golden_bases` (linear tree)."""
+    return detect_tree_golden_bases(
+        data, group, alpha=alpha, cuts=cuts, bases=bases
+    )

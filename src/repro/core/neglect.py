@@ -42,6 +42,7 @@ __all__ = [
     "reduced_init_tuples",
     "spanning_init_tuples",
     "chain_pilot_combos",
+    "tree_pilot_combos",
 ]
 
 #: cut index -> one golden basis or several
@@ -162,18 +163,20 @@ def spanning_init_tuples(
     return list(itertools.product(*pools))
 
 
-def chain_pilot_combos(
+def tree_pilot_combos(
     num_prep: int, num_meas: int, golden_prev: "GoldenMap | None" = None
 ) -> list[tuple[tuple[str, ...], tuple[str, ...]]]:
-    """The ``(prep context, setting)`` combos one chain fragment pilots.
+    """The ``(prep context, setting)`` combos one tree fragment pilots.
 
     The single definition of the detection sweep's probe pool, shared by
     the analytic finder, the pilot pipeline and the benches so they cannot
-    drift apart: the spanning preparation contexts of the *previous* group
+    drift apart: the spanning preparation contexts of the *entering* group
     (conditioned on its committed neglect ``golden_prev``) crossed with
-    every measurement setting of the fragment's own exiting group.  End
-    fragments degenerate naturally (no preps → one empty context; no
-    exiting cuts → nothing to pilot, one empty setting).
+    every measurement setting over the fragment's flat exiting cuts — on a
+    branching node that covers every child group at once, so one pilot run
+    serves all of them.  The root and leaves degenerate naturally (no preps
+    → one empty context; no exiting cuts → nothing to pilot, one empty
+    setting).
     """
     contexts = (
         spanning_init_tuples(num_prep, golden_prev) if num_prep else [()]
@@ -182,3 +185,7 @@ def chain_pilot_combos(
         upstream_setting_tuples(num_meas) if num_meas else [()]
     )
     return [(a, s) for a in contexts for s in settings]
+
+
+#: chains are linear trees; the chain name remains an alias
+chain_pilot_combos = tree_pilot_combos

@@ -22,11 +22,11 @@ import numpy as np
 from repro.backends.base import Backend
 from repro.config import DEFAULT_ALPHA
 from repro.core.costs import CostReport, cost_report
-from repro.core.detection import detect_chain_golden_bases, detect_golden_bases
-from repro.core.golden import (
-    find_chain_golden_bases_analytic,
-    find_golden_bases_analytic,
+from repro.core.detection import (
+    detect_golden_bases,
+    detect_tree_golden_bases,
 )
+from repro.core.golden import find_golden_bases_analytic
 from repro.core.neglect import (
     normalize_golden_map,
     reduced_bases,
@@ -43,7 +43,14 @@ from repro.exceptions import CutError
 from repro.utils.rng import as_generator, derive_rng
 from repro.utils.timing import Stopwatch
 
-__all__ = ["ChainRunResult", "CutRunResult", "cut_and_run", "cut_and_run_chain"]
+__all__ = [
+    "ChainRunResult",
+    "CutRunResult",
+    "TreeRunResult",
+    "cut_and_run",
+    "cut_and_run_chain",
+    "cut_and_run_tree",
+]
 
 #: preference order when several bases are golden at one cut — X/Y save
 #: downstream circuit executions, Z only saves upstream settings and terms.
@@ -95,16 +102,20 @@ class CutRunResult:
 
 
 @dataclass
-class ChainRunResult:
-    """Everything produced by one :func:`cut_and_run_chain` invocation."""
+class TreeRunResult:
+    """Everything produced by one :func:`cut_and_run_tree` invocation.
+
+    ``ChainRunResult`` is an alias — a chain is a linear tree and
+    :func:`cut_and_run_chain` runs through the same engine.
+    """
 
     #: reconstructed output distribution (little-endian over the full register)
     probabilities: np.ndarray
-    #: the fragment chain used
-    chain: object
-    #: golden maps actually exploited, one per cut group
+    #: the fragment tree used
+    tree: object
+    #: golden maps actually exploited, one per cut group (spec order)
     golden_used: list
-    #: raw chain fragment measurement data
+    #: raw tree fragment measurement data
     data: object
     #: per-fragment variant counts and total executions
     costs: dict
@@ -118,6 +129,11 @@ class ChainRunResult:
     #: :class:`~repro.core.detection.GoldenDetectionResult` per cut group
     #: (empty unless golden="detect")
     detection: list = field(default_factory=list)
+
+    @property
+    def chain(self):
+        """Alias of :attr:`tree` for chain-shaped runs."""
+        return self.tree
 
     @property
     def total_executions(self) -> int:
@@ -134,15 +150,250 @@ class ChainRunResult:
 
     def variance(self) -> np.ndarray:
         """Delta-method shot-noise variance of each reconstructed entry."""
-        from repro.cutting.variance import chain_reconstruction_variance
+        from repro.cutting.variance import tree_reconstruction_variance
 
-        return chain_reconstruction_variance(self.data, bases=self.bases)
+        return tree_reconstruction_variance(self.data, bases=self.bases)
 
     def predicted_stddev_tv(self) -> float:
         """Scalar shot-noise summary (see :mod:`repro.cutting.variance`)."""
-        from repro.cutting.variance import chain_predicted_stddev_tv
+        from repro.cutting.variance import tree_predicted_stddev_tv
 
-        return chain_predicted_stddev_tv(self.data, bases=self.bases)
+        return tree_predicted_stddev_tv(self.data, bases=self.bases)
+
+
+#: chains are linear trees; the chain result type is the tree result type
+ChainRunResult = TreeRunResult
+
+
+def cut_and_run_tree(
+    circuit: Circuit,
+    backend: Backend,
+    specs,
+    shots: int = 1000,
+    golden: str = "off",
+    golden_maps: "list | None" = None,
+    postprocess: str = "clip",
+    seed: "int | np.random.Generator | None" = None,
+    alpha: float = DEFAULT_ALPHA,
+    pilot_shots: int | None = None,
+    exploit_all: bool = False,
+    _tree=None,
+) -> TreeRunResult:
+    """Cut ``circuit`` into a fragment tree, run it, reconstruct.
+
+    The topology-general analogue of :func:`cut_and_run`: ``specs`` lists
+    one :class:`~repro.cutting.cut.CutSpec` per cut group (original-circuit
+    coordinates, see :func:`repro.cutting.tree.partition_tree`; branched
+    topologies welcome).  Golden modes, per cut group:
+
+    * ``"off"`` runs the full CutQC-style variant products;
+    * ``"known"`` takes ``golden_maps`` — one
+      :data:`~repro.core.neglect.GoldenMap` (or ``None``) per cut group —
+      and neglects those bases group by group: each fragment then runs the
+      reduced ``inits(entering group) × settings(flat exiting cuts)``
+      product and the reconstruction drops the corresponding rows of each
+      group's factors;
+    * ``"analytic"`` finds each group's golden bases exactly with
+      :func:`~repro.core.golden.find_tree_golden_bases_analytic` (a
+      root-to-leaves BFS whose interior-fragment contexts honour the
+      *parent* group's committed neglect), selected per group by the same
+      policy as :func:`cut_and_run` (``exploit_all``);
+    * ``"detect"`` spends ``pilot_shots`` per pilot variant (default
+      ``max(100, shots // 4)``) on a sequential root-to-leaves detection
+      sweep: each node with exiting cuts measures its spanning prep
+      contexts × full flat settings, the hypothesis-test detector
+      (:func:`~repro.core.detection.detect_tree_golden_bases`, level
+      ``alpha`` per candidate) rules on each of the node's child groups,
+      and the verdicts condition the children's contexts.  A branching
+      node's single pilot serves all of its child groups; leaves have no
+      exiting cuts and never run a pilot.
+
+    One cache pool (:meth:`~repro.backends.base.Backend.make_tree_cache_pool`)
+    serves the pilot sweep *and* the production run, so each fragment body
+    is transpiled/simulated exactly once — an N-node tree costs N body
+    transpiles no matter the mode.
+    """
+    from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
+    from repro.cutting.execution import run_tree_fragments
+    from repro.cutting.reconstruction import reconstruct_tree_distribution
+    from repro.cutting.shots import (
+        allocate_tree_pilot_shots,
+        allocate_tree_shots,
+    )
+    from repro.cutting.tree import partition_tree
+    from repro.core.golden import find_tree_golden_bases_analytic
+
+    rng = as_generator(seed)
+    tree = _tree if _tree is not None else partition_tree(circuit, specs)
+    pool = backend.make_tree_cache_pool(tree)
+
+    detection: list = []
+    pilot_report: "dict | None" = None
+    pilot_seconds = 0.0
+
+    if golden == "off":
+        golden_used = [None] * tree.num_groups
+    elif golden == "known":
+        if golden_maps is None:
+            raise CutError('golden="known" requires golden_maps')
+        if len(golden_maps) != tree.num_groups:
+            raise CutError("need one golden map (or None) per cut group")
+        golden_used = [
+            dict(normalize_golden_map(tree.group_sizes[g], gm)) if gm else None
+            for g, gm in enumerate(golden_maps)
+        ]
+    elif golden == "analytic":
+        # The finder works on *ideal* states: reuse the backend's pool when
+        # it is an ideal one, otherwise build a finder-only ideal pool (no
+        # transpiles — the noisy production pool is untouched).
+        if pool is not None and all(
+            isinstance(c, TreeFragmentSimCache) for c in pool
+        ):
+            finder_pool = pool
+        else:
+            finder_pool = TreeCachePool(
+                tree, [TreeFragmentSimCache(f) for f in tree.fragments]
+            )
+        _, selected = find_tree_golden_bases_analytic(
+            tree,
+            pool=finder_pool,
+            select=lambda found: _select_golden(found, exploit_all),
+        )
+        golden_used = [sel if sel else None for sel in selected]
+    elif golden == "detect":
+        from repro.core.neglect import tree_pilot_combos
+
+        pilot_counts = [0] * tree.num_fragments
+        pilot: "int | None" = None
+        golden_used = [None] * tree.num_groups
+        detection = [[] for _ in range(tree.num_groups)]
+        for i, frag in enumerate(tree.fragments):
+            if not frag.num_meas:
+                continue  # leaves have nothing to pilot
+            combos = tree_pilot_combos(
+                frag.num_prep,
+                frag.num_meas,
+                golden_used[frag.in_group]
+                if frag.in_group is not None
+                else None,
+            )
+            pilot_counts[i] = len(combos)
+            if pilot is None:
+                # the sweep is sequential, so the per-variant pilot budget
+                # is fixed before the root runs
+                pilot, _ = allocate_tree_pilot_shots(
+                    pilot_counts,
+                    shots_per_variant=shots,
+                    pilot_shots=pilot_shots,
+                )
+            pilot_variants: list = [None] * tree.num_fragments
+            pilot_variants[i] = combos
+            pilot_data = run_tree_fragments(
+                tree,
+                backend,
+                shots=pilot,
+                variants=pilot_variants,
+                seed=derive_rng(rng, 0x70 + i),
+                pool=pool,
+            )
+            pilot_seconds += pilot_data.modeled_seconds
+            # one pilot verdicts every child group of this node
+            for g in frag.meas_groups:
+                results = detect_tree_golden_bases(pilot_data, g, alpha=alpha)
+                detection[g] = results
+                found: dict[int, list[str]] = {
+                    k: [] for k in range(tree.group_sizes[g])
+                }
+                for res in results:
+                    if res.is_golden:
+                        found[res.cut].append(res.basis)
+                golden_used[g] = _select_golden(found, exploit_all) or None
+        _, pilot_report = allocate_tree_pilot_shots(
+            pilot_counts, shots_per_variant=shots, pilot_shots=pilot
+        )
+    else:
+        raise CutError(
+            'golden must be "off"/"known"/"analytic"/"detect" for trees, '
+            f"got {golden!r}"
+        )
+
+    if any(golden_used):
+        from repro.cutting.variants import (
+            downstream_init_tuples,
+            upstream_setting_tuples,
+        )
+
+        bases = [
+            reduced_bases(tree.group_sizes[g], gm)
+            if gm
+            else [("I", "X", "Y", "Z")] * tree.group_sizes[g]
+            for g, gm in enumerate(golden_used)
+        ]
+        variants = []
+        for i, frag in enumerate(tree.fragments):
+            gm_prev = (
+                golden_used[frag.in_group]
+                if frag.in_group is not None
+                else None
+            )
+            kp = frag.num_prep
+            kn = frag.num_meas
+            if not kp:
+                inits = [()]
+            elif gm_prev:
+                inits = reduced_init_tuples(kp, gm_prev)
+            else:
+                inits = downstream_init_tuples(kp)
+            if not kn:
+                settings = [()]
+            else:
+                # per-group golden maps re-addressed in the node's flat
+                # cut layout (child groups concatenated in group order)
+                flat_gm: dict = {}
+                for h in frag.meas_groups:
+                    gm = golden_used[h]
+                    if gm:
+                        off = frag.group_offset(h)
+                        for k, v in gm.items():
+                            flat_gm[off + k] = v
+                if flat_gm:
+                    settings = reduced_setting_tuples(kn, flat_gm)
+                else:
+                    settings = upstream_setting_tuples(kn)
+            variants.append([(a, s) for a in inits for s in settings])
+    else:
+        bases = None
+        variants = None
+
+    data = run_tree_fragments(
+        tree,
+        backend,
+        shots=shots,
+        variants=variants,
+        seed=derive_rng(rng, 0x53),
+        pool=pool,
+    )
+
+    with Stopwatch() as sw:
+        probs = reconstruct_tree_distribution(
+            data, bases=bases, postprocess=postprocess
+        )
+
+    counts = [len(r) for r in data.records]
+    _, costs = allocate_tree_shots(counts, shots_per_variant=shots)
+    if pilot_report is not None:
+        costs = {**costs, **pilot_report}
+    return TreeRunResult(
+        probabilities=probs,
+        tree=tree,
+        golden_used=golden_used,
+        data=data,
+        costs=costs,
+        device_seconds=data.modeled_seconds + pilot_seconds,
+        reconstruction_seconds=sw.elapsed,
+        bases=bases,
+        detection=detection,
+    )
 
 
 def cut_and_run_chain(
@@ -157,197 +408,36 @@ def cut_and_run_chain(
     alpha: float = DEFAULT_ALPHA,
     pilot_shots: int | None = None,
     exploit_all: bool = False,
-) -> ChainRunResult:
+) -> TreeRunResult:
     """Cut ``circuit`` into a fragment chain, run it, reconstruct.
 
-    The multi-fragment analogue of :func:`cut_and_run`: ``specs`` lists one
-    :class:`~repro.cutting.cut.CutSpec` per cut group (original-circuit
-    coordinates, see :func:`repro.cutting.chain.partition_chain`).  Golden
-    modes, per cut group:
-
-    * ``"off"`` runs the full CutQC-style variant products;
-    * ``"known"`` takes ``golden_maps`` — one
-      :data:`~repro.core.neglect.GoldenMap` (or ``None``) per cut group —
-      and neglects those bases group by group: fragment ``i`` then runs the
-      reduced ``inits(group i−1) × settings(group i)`` product and the
-      reconstruction drops the corresponding rows of each group's factors;
-    * ``"analytic"`` finds each group's golden bases exactly with
-      :func:`~repro.core.golden.find_chain_golden_bases_analytic` (a
-      left-to-right sweep whose interior-fragment contexts honour the
-      previous group's neglect), selected per group by the same policy as
-      :func:`cut_and_run` (``exploit_all``);
-    * ``"detect"`` spends ``pilot_shots`` per pilot variant (default
-      ``max(100, shots // 4)``) on a sequential detection sweep: fragment
-      ``g`` measures its spanning prep contexts × full settings, the
-      hypothesis-test detector
-      (:func:`~repro.core.detection.detect_chain_golden_bases`, level
-      ``alpha`` per candidate) rules on group ``g``, and the verdict
-      conditions group ``g + 1``'s contexts.  The terminal fragment has no
-      exiting cuts and never runs a pilot.
-
-    One cache pool (:meth:`~repro.backends.base.Backend.make_chain_cache_pool`)
-    serves the pilot sweep *and* the production run, so each fragment body
-    is transpiled/simulated exactly once — an N-fragment chain costs N body
-    transpiles no matter the mode.
+    Thin wrapper over :func:`cut_and_run_tree`: the specs are partitioned
+    with :func:`~repro.cutting.chain.partition_chain` (which enforces the
+    linear shape and points branched specs to ``partition_tree``) and the
+    run proceeds on the single tree engine — on a chain the root-to-leaves
+    BFS *is* the left-to-right sweep, per-fragment RNG streams included, so
+    results are bit-identical to the pre-tree chain pipeline.
     """
-    from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
     from repro.cutting.chain import partition_chain
-    from repro.cutting.execution import run_chain_fragments
-    from repro.cutting.reconstruction import reconstruct_chain_distribution
-    from repro.cutting.shots import allocate_chain_pilot_shots, allocate_chain_shots
+    from repro.cutting.execution import ChainFragmentData
 
-    rng = as_generator(seed)
     chain = partition_chain(circuit, specs)
-    pool = backend.make_chain_cache_pool(chain)
-
-    detection: list = []
-    pilot_report: "dict | None" = None
-    pilot_seconds = 0.0
-
-    if golden == "off":
-        golden_used = [None] * chain.num_groups
-    elif golden == "known":
-        if golden_maps is None:
-            raise CutError('golden="known" requires golden_maps')
-        if len(golden_maps) != chain.num_groups:
-            raise CutError("need one golden map (or None) per cut group")
-        golden_used = [
-            dict(normalize_golden_map(chain.group_sizes[g], gm)) if gm else None
-            for g, gm in enumerate(golden_maps)
-        ]
-    elif golden == "analytic":
-        # The finder works on *ideal* states: reuse the backend's pool when
-        # it is an ideal one, otherwise build a finder-only ideal pool (no
-        # transpiles — the noisy production pool is untouched).
-        if pool is not None and all(
-            isinstance(c, ChainFragmentSimCache) for c in pool
-        ):
-            finder_pool = pool
-        else:
-            finder_pool = ChainCachePool(
-                chain, [ChainFragmentSimCache(f) for f in chain.fragments]
-            )
-        _, selected = find_chain_golden_bases_analytic(
-            chain,
-            pool=finder_pool,
-            select=lambda found: _select_golden(found, exploit_all),
-        )
-        golden_used = [sel if sel else None for sel in selected]
-    elif golden == "detect":
-        from repro.core.neglect import chain_pilot_combos
-
-        pilot_counts = [0] * chain.num_fragments
-        pilot: "int | None" = None
-        golden_used = []
-        for g in range(chain.num_groups):
-            frag = chain.fragments[g]
-            combos = chain_pilot_combos(
-                frag.num_prep,
-                frag.num_meas,
-                golden_used[g - 1] if g else None,
-            )
-            pilot_counts[g] = len(combos)
-            if pilot is None:
-                # the sweep is sequential, so the per-variant pilot budget
-                # is fixed before fragment 0 runs
-                pilot, _ = allocate_chain_pilot_shots(
-                    pilot_counts,
-                    shots_per_variant=shots,
-                    pilot_shots=pilot_shots,
-                )
-            pilot_variants: list = [None] * chain.num_fragments
-            pilot_variants[g] = combos
-            pilot_data = run_chain_fragments(
-                chain,
-                backend,
-                shots=pilot,
-                variants=pilot_variants,
-                seed=derive_rng(rng, 0x70 + g),
-                pool=pool,
-            )
-            pilot_seconds += pilot_data.modeled_seconds
-            results = detect_chain_golden_bases(pilot_data, g, alpha=alpha)
-            detection.append(results)
-            found: dict[int, list[str]] = {
-                k: [] for k in range(chain.group_sizes[g])
-            }
-            for res in results:
-                if res.is_golden:
-                    found[res.cut].append(res.basis)
-            golden_used.append(_select_golden(found, exploit_all) or None)
-        _, pilot_report = allocate_chain_pilot_shots(
-            pilot_counts, shots_per_variant=shots, pilot_shots=pilot
-        )
-    else:
-        raise CutError(
-            'golden must be "off"/"known"/"analytic"/"detect" for chains, '
-            f"got {golden!r}"
-        )
-
-    if any(golden_used):
-        from repro.cutting.variants import (
-            downstream_init_tuples,
-            upstream_setting_tuples,
-        )
-
-        bases = [
-            reduced_bases(chain.group_sizes[g], gm)
-            if gm
-            else [("I", "X", "Y", "Z")] * chain.group_sizes[g]
-            for g, gm in enumerate(golden_used)
-        ]
-        variants = []
-        for i in range(chain.num_fragments):
-            gm_prev = golden_used[i - 1] if i > 0 else None
-            gm_next = golden_used[i] if i < chain.num_groups else None
-            kp = chain.fragments[i].num_prep
-            kn = chain.fragments[i].num_meas
-            if not kp:
-                inits = [()]
-            elif gm_prev:
-                inits = reduced_init_tuples(kp, gm_prev)
-            else:
-                inits = downstream_init_tuples(kp)
-            if not kn:
-                settings = [()]
-            elif gm_next:
-                settings = reduced_setting_tuples(kn, gm_next)
-            else:
-                settings = upstream_setting_tuples(kn)
-            variants.append([(a, s) for a in inits for s in settings])
-    else:
-        bases = None
-        variants = None
-
-    data = run_chain_fragments(
-        chain,
+    res = cut_and_run_tree(
+        circuit,
         backend,
+        specs,
         shots=shots,
-        variants=variants,
-        seed=derive_rng(rng, 0x53),
-        pool=pool,
+        golden=golden,
+        golden_maps=golden_maps,
+        postprocess=postprocess,
+        seed=seed,
+        alpha=alpha,
+        pilot_shots=pilot_shots,
+        exploit_all=exploit_all,
+        _tree=chain,
     )
-
-    with Stopwatch() as sw:
-        probs = reconstruct_chain_distribution(
-            data, bases=bases, postprocess=postprocess
-        )
-
-    counts = [len(r) for r in data.records]
-    _, costs = allocate_chain_shots(counts, shots_per_variant=shots)
-    if pilot_report is not None:
-        costs = {**costs, **pilot_report}
-    return ChainRunResult(
-        probabilities=probs,
-        chain=chain,
-        golden_used=golden_used,
-        data=data,
-        costs=costs,
-        device_seconds=data.modeled_seconds + pilot_seconds,
-        reconstruction_seconds=sw.elapsed,
-        bases=bases,
-        detection=detection,
-    )
+    res.data = ChainFragmentData._from_tree_data(res.data)
+    return res
 
 
 def _select_golden(

@@ -14,12 +14,19 @@ from repro.cutting.chain import (
     chain_from_pair,
     partition_chain,
 )
+from repro.cutting.tree import (
+    FragmentTree,
+    TreeFragment,
+    partition_tree,
+)
 from repro.cutting.variants import (
     PREPARATION_STATES,
     chain_variant,
     chain_variant_tuples,
     downstream_init_tuples,
     downstream_variant,
+    tree_variant,
+    tree_variant_tuples,
     upstream_setting_tuples,
     upstream_variant,
 )
@@ -27,21 +34,29 @@ from repro.cutting.cache import (
     ChainCachePool,
     ChainFragmentSimCache,
     FragmentSimCache,
+    TreeCachePool,
+    TreeFragmentSimCache,
 )
 from repro.cutting.execution import (
     ChainFragmentData,
     FragmentData,
+    TreeFragmentData,
     exact_chain_data,
+    exact_tree_data,
     run_chain_fragments,
     run_fragments,
+    run_tree_fragments,
 )
 from repro.cutting.noisy_cache import (
     NoisyChainFragmentSimCache,
     NoisyFragmentSimCache,
+    NoisyTreeFragmentSimCache,
 )
 from repro.cutting.reconstruction import (
     build_chain_fragment_tensor,
     build_chain_fragment_tensor_reference,
+    build_tree_fragment_tensor,
+    build_tree_fragment_tensor_reference,
     build_downstream_tensor,
     build_downstream_tensor_reference,
     build_upstream_tensor,
@@ -51,6 +66,8 @@ from repro.cutting.reconstruction import (
     reconstruct_counts,
     reconstruct_distribution,
     reconstruct_expectation,
+    reconstruct_tree_distribution,
+    reconstruct_tree_distribution_reference,
 )
 from repro.cutting.io import load_fragment_data, save_fragment_data
 from repro.cutting.pauli_cut import (
@@ -58,12 +75,18 @@ from repro.cutting.pauli_cut import (
     cut_pauli_sum_expectation,
     rotated_fragment_pair,
 )
-from repro.cutting.shots import allocate_chain_shots, allocate_shots
+from repro.cutting.shots import (
+    allocate_chain_shots,
+    allocate_shots,
+    allocate_tree_shots,
+)
 from repro.cutting.variance import (
     chain_predicted_stddev_tv,
     chain_reconstruction_variance,
     predicted_stddev_tv,
     reconstruction_variance,
+    tree_predicted_stddev_tv,
+    tree_reconstruction_variance,
 )
 from repro.cutting.allocation import AllocationPlan, suggest_allocation
 
@@ -77,6 +100,9 @@ __all__ = [
     "FragmentChain",
     "chain_from_pair",
     "partition_chain",
+    "TreeFragment",
+    "FragmentTree",
+    "partition_tree",
     "PREPARATION_STATES",
     "upstream_setting_tuples",
     "downstream_init_tuples",
@@ -84,25 +110,37 @@ __all__ = [
     "downstream_variant",
     "chain_variant",
     "chain_variant_tuples",
+    "tree_variant",
+    "tree_variant_tuples",
     "FragmentData",
     "ChainFragmentData",
+    "TreeFragmentData",
     "FragmentSimCache",
     "ChainFragmentSimCache",
+    "TreeFragmentSimCache",
     "ChainCachePool",
+    "TreeCachePool",
     "NoisyFragmentSimCache",
     "NoisyChainFragmentSimCache",
+    "NoisyTreeFragmentSimCache",
     "run_fragments",
     "run_chain_fragments",
+    "run_tree_fragments",
     "exact_chain_data",
+    "exact_tree_data",
     "build_upstream_tensor",
     "build_downstream_tensor",
     "build_upstream_tensor_reference",
     "build_downstream_tensor_reference",
     "build_chain_fragment_tensor",
     "build_chain_fragment_tensor_reference",
+    "build_tree_fragment_tensor",
+    "build_tree_fragment_tensor_reference",
     "reconstruct_distribution",
     "reconstruct_chain_distribution",
     "reconstruct_chain_distribution_reference",
+    "reconstruct_tree_distribution",
+    "reconstruct_tree_distribution_reference",
     "reconstruct_counts",
     "reconstruct_expectation",
     "save_fragment_data",
@@ -112,10 +150,13 @@ __all__ = [
     "rotated_fragment_pair",
     "allocate_shots",
     "allocate_chain_shots",
+    "allocate_tree_shots",
     "reconstruction_variance",
     "chain_reconstruction_variance",
+    "tree_reconstruction_variance",
     "predicted_stddev_tv",
     "chain_predicted_stddev_tv",
+    "tree_predicted_stddev_tv",
     "AllocationPlan",
     "suggest_allocation",
 ]

@@ -46,6 +46,8 @@ __all__ = [
     "ChainFragmentSimCache",
     "FragmentSimCache",
     "PREPARATION_AMPLITUDES",
+    "TreeCachePool",
+    "TreeFragmentSimCache",
 ]
 
 
@@ -263,20 +265,24 @@ class FragmentSimCache:
         return self
 
 
-class ChainFragmentSimCache:
-    """Lazy per-chain-fragment cache of ideal body simulations.
+class TreeFragmentSimCache:
+    """Lazy per-tree-fragment cache of ideal body simulations.
 
-    The chain generalisation of :class:`FragmentSimCache`: one fragment may
-    have *both* a preparation side (cut group ``g − 1`` entering) and a
-    measurement side (cut group ``g`` exiting).  The two existing techniques
-    compose because they touch different ends of the same linear map:
+    The topology-general version of :class:`FragmentSimCache`: one fragment
+    may have *both* a preparation side (the entering cut group) and a
+    measurement side (the union of its exiting cut groups' wires — one
+    group on a chain interior, several at a tree branching node; the flat
+    ``cut_local`` layout of :class:`~repro.cutting.tree.TreeFragment` makes
+    the distinction invisible here).  The two existing techniques compose
+    because they touch different ends of the same linear map:
 
     * the body is simulated **once**, batched over the ``2^{K_prev}``
       computational initialisations of the entering cut wires (amplitude
       response columns, as in the pair cache's downstream half);
     * each measurement setting rotates the cut axes of that whole cached
       column bank (as in the pair cache's upstream half) — memoised per
-      setting;
+      setting, or produced for a whole setting *pool* in one stacked
+      tensor contraction by :meth:`warm_rotations`;
     * any preparation tuple is a linear combination of the rotated columns,
       one GEMV (or GEMM per batch) away, *before* squaring — amplitudes mix
       linearly, probabilities do not.
@@ -395,35 +401,117 @@ class ChainFragmentSimCache:
             self._joint[key] = out
         return out
 
+    def warm_rotations(
+        self, settings: Iterable[Sequence[str]]
+    ) -> "TreeFragmentSimCache":
+        """Batched upstream rotation application (ROADMAP lever).
+
+        Rather than rotating the cached column bank once per setting
+        (``3^K`` separate passes over the full tensor), every requested
+        setting's rotated bank is produced by **one stacked tensor op per
+        cut**: cut ``k`` contributes a ``(P_k, 2, 2)`` stack of its
+        distinct rotation matrices, contracted against the bank's cut axis
+        so a new ``P_k`` batch axis accumulates.  After ``K`` contractions
+        the tensor holds the banks of the whole per-cut-letter *product*;
+        the requested settings are sliced out and memoised.  The win grows
+        with ``K`` (each per-setting pass re-reads the whole bank;
+        benchmarked at K = 4 in ``benchmarks/bench_fragments.py``).
+        """
+        missing = sorted(
+            {tuple(s) for s in settings} - set(self._rotated)
+        )
+        if not missing:
+            return self
+        Kn = self.fragment.num_meas
+        for s in missing:
+            if len(s) != Kn:
+                raise CutError("setting tuple length != number of exiting cuts")
+        pools = [sorted({s[k] for s in missing}) for k in range(Kn)]
+        product_size = 1
+        for pool in pools:
+            product_size *= len(pool)
+        # the stacked pass computes the whole per-cut-letter product; for a
+        # sparse request (product much larger than asked) the per-setting
+        # loop is cheaper and holds no oversized transient
+        if len(missing) == 1 or Kn == 0 or product_size > 2 * len(missing):
+            for s in missing:
+                self._rotated_columns(s)
+            return self
+        eye = np.eye(2, dtype=COMPLEX_DTYPE)
+        t = self._response_columns()
+        for k, pool in enumerate(pools):
+            mats = []
+            for basis in pool:
+                try:
+                    rot = MEASUREMENT_ROTATIONS[basis]
+                except KeyError:
+                    raise CutError(
+                        f"invalid measurement basis {basis!r}"
+                    ) from None
+                mats.append(eye if rot is None else rot)
+            M = np.stack(mats).astype(COMPLEX_DTYPE)
+            ax = self.fragment.cut_local[k]
+            # contract the bank's cut axis with the whole rotation stack at
+            # once; restore the fresh 2-axis to the cut position and push
+            # the new P_k batch axis to the back
+            t = np.tensordot(M, t, axes=([2], [ax]))
+            t = np.moveaxis(t, 1, ax + 1)
+            t = np.moveaxis(t, 0, -1)
+        # t axes: (2,)*n state, 2^{K_prev} batch, P_0, ..., P_{Kn-1}
+        for s in missing:
+            idx = tuple(pools[k].index(s[k]) for k in range(Kn))
+            bank = np.ascontiguousarray(t[(Ellipsis,) + idx])
+            bank.setflags(write=False)
+            self._rotated[s] = bank
+        return self
+
     def warm(
         self, combos: Iterable[tuple[Sequence[str], Sequence[str]]] = ()
-    ) -> "ChainFragmentSimCache":
-        """Precompute distributions so later reads are lock-free/thread-safe."""
+    ) -> "TreeFragmentSimCache":
+        """Precompute distributions so later reads are lock-free/thread-safe.
+
+        Distinct settings are rotated in one batched pass
+        (:meth:`warm_rotations`) before the per-combo distributions are
+        filled in.
+        """
+        combos = [(tuple(a), tuple(s)) for a, s in combos]
+        if combos:
+            self.warm_rotations({s for _, s in combos})
         for inits, setting in combos:
             self.probabilities(inits, setting)
         return self
 
 
-class ChainCachePool:
-    """One per-fragment simulation cache per chain link.
+class TreeCachePool:
+    """One per-fragment simulation cache per tree node.
 
-    The chain analogue of handing a single per-pair cache to every consumer:
+    The tree analogue of handing a single per-pair cache to every consumer:
     ``pool[i]`` is fragment ``i``'s cache (ideal
-    :class:`ChainFragmentSimCache` or noisy
-    :class:`~repro.cutting.noisy_cache.NoisyChainFragmentSimCache`,
+    :class:`TreeFragmentSimCache` or noisy
+    :class:`~repro.cutting.noisy_cache.NoisyTreeFragmentSimCache`,
     whichever the backend's
-    :meth:`~repro.backends.base.Backend.make_chain_cache_pool` built).
-    After :meth:`warm` every cache is read-only, so the whole pool is safe
-    to share across worker threads — exactly like today's per-pair caches.
+    :meth:`~repro.backends.base.Backend.make_tree_cache_pool` built), keyed
+    by node index — i.e. by the node's entering group, since those are in
+    bijection.  An ``N``-node tree therefore costs exactly ``N`` body
+    transpiles/simulations however many variants are served.  After
+    :meth:`warm` every cache is read-only, so the whole pool is safe to
+    share across worker threads — exactly like the per-pair caches.
+    Chains are linear trees, so chain pipelines use the same pool class
+    (``ChainCachePool`` is an alias).
     """
 
-    __slots__ = ("chain", "caches")
+    __slots__ = ("tree", "caches")
 
-    def __init__(self, chain, caches: Sequence) -> None:
-        if len(caches) != chain.num_fragments:
-            raise CutError("cache pool needs one cache per chain fragment")
-        self.chain = chain
+    def __init__(self, tree, caches: Sequence) -> None:
+        if len(caches) != tree.num_fragments:
+            raise CutError("cache pool needs one cache per tree fragment")
+        self.tree = tree
         self.caches = list(caches)
+
+    @property
+    def chain(self):
+        """Alias of :attr:`tree` (chains are linear trees)."""
+        return self.tree
 
     def __len__(self) -> int:
         return len(self.caches)
@@ -434,7 +522,7 @@ class ChainCachePool:
     def __iter__(self):
         return iter(self.caches)
 
-    def warm(self, variants_per_fragment: Sequence[Sequence[tuple]]) -> "ChainCachePool":
+    def warm(self, variants_per_fragment: Sequence[Sequence[tuple]]) -> "TreeCachePool":
         """Warm every fragment's cache with its variant combos.
 
         ``None`` entries mark fragments skipped by a partial pass (see
@@ -447,3 +535,9 @@ class ChainCachePool:
             if combos is not None:
                 cache.warm(combos)
         return self
+
+
+#: Chains are linear trees; the chain names remain as aliases so existing
+#: imports and isinstance checks keep working on the single tree engine.
+ChainFragmentSimCache = TreeFragmentSimCache
+ChainCachePool = TreeCachePool

@@ -1,24 +1,22 @@
-"""Multi-fragment chain cutting (>2 partitions).
+"""Multi-fragment chain cutting (>2 partitions) — the one-child tree case.
 
-A :class:`FragmentChain` generalises :class:`~repro.cutting.fragments.FragmentPair`
-to an ordered sequence of ``N ≥ 2`` fragments connected by ``N − 1`` *cut
-groups*: cut group ``g`` severs the wires flowing from fragment ``g`` into
-fragment ``g + 1``.  The first fragment only *measures* its cut wires (in
-tomography bases, exactly like a pair's upstream half), the last fragment
-only *receives preparations* (like a pair's downstream half), and every
-interior fragment does both — it is downstream of group ``g − 1`` *and*
-upstream of group ``g`` simultaneously, so its circuit variants combine a
-preparation tuple with a measurement-setting tuple.
+A :class:`FragmentChain` is the degenerate :class:`~repro.cutting.tree.FragmentTree`
+in which every node has at most one child: cut group ``g`` severs the wires
+flowing from fragment ``g`` into fragment ``g + 1``.  The first fragment
+only *measures* its cut wires (in tomography bases, exactly like a pair's
+upstream half), the last fragment only *receives preparations* (like a
+pair's downstream half), and every interior fragment does both — it is
+downstream of group ``g − 1`` *and* upstream of group ``g`` simultaneously,
+so its circuit variants combine a preparation tuple with a
+measurement-setting tuple.
 
-:func:`partition_chain` builds a chain by repeated bipartition: the circuit
-is split along the first :class:`~repro.cutting.cut.CutSpec`, the downstream
-remainder along the second, and so on.  Every spec is given in the
-coordinates of the **original** circuit; the function translates wires and
-instruction indices into each successive remainder via the book-keeping
-:func:`~repro.cutting.fragments.bipartition` records
-(``down_out_original`` / ``down_node_indices``).  A ``CutError`` is raised
-when the specs do not induce a chain — e.g. when a group-``g`` cut wire
-skips fragment ``g + 1`` entirely (that would be a tree, not a chain).
+Since the tree refactor there is **one partitioning/reconstruction engine**:
+:func:`partition_chain` delegates to
+:func:`~repro.cutting.tree.partition_tree` and merely validates the chain
+shape, and every chain consumer (caches, execution, reconstruction, golden
+detection) runs on the tree path with the chain as a linear tree.  Specs
+that genuinely branch are rejected here with a pointer to
+``partition_tree`` — they are fully supported, just not as a chain.
 
 A two-fragment chain is exactly a :class:`FragmentPair` in chain clothing;
 ``tests/test_multi_fragment_equivalence.py`` pins that the generalised
@@ -27,12 +25,12 @@ reconstruction agrees with the pair path on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.circuits.circuit import Circuit
 from repro.cutting.cut import CutSpec
-from repro.cutting.fragments import FragmentPair, bipartition
+from repro.cutting.fragments import FragmentPair
+from repro.cutting.tree import FragmentTree, TreeFragment, partition_tree
 from repro.exceptions import CutError
 
 __all__ = [
@@ -42,97 +40,41 @@ __all__ = [
     "partition_chain",
 ]
 
+#: One link of a fragment chain — simply a tree node whose chain-shape
+#: fields (``in_group = index − 1``, ``meas_groups = [index]``) are filled
+#: in by :class:`FragmentChain` when omitted, so pre-tree constructor calls
+#: keep working unchanged.
+ChainFragment = TreeFragment
 
-@dataclass
-class ChainFragment:
-    """One link of a fragment chain.
 
-    Attributes
-    ----------
-    circuit:
-        The fragment's local circuit.
-    index:
-        Position in the chain (0-based).
-    prep_local:
-        Local qubits receiving preparation states, ordered by cut index of
-        group ``index − 1`` (empty for the first fragment).
-    cut_local:
-        Local qubits measured in tomography bases, ordered by cut index of
-        group ``index`` (empty for the last fragment).
-    out_local:
-        Local output qubits (everything not in ``cut_local``), ordered by
-        original label.
-    out_original:
-        Original-circuit labels of the outputs (same order as ``out_local``).
+class FragmentChain(FragmentTree):
+    """An ordered chain of fragments connected by cut groups.
+
+    The linear special case of :class:`~repro.cutting.tree.FragmentTree`:
+    node ``i``'s entering group is ``i − 1`` and its only exiting group is
+    ``i``.  Construction normalises fragments built without tree fields
+    (e.g. by :func:`chain_from_pair`) and then runs the full tree
+    validation.
     """
 
-    circuit: Circuit
-    index: int
-    prep_local: list[int]
-    cut_local: list[int]
-    out_local: list[int]
-    out_original: list[int]
-
-    @property
-    def num_qubits(self) -> int:
-        return self.circuit.num_qubits
-
-    @property
-    def n_out(self) -> int:
-        return len(self.out_local)
-
-    @property
-    def num_prep(self) -> int:
-        return len(self.prep_local)
-
-    @property
-    def num_meas(self) -> int:
-        return len(self.cut_local)
-
-
-@dataclass
-class FragmentChain:
-    """An ordered chain of fragments connected by cut groups."""
-
-    #: the fragments, first (pure upstream) to last (pure downstream)
-    fragments: list[ChainFragment]
-    #: number of cuts per group; ``group_sizes[g]`` links fragment g → g+1
-    group_sizes: list[int]
-    #: the cut specs the chain was built from (original-circuit coordinates)
-    specs: list[CutSpec] = field(repr=False, default_factory=list)
-
     def __post_init__(self) -> None:
-        if len(self.fragments) < 2:
+        n = len(self.fragments)
+        if n < 2:
             raise CutError("a fragment chain needs at least two fragments")
-        if len(self.group_sizes) != len(self.fragments) - 1:
+        if len(self.group_sizes) != n - 1:
             raise CutError("chain needs one cut group per adjacent pair")
         for i, frag in enumerate(self.fragments):
-            want_prep = 0 if i == 0 else self.group_sizes[i - 1]
-            want_meas = 0 if i == len(self.fragments) - 1 else self.group_sizes[i]
-            if frag.num_prep != want_prep or frag.num_meas != want_meas:
-                raise CutError(
-                    f"fragment {i} has {frag.num_prep} prep / {frag.num_meas} "
-                    f"cut wires, expected {want_prep}/{want_meas}"
-                )
-
-    @property
-    def num_fragments(self) -> int:
-        return len(self.fragments)
-
-    @property
-    def num_groups(self) -> int:
-        return len(self.group_sizes)
-
-    @property
-    def total_cuts(self) -> int:
-        return sum(self.group_sizes)
-
-    def output_order(self) -> list[int]:
-        """Original qubit labels, fragment by fragment, first fragment first."""
-        out: list[int] = []
-        for frag in self.fragments:
-            out.extend(frag.out_original)
-        return out
+            if i > 0 and frag.in_group is None:
+                frag.in_group = i - 1
+            if i < n - 1 and not frag.meas_groups:
+                frag.meas_groups = [i]
+                frag.cut_local_by_group = {i: list(frag.cut_local)}
+        super().__post_init__()
+        if not self.is_chain:
+            raise CutError(
+                "the fragments do not form a chain; build a FragmentTree "
+                "for branched topologies"
+            )
 
     def describe(self) -> str:
         widths = "+".join(str(f.num_qubits) for f in self.fragments)
@@ -170,98 +112,29 @@ def chain_from_pair(pair: FragmentPair) -> FragmentChain:
 def partition_chain(
     circuit: Circuit, specs: Sequence[CutSpec]
 ) -> FragmentChain:
-    """Split ``circuit`` into an ``len(specs) + 1``-fragment chain.
+    """Split ``circuit`` into a ``len(specs) + 1``-fragment chain.
 
     Every spec is expressed in **original-circuit** coordinates (wire labels
-    and instruction indices of ``circuit``); the bipartition cascade
-    translates them stage by stage.  Stage ``g`` cuts the current remainder
-    along ``specs[g]``: the upstream half becomes fragment ``g``, the
-    downstream half the next remainder.  The chain condition — every
-    group-``g`` cut wire must continue *into fragment g+1* (not skip ahead)
-    — is validated at each stage.
+    and instruction indices of ``circuit``).  The partitioning itself is
+    the tree engine's worklist bipartition
+    (:func:`~repro.cutting.tree.partition_tree`); this wrapper additionally
+    enforces the chain condition — every group-``g`` cut wire must continue
+    *into fragment g+1* (not skip ahead).  Branched specs are not an error
+    of the library any more, only of this entry point: use
+    :func:`~repro.cutting.tree.partition_tree` for them.
     """
-    specs = list(specs)
-    if not specs:
-        raise CutError("partition_chain needs at least one cut spec")
-
-    remainder = circuit
-    #: remainder-local wire -> original wire label
-    wire_orig = list(range(circuit.num_qubits))
-    #: remainder-local instruction index -> original instruction index
-    inst_orig = list(range(len(circuit)))
-
-    fragments: list[ChainFragment] = []
-    group_sizes: list[int] = []
-    prev_cut_wires: list[int] = []  # remainder-local wires fed by group g-1
-
-    for g, spec in enumerate(specs):
-        local_spec = _translate_spec(spec, g, wire_orig, inst_orig)
-        pair = bipartition(remainder, local_spec)
-
-        q_up = sorted(
-            set(pair.up_out_original) | {c.wire for c in local_spec.cuts}
-        )
-        up_map = {w: i for i, w in enumerate(q_up)}
-        prep_local: list[int] = []
-        for k, w in enumerate(prev_cut_wires):
-            if w not in up_map:
+    tree = partition_tree(circuit, specs)
+    if not tree.is_chain:
+        for g in range(tree.num_groups):
+            if tree.group_src[g] != g or tree.group_dst[g] != g + 1:
                 raise CutError(
-                    f"cut {k} of group {g - 1} feeds a wire that skips "
-                    f"fragment {g}; the specs induce a tree, not a chain"
+                    f"cut group {g} links fragment {tree.group_src[g]} to "
+                    f"fragment {tree.group_dst[g]}; the specs induce a "
+                    "tree, not a chain — use partition_tree, which supports "
+                    "branched topologies"
                 )
-            prep_local.append(up_map[w])
-
-        fragments.append(
-            ChainFragment(
-                circuit=pair.upstream,
-                index=g,
-                prep_local=prep_local,
-                cut_local=list(pair.up_cut_local),
-                out_local=list(pair.up_out_local),
-                out_original=[wire_orig[w] for w in pair.up_out_original],
-            )
-        )
-        group_sizes.append(pair.num_cuts)
-
-        prev_cut_wires = list(pair.down_cut_local)
-        inst_orig = [inst_orig[i] for i in pair.down_node_indices]
-        wire_orig = [wire_orig[w] for w in pair.down_out_original]
-        remainder = pair.downstream
-
-    fragments.append(
-        ChainFragment(
-            circuit=remainder,
-            index=len(specs),
-            prep_local=prev_cut_wires,
-            cut_local=[],
-            out_local=list(range(remainder.num_qubits)),
-            out_original=list(wire_orig),
-        )
-    )
     return FragmentChain(
-        fragments=fragments, group_sizes=group_sizes, specs=specs
+        fragments=tree.fragments,
+        group_sizes=tree.group_sizes,
+        specs=tree.specs,
     )
-
-
-def _translate_spec(
-    spec: CutSpec, stage: int, wire_orig: list[int], inst_orig: list[int]
-) -> CutSpec:
-    """Re-express an original-coordinate spec in remainder-local coordinates."""
-    from repro.cutting.cut import CutPoint
-
-    wire_map = {orig: loc for loc, orig in enumerate(wire_orig)}
-    inst_map = {orig: loc for loc, orig in enumerate(inst_orig)}
-    points = []
-    for c in spec.cuts:
-        if c.wire not in wire_map:
-            raise CutError(
-                f"cut group {stage}: wire {c.wire} was consumed by an "
-                "earlier fragment"
-            )
-        if c.gate_index not in inst_map:
-            raise CutError(
-                f"cut group {stage}: instruction {c.gate_index} was consumed "
-                "by an earlier fragment"
-            )
-        points.append(CutPoint(wire_map[c.wire], inst_map[c.gate_index]))
-    return CutSpec(tuple(points))

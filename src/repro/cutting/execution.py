@@ -15,6 +15,12 @@ and ``1 + 4^K`` density evolutions per fragment body).
 limit directly from the cache — used by exactness tests and by the analytic
 golden-cut finder — at the cost of **one** upstream body simulation plus one
 batched downstream simulation over the ``2^K`` cut-basis initialisations.
+
+Fragment trees (and chains, their one-child case) run through
+:func:`run_tree_fragments` / :func:`exact_tree_data`: one
+:class:`TreeFragmentData` record dict per node, every node served from the
+backend's per-node cache pool, so an ``N``-node tree costs exactly ``N``
+body transpiles/simulations.
 """
 
 from __future__ import annotations
@@ -37,10 +43,13 @@ from repro.utils.bits import split_index
 __all__ = [
     "ChainFragmentData",
     "FragmentData",
+    "TreeFragmentData",
     "exact_chain_data",
     "exact_fragment_data",
+    "exact_tree_data",
     "run_chain_fragments",
     "run_fragments",
+    "run_tree_fragments",
 ]
 
 
@@ -165,30 +174,37 @@ def run_fragments(
 
 
 @dataclass
-class ChainFragmentData:
-    """Measurement records of every variant of every chain fragment.
+class TreeFragmentData:
+    """Measurement records of every variant of every tree fragment.
 
     Attributes
     ----------
-    chain:
-        The :class:`~repro.cutting.chain.FragmentChain` the data belongs to.
+    tree:
+        The :class:`~repro.cutting.tree.FragmentTree` (or
+        :class:`~repro.cutting.chain.FragmentChain`, a linear tree) the
+        data belongs to.
     records:
         One dict per fragment: ``(inits, setting) → A[b_out, b_cut]`` of
-        shape ``(2^{n_out}, 2^{K_g})`` (``K_g`` the fragment's exiting cut
-        group size; the last fragment's records have one column).  The first
-        fragment's keys carry an empty init tuple, the last an empty
-        setting tuple.
+        shape ``(2^{n_out}, 2^{K})`` with ``K`` the fragment's *flat*
+        exiting cut count (the union of its child groups' wires; leaves'
+        records have one column).  The root's keys carry an empty init
+        tuple, leaves an empty setting tuple.
     shots_per_variant:
         Shot budget each variant was run with (0 for exact data).
     modeled_seconds:
         Total device-model wall time charged by the backend.
     """
 
-    chain: object
+    tree: object
     records: list[dict[tuple[tuple[str, ...], tuple[str, ...]], np.ndarray]]
     shots_per_variant: int
     modeled_seconds: float = 0.0
     metadata: dict = field(default_factory=dict)
+
+    @property
+    def chain(self):
+        """Alias of :attr:`tree` for chain-shaped data."""
+        return self.tree
 
     @property
     def num_variants(self) -> int:
@@ -204,25 +220,61 @@ class ChainFragmentData:
         return list(self.records[index])
 
 
-def _chain_variant_lists(chain, variants):
+class ChainFragmentData(TreeFragmentData):
+    """Chain-flavoured constructor for :class:`TreeFragmentData`.
+
+    A chain is a linear tree; this subclass only keeps the historical
+    ``chain=`` keyword (and ``isinstance`` checks on the chain entry
+    points' results) working.
+    """
+
+    def __init__(
+        self,
+        chain,
+        records,
+        shots_per_variant,
+        modeled_seconds: float = 0.0,
+        metadata: "dict | None" = None,
+    ) -> None:
+        super().__init__(
+            tree=chain,
+            records=records,
+            shots_per_variant=shots_per_variant,
+            modeled_seconds=modeled_seconds,
+            metadata=metadata if metadata is not None else {},
+        )
+
+    @classmethod
+    def _from_tree_data(cls, data: TreeFragmentData) -> "ChainFragmentData":
+        """Re-badge a tree result produced by a chain entry point."""
+        return cls(
+            chain=data.tree,
+            records=data.records,
+            shots_per_variant=data.shots_per_variant,
+            modeled_seconds=data.modeled_seconds,
+            metadata=data.metadata,
+        )
+
+
+def _tree_variant_lists(tree, variants):
     """Normalise the per-fragment variant lists (default: full pools).
 
     ``variants[i] = None`` marks fragment ``i`` as *skipped* — it is not
     executed and its record dict stays empty.  Partial passes are what
-    pilot detection runs: group ``g``'s verdict only needs fragment ``g``'s
-    measurements, so the sweep submits one fragment at a time and the
-    terminal fragment (no exiting cuts) never runs at all.  An explicitly
+    pilot detection runs: a group's verdict only needs its source
+    fragment's measurements, so the sweep submits one fragment at a time
+    and leaf fragments (no exiting cuts) never run at all.  An explicitly
     empty list is still an error: it would mean a fragment that *should*
     run has nothing to run.
     """
-    from repro.cutting.variants import chain_variant_tuples
+    from repro.cutting.variants import tree_variant_tuples
 
     if variants is None:
         variants = [
-            chain_variant_tuples(chain, i) for i in range(chain.num_fragments)
+            tree_variant_tuples(tree, i) for i in range(tree.num_fragments)
         ]
-    if len(variants) != chain.num_fragments:
-        raise CutError("need one variant list per chain fragment")
+    if len(variants) != tree.num_fragments:
+        raise CutError("need one variant list per tree fragment")
     out = []
     for i, combos in enumerate(variants):
         if combos is None:
@@ -233,31 +285,39 @@ def _chain_variant_lists(chain, variants):
             raise CutError(f"fragment {i} has an empty variant set")
         out.append(combos)
     if not any(c for c in out):
-        raise CutError("every chain fragment is skipped; nothing to run")
+        raise CutError("every tree fragment is skipped; nothing to run")
     return out
 
 
-def run_chain_fragments(
-    chain,
+#: chains are linear trees; the historical name remains for its importers
+_chain_variant_lists = _tree_variant_lists
+
+
+def run_tree_fragments(
+    tree,
     backend: Backend,
     shots: int,
     variants: "Sequence[Sequence[tuple]] | None" = None,
     seed: "int | np.random.Generator | None" = None,
     pool=None,
-) -> ChainFragmentData:
-    """Execute every chain fragment's variants on ``backend``.
+) -> TreeFragmentData:
+    """Execute every tree fragment's variants on ``backend``.
 
-    The chain analogue of :func:`run_fragments`: fragment ``i``'s combos
-    (default: the full ``6^{K_{i-1}} · 3^{K_i}`` product; golden pipelines
-    pass reduced lists) are submitted through
-    :meth:`~repro.backends.base.Backend.run_chain_variants`, so backends
+    The tree analogue of :func:`run_fragments`: fragment ``i``'s combos
+    (default: the full ``6^{K_in} · 3^{K_out}`` product over its entering
+    group and flat exiting cuts; golden pipelines pass reduced lists) are
+    submitted through
+    :meth:`~repro.backends.base.Backend.run_tree_variants`, so backends
     with an exact engine serve them from the per-fragment cache ``pool[i]``
-    (built by :meth:`~repro.backends.base.Backend.make_chain_cache_pool`)
-    instead of re-simulating the body per variant.
+    (built by :meth:`~repro.backends.base.Backend.make_tree_cache_pool`)
+    instead of re-simulating the body per variant.  Chains run through
+    this exact code path (per-fragment RNG streams included), so
+    :func:`run_chain_fragments` results are bit-identical to what they
+    were before the tree refactor.
     """
     from repro.utils.rng import as_generator, derive_rng
 
-    variants = _chain_variant_lists(chain, variants)
+    variants = _tree_variant_lists(tree, variants)
     rng = as_generator(seed)
     records: list[dict] = []
     t0 = backend.clock.now
@@ -265,9 +325,9 @@ def run_chain_fragments(
         if combos is None:  # skipped fragment (partial/pilot pass)
             records.append({})
             continue
-        frag = chain.fragments[i]
-        results = backend.run_chain_variants(
-            chain,
+        frag = tree.fragments[i]
+        results = backend.run_tree_variants(
+            tree,
             i,
             combos,
             shots=shots,
@@ -284,8 +344,8 @@ def run_chain_fragments(
         )
     seconds = backend.clock.now - t0
 
-    return ChainFragmentData(
-        chain=chain,
+    return TreeFragmentData(
+        tree=tree,
         records=records,
         shots_per_variant=shots,
         modeled_seconds=seconds,
@@ -298,37 +358,57 @@ def run_chain_fragments(
     )
 
 
-def exact_chain_data(
+def run_chain_fragments(
     chain,
+    backend: Backend,
+    shots: int,
     variants: "Sequence[Sequence[tuple]] | None" = None,
+    seed: "int | np.random.Generator | None" = None,
     pool=None,
 ) -> ChainFragmentData:
-    """Infinite-shot chain fragment data from the shared (ideal) cache pool.
+    """Execute every chain fragment's variants (chains are linear trees).
 
-    ``pool`` must hold :class:`~repro.cutting.cache.ChainFragmentSimCache`
-    instances (e.g. from :meth:`IdealBackend.make_chain_cache_pool`) — exact
+    Same engine, records and RNG streams as :func:`run_tree_fragments`;
+    only the result's historical :class:`ChainFragmentData` type is kept.
+    """
+    return ChainFragmentData._from_tree_data(
+        run_tree_fragments(
+            chain, backend, shots, variants=variants, seed=seed, pool=pool
+        )
+    )
+
+
+def exact_tree_data(
+    tree,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    pool=None,
+) -> TreeFragmentData:
+    """Infinite-shot tree fragment data from the shared (ideal) cache pool.
+
+    ``pool`` must hold :class:`~repro.cutting.cache.TreeFragmentSimCache`
+    instances (e.g. from :meth:`IdealBackend.make_tree_cache_pool`) — exact
     data is an ideal-simulation notion, so a noisy backend's pool is
     rejected rather than silently served.
     """
-    from repro.cutting.cache import ChainCachePool, ChainFragmentSimCache
+    from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
 
-    variants = _chain_variant_lists(chain, variants)
+    variants = _tree_variant_lists(tree, variants)
     if pool is None:
-        pool = ChainCachePool(
-            chain, [ChainFragmentSimCache(f) for f in chain.fragments]
+        pool = TreeCachePool(
+            tree, [TreeFragmentSimCache(f) for f in tree.fragments]
         )
-    elif not all(isinstance(c, ChainFragmentSimCache) for c in pool):
+    elif not all(isinstance(c, TreeFragmentSimCache) for c in pool):
         raise CutError(
-            "exact_chain_data needs ideal ChainFragmentSimCache caches; "
+            "exact_tree_data needs ideal TreeFragmentSimCache caches; "
             "got a pool of a different flavour (noisy pools serve "
-            "run_chain_fragments, not exact data)"
+            "run_tree_fragments, not exact data)"
         )
     elif any(
-        c.fragment is not f for c, f in zip(pool, chain.fragments)
+        c.fragment is not f for c, f in zip(pool, tree.fragments)
     ):
         raise CutError(
-            "cache pool was built for a different chain; build one with "
-            "make_chain_cache_pool(chain) for this chain"
+            "cache pool was built for a different tree; build one with "
+            "make_tree_cache_pool(tree) for this tree"
         )
     records: list[dict] = []
     for i, combos in enumerate(variants):
@@ -339,12 +419,23 @@ def exact_chain_data(
         records.append(
             {combo: cache.joint(*combo) for combo in combos}
         )
-    return ChainFragmentData(
-        chain=chain,
+    return TreeFragmentData(
+        tree=tree,
         records=records,
         shots_per_variant=0,
         modeled_seconds=0.0,
         metadata={"backend": "exact"},
+    )
+
+
+def exact_chain_data(
+    chain,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    pool=None,
+) -> ChainFragmentData:
+    """Infinite-shot chain fragment data (chains are linear trees)."""
+    return ChainFragmentData._from_tree_data(
+        exact_tree_data(chain, variants=variants, pool=pool)
     )
 
 

@@ -72,6 +72,7 @@ __all__ = [
     "HERMITIAN_BASIS_STATES",
     "NoisyChainFragmentSimCache",
     "NoisyFragmentSimCache",
+    "NoisyTreeFragmentSimCache",
 ]
 
 _SQ2 = 1.0 / np.sqrt(2.0)
@@ -421,13 +422,14 @@ class NoisyFragmentSimCache:
         return self
 
 
-class NoisyChainFragmentSimCache:
-    """Lazy per-(chain fragment, device) cache of noisy body evolutions.
+class NoisyTreeFragmentSimCache:
+    """Lazy per-(tree fragment, device) cache of noisy body evolutions.
 
-    The chain generalisation of :class:`NoisyFragmentSimCache`: one fragment
-    may both receive preparations (cut group ``g − 1``) and measure cut
-    wires (cut group ``g``).  The same two linear-response arguments
-    compose:
+    The topology-general version of :class:`NoisyFragmentSimCache`: one
+    fragment may both receive preparations (its entering cut group) and
+    measure cut wires (the flat union of its exiting groups — one group on
+    a chain interior, several at a tree branching node).  The same two
+    linear-response arguments compose:
 
     * **one transpile per fragment body** — preparation gates and terminal
       rotations are fenced off, so the physical variant is exactly
@@ -444,9 +446,10 @@ class NoisyChainFragmentSimCache:
 
     Cost per fragment: ``6^{K_prev} · 3^{K}`` transpiles + evolutions become
     ``1`` transpile + ``4^{K_prev}`` body evolutions + ``3^{K}`` batched
-    rotation passes.  Across an ``N``-fragment chain that is exactly ``N``
-    body transpiles — the law pinned by
-    ``tests/test_noisy_fast_path_equivalence.py``.
+    rotation passes.  Across an ``N``-node tree (chains included) that is
+    exactly ``N`` body transpiles — the law pinned by
+    ``tests/test_noisy_fast_path_equivalence.py`` and
+    ``tests/test_tree_equivalence.py``.
     """
 
     __slots__ = (
@@ -624,9 +627,14 @@ class NoisyChainFragmentSimCache:
 
     def warm(
         self, combos: Iterable[tuple[Sequence[str], Sequence[str]]] = ()
-    ) -> "NoisyChainFragmentSimCache":
+    ) -> "NoisyTreeFragmentSimCache":
         """Precompute entries so later reads are lock-free and thread-safe."""
         for inits, setting in combos:
             self.probabilities(inits, setting)
             self.physical(inits, setting)
         return self
+
+
+#: Chains are linear trees; the chain name remains an alias so existing
+#: imports and isinstance checks keep working on the single tree engine.
+NoisyChainFragmentSimCache = NoisyTreeFragmentSimCache

@@ -56,9 +56,13 @@ __all__ = [
     "build_downstream_tensor_reference",
     "build_chain_fragment_tensor",
     "build_chain_fragment_tensor_reference",
+    "build_tree_fragment_tensor",
+    "build_tree_fragment_tensor_reference",
     "reconstruct_distribution",
     "reconstruct_chain_distribution",
     "reconstruct_chain_distribution_reference",
+    "reconstruct_tree_distribution",
+    "reconstruct_tree_distribution_reference",
     "reconstruct_counts",
     "reconstruct_expectation",
     "project_to_simplex",
@@ -297,22 +301,30 @@ def build_downstream_tensor_reference(
 
 
 # ---------------------------------------------------------------------------
-# Multi-fragment chain reconstruction.  With fragments F_0 .. F_{N-1} and cut
-# groups g = 0 .. N-2 (group g linking F_g to F_{g+1}), the joint output
-# distribution is the matrix-product contraction
+# Fragment-tree reconstruction (chains are the one-child case).  With nodes
+# F_0 .. F_{N-1} and cut groups g = 0 .. N-2 (group g linking its source
+# node to its destination node), the joint output distribution is the
+# tree-order contraction
 #
 #     p[b_0..b_{N-1}] = (Π_g 2^{-K_g}) Σ_{M_0..M_{N-2}}
-#         T_0[M_0, b_0] · T_1[M_0, M_1, b_1] · ... · T_{N-1}[M_{N-2}, b_{N-1}]
+#         Π_i T_i[M_{in(i)}, M_{out_1(i)}, .., M_{out_C(i)}, b_i]
 #
-# where T_i is fragment i's *reduced tensor*: its prep side is contracted
-# like B̂ (signed sum over preparation eigenstates of the entering group's
-# basis row) and its measure side like Â (eigenvalue-weighted outcome sum of
-# the exiting group's basis row).  Each side factorises over its cuts into
-# the same per-cut transfer matrices the pair builders use, so neglected
-# pools still just slice rows off individual cuts' factors — the paper's
-# O(4^{K_r} 3^{K_g}) reduction applies per cut group.  The contraction runs
-# left to right, one tensordot per fragment, accumulating output axes in
-# fragment order (earlier fragments least significant).
+# where T_i is node i's *reduced tensor*: its prep side is contracted like
+# B̂ (signed sum over preparation eigenstates of the entering group's basis
+# row) and its measure side like Â (eigenvalue-weighted outcome sum), with
+# **one row axis per exiting child group**.  Each side factorises over its
+# cuts into the same per-cut transfer matrices the pair builders use, so
+# neglected pools still just slice rows off individual cuts' factors — the
+# paper's O(4^{K_r} 3^{K_g}) reduction applies per cut group.  The
+# contraction runs leaves to root, one tensordot per edge, so per-group row
+# counts only ever meet their neighbours and never multiply globally.  A
+# chain is the tree in which every node has one child, and the chain entry
+# points below are thin wrappers over this single engine.
+
+
+def _tree_of(data):
+    """The :class:`~repro.cutting.tree.FragmentTree` behind a data record."""
+    return data.tree
 
 
 def _normalise_chain_bases(bases, group_sizes: Sequence[int]):
@@ -338,19 +350,26 @@ def _chain_fallback(
 
 
 def _chain_rows(data, index: int, bases):
-    """Shared per-fragment row bookkeeping of all chain builders.
+    """Shared per-fragment row bookkeeping of all tree/chain builders.
 
     Returns ``(frag, records, prev_bases, next_bases, rows_prev, rows_next,
-    fallback)`` — the entering/exiting group pools resolved from ``bases``,
-    their basis-row products (``[()]`` at the chain ends) and the per-cut
-    ``I``-row fallback letters.
+    fallback)`` — the entering pools and the **flat** exiting pools (every
+    child group's per-cut pools concatenated in the node's group order)
+    resolved from ``bases``, their basis-row products (``[()]`` at the root
+    / leaves) and the per-cut ``I``-row fallback letters.  On a chain node
+    this is exactly the pre-tree bookkeeping; at a branching node
+    ``rows_next`` runs over the product of the child groups' rows.
     """
-    chain = data.chain
-    frag = chain.fragments[index]
+    tree = _tree_of(data)
+    frag = tree.fragments[index]
     records = data.records[index]
-    group_bases = _normalise_chain_bases(bases, chain.group_sizes)
-    prev_bases = group_bases[index - 1] if index > 0 else []
-    next_bases = group_bases[index] if index < chain.num_groups else []
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    prev_bases = (
+        group_bases[frag.in_group] if frag.in_group is not None else []
+    )
+    next_bases = [
+        pool for h in frag.meas_groups for pool in group_bases[h]
+    ]
     rows_prev = list(itertools.product(*prev_bases)) if prev_bases else [()]
     rows_next = list(itertools.product(*next_bases)) if next_bases else [()]
     fallback = _chain_fallback(records, frag.num_meas)
@@ -391,22 +410,43 @@ def _chain_row_runs(index, frag, records, rows_prev, rows_next, fallback):
                 yield a, b, sign, signs_n, A
 
 
-def _contract_chain(tensors: Sequence[np.ndarray]) -> np.ndarray:
-    """Left-to-right matrix-product contraction of per-fragment tensors.
+def _contract_tree(
+    tensors: Sequence[np.ndarray], tree
+) -> tuple[np.ndarray, list[int]]:
+    """Leaves-to-root contraction of per-node reduced tensors.
 
-    ``tensors[i]`` has shape ``(R_prev, R_next, D_i)``; the result is the
-    joint vector over all fragment outputs with earlier fragments' bits
-    least significant (before ``2^{-ΣK}`` scaling and register
-    permutation).  One ``einsum`` per fragment — the shared kernel of
-    :func:`reconstruct_chain_distribution` and the chain variance model.
+    ``tensors[i]`` has shape ``(R_in, R_out_1, .., R_out_C, D_i)`` (child
+    row axes in node ``i``'s exiting-group order).  Nodes are processed in
+    reverse topological order: each child's accumulated subtree vector is
+    contracted into its parent's tensor over the shared group-row axis, so
+    the cost per edge is (parent rows) × (child rows) and per-group row
+    counts never multiply globally.  Returns the joint vector over all
+    outputs together with the original-qubit label of every bit (the
+    contraction's own accumulation order) — callers permute with
+    :func:`~repro.utils.bits.permute_probability_axes`.  Shared kernel of
+    :func:`reconstruct_tree_distribution` and the tree variance model.
     """
-    acc = tensors[0][0].T  # (D_0, R_0)
-    for T in tensors[1:-1]:
-        # acc[a, r] , T[r, s, b] -> (b, a, s); C-ravel of (b, a) keeps the
-        # earlier fragments' bits least significant
-        acc = np.einsum("ar,rsb->bas", acc, T).reshape(-1, T.shape[1])
-    joint = np.einsum("ar,rb->ba", acc, tensors[-1][:, 0, :])
-    return joint.reshape(-1)
+    acc: dict[int, np.ndarray] = {}
+    order: dict[int, list[int]] = {}
+    for i in reversed(range(tree.num_fragments)):
+        frag = tree.fragments[i]
+        t = tensors[i]
+        labels = list(frag.out_original)
+        for h in frag.meas_groups:
+            child = tree.group_dst[h]
+            # t axes: (R_in, <remaining child rows>, D_i, <done subtrees>);
+            # the next child's row axis is always axis 1, and tensordot
+            # appends the child's subtree bits at the end
+            t = np.tensordot(t, acc.pop(child), axes=([1], [0]))
+            labels.extend(order.pop(child))
+        C = frag.num_children
+        # (R_in, D_i, d_1..d_C) -> (R_in, d_C..d_1, D_i): C-order ravel then
+        # leaves D_i fastest, keeping the node's own bits least significant
+        perm = (0,) + tuple(range(C + 1, 1, -1)) + (1,)
+        t = t.transpose(perm)
+        acc[i] = np.ascontiguousarray(t).reshape(t.shape[0], -1)
+        order[i] = labels
+    return acc[0][0], order[0]
 
 
 def build_chain_fragment_tensor(
@@ -529,30 +569,145 @@ def build_chain_fragment_tensor_reference(
     return out, rows_prev, rows_next
 
 
+def build_tree_fragment_tensor(
+    data, index: int, bases=None
+) -> tuple[np.ndarray, list, list[list]]:
+    """Reduced tensor of one tree node: one row axis per child group.
+
+    Shape ``(R_in, R_out_1, .., R_out_C, 2^{n_out})`` with the child axes
+    in the node's exiting-group order.  The heavy lifting is the flat
+    kernel of :func:`build_chain_fragment_tensor` — the node's exiting
+    basis rows are the product over its child groups' rows in flat cut
+    order, so splitting the flat row axis into per-group axes is a C-order
+    reshape.  Returns ``(tensor, rows_in, rows_per_group)``.
+    """
+    tree = _tree_of(data)
+    frag = tree.fragments[index]
+    T, rows_prev, _ = build_chain_fragment_tensor(data, index, bases)
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    rows_per_group = [
+        list(itertools.product(*group_bases[h])) for h in frag.meas_groups
+    ]
+    shape = (
+        (len(rows_prev),)
+        + tuple(len(r) for r in rows_per_group)
+        + (1 << frag.n_out,)
+    )
+    return T.reshape(shape), rows_prev, rows_per_group
+
+
+def build_tree_fragment_tensor_reference(
+    data, index: int, bases=None
+) -> tuple[np.ndarray, list, list[list]]:
+    """Row-by-row tree node tensor (reference semantics).
+
+    The brute-force counterpart of :func:`build_tree_fragment_tensor`: one
+    Python iteration per (entering row, flat exiting row) pair and per
+    preparation eigenstate index, via
+    :func:`build_chain_fragment_tensor_reference` — the same Eq. 13 row
+    loop, with the flat row axis split into per-group axes afterwards
+    (exact reshape, no arithmetic).
+    """
+    tree = _tree_of(data)
+    frag = tree.fragments[index]
+    T, rows_prev, _ = build_chain_fragment_tensor_reference(data, index, bases)
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    rows_per_group = [
+        list(itertools.product(*group_bases[h])) for h in frag.meas_groups
+    ]
+    shape = (
+        (len(rows_prev),)
+        + tuple(len(r) for r in rows_per_group)
+        + (1 << frag.n_out,)
+    )
+    return T.reshape(shape), rows_prev, rows_per_group
+
+
+def reconstruct_tree_distribution(
+    data,
+    bases=None,
+    postprocess: str = "clip",
+) -> np.ndarray:
+    """Full output distribution of an uncut circuit from tree fragment data.
+
+    The single reconstruction engine: every node's reduced tensor is built
+    once, then the tree is contracted leaves to root — each edge is one
+    ``tensordot`` over the shared cut-group row axis, so the cost is linear
+    in the number of fragments and per-group row counts multiply only
+    pairwise along edges, never globally.  ``bases`` lists per-group
+    per-cut basis pools (``bases[g][k]``; ``None`` = full ``{I,X,Y,Z}``),
+    letting golden cuts neglect elements group by group — each group's
+    Kronecker factors are sliced independently.  Chains run through this
+    engine via :func:`reconstruct_chain_distribution`.
+    """
+    tree = _tree_of(data)
+    # adjacent fragments share their group's rows by construction: both
+    # sides are itertools.product over the same per-group pools in `bases`
+    tensors = [
+        build_tree_fragment_tensor(data, i, bases)[0]
+        for i in range(tree.num_fragments)
+    ]
+    v, order = _contract_tree(tensors, tree)
+    full = permute_probability_axes(
+        v / float(1 << tree.total_cuts), order
+    )
+    return _postprocess(full, postprocess)
+
+
 def reconstruct_chain_distribution(
     data,
     bases=None,
     postprocess: str = "clip",
 ) -> np.ndarray:
-    """Full output distribution of an uncut circuit from chain fragment data.
+    """Full output distribution from chain fragment data.
 
-    The generalised (einsum-path) contraction: every fragment's reduced
-    tensor is built once, then the chain is contracted left to right — each
-    step is one ``tensordot`` over the shared cut-group row axis, so the
-    cost is linear in the number of fragments and the per-group row counts
-    multiply only pairwise, never globally.  ``bases`` lists per-group
-    per-cut basis pools (``bases[g][k]``; ``None`` = full ``{I,X,Y,Z}``),
-    letting golden cuts neglect elements group by group.
+    Thin wrapper over :func:`reconstruct_tree_distribution` — a chain is
+    the linear tree, and since the tree refactor there is one contraction
+    engine, not two.
     """
-    chain = data.chain
-    # adjacent fragments share their group's rows by construction: both
-    # sides are itertools.product over the same per-group pools in `bases`
-    tensors = [
-        build_chain_fragment_tensor(data, i, bases)[0]
-        for i in range(chain.num_fragments)
-    ]
-    v = _contract_chain(tensors) / float(1 << chain.total_cuts)
-    full = permute_probability_axes(v, chain.output_order())
+    return reconstruct_tree_distribution(data, bases=bases, postprocess=postprocess)
+
+
+def reconstruct_tree_distribution_reference(
+    data,
+    bases=None,
+    postprocess: str = "raw",
+) -> np.ndarray:
+    """Brute-force tree reconstruction (reference semantics).
+
+    One Python iteration per element of the *full basis-row product across
+    all cut groups* (``Π_g R_g`` terms — the cost the tree contraction
+    avoids), each term an outer product of per-node reduced-row vectors
+    taken from :func:`build_tree_fragment_tensor_reference`, with every
+    node indexed by its entering group's row and each child group's row.
+    Ground truth for ``tests/test_tree_equivalence.py``.
+    """
+    tree = _tree_of(data)
+    tensors = []
+    group_rows: list = [None] * tree.num_groups
+    for i in range(tree.num_fragments):
+        frag = tree.fragments[i]
+        T, _, rows_per_group = build_tree_fragment_tensor_reference(
+            data, i, bases
+        )
+        tensors.append(T)
+        for h, rows in zip(frag.meas_groups, rows_per_group):
+            group_rows[h] = rows
+
+    n_total = len(tree.output_order())
+    joint = np.zeros(1 << n_total)
+    for combo in itertools.product(*[range(len(r)) for r in group_rows]):
+        vec = None
+        for i in range(tree.num_fragments):
+            frag = tree.fragments[i]
+            a = combo[frag.in_group] if frag.in_group is not None else 0
+            sel = tuple(combo[h] for h in frag.meas_groups)
+            term = tensors[i][(a,) + sel]
+            # outer product keeps earlier nodes least significant
+            vec = term if vec is None else np.multiply.outer(term, vec).ravel()
+        joint += vec
+    joint /= float(1 << tree.total_cuts)
+    full = permute_probability_axes(joint, tree.output_order())
     return _postprocess(full, postprocess)
 
 
@@ -563,36 +718,13 @@ def reconstruct_chain_distribution_reference(
 ) -> np.ndarray:
     """Brute-force chain reconstruction (reference semantics).
 
-    One Python iteration per element of the *full basis-row product across
-    all cut groups* (``Π_g R_g`` terms — the cost the einsum path avoids),
-    each term an outer product of per-fragment reduced-row vectors taken
-    from :func:`build_chain_fragment_tensor_reference`.  Ground truth for
+    Thin wrapper over :func:`reconstruct_tree_distribution_reference`
+    (a chain is the linear tree); ground truth for
     ``tests/test_multi_fragment_equivalence.py``.
     """
-    chain = data.chain
-    tensors = []
-    all_rows = None
-    for i in range(chain.num_fragments):
-        T, _, rows_next = build_chain_fragment_tensor_reference(data, i, bases)
-        tensors.append(T)
-        if i < chain.num_groups:
-            all_rows = (
-                [rows_next] if all_rows is None else all_rows + [rows_next]
-            )
-
-    n_total = len(chain.output_order())
-    joint = np.zeros(1 << n_total)
-    for combo in itertools.product(*[range(len(r)) for r in all_rows]):
-        vec = tensors[0][0, combo[0]]
-        for i in range(1, chain.num_fragments):
-            prev_row = combo[i - 1]
-            next_row = combo[i] if i < chain.num_groups else 0
-            # outer product keeps earlier fragments least significant
-            vec = np.multiply.outer(tensors[i][prev_row, next_row], vec).ravel()
-        joint += vec
-    joint /= float(1 << chain.total_cuts)
-    full = permute_probability_axes(joint, chain.output_order())
-    return _postprocess(full, postprocess)
+    return reconstruct_tree_distribution_reference(
+        data, bases=bases, postprocess=postprocess
+    )
 
 
 def reconstruct_distribution(

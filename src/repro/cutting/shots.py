@@ -20,6 +20,8 @@ __all__ = [
     "allocate_chain_pilot_shots",
     "allocate_chain_shots",
     "allocate_shots",
+    "allocate_tree_pilot_shots",
+    "allocate_tree_shots",
 ]
 
 #: default pilot sizing (matches ``cut_and_run``'s detect mode): a quarter
@@ -70,25 +72,27 @@ def allocate_shots(
     return per, report
 
 
-def allocate_chain_shots(
+def allocate_tree_shots(
     variants_per_fragment: Sequence[int],
     shots_per_variant: int | None = None,
     total_shots: int | None = None,
     scheme: str = "uniform",
 ) -> tuple[int, dict]:
-    """Shot budget for a fragment chain: ``(shots_per_variant, report)``.
+    """Shot budget for a fragment tree: ``(shots_per_variant, report)``.
 
-    The chain generalisation of :func:`allocate_shots` —
+    The tree generalisation of :func:`allocate_shots` —
     ``variants_per_fragment[i]`` counts fragment ``i``'s ``(inits, setting)``
-    combos (interior fragments pay the ``6^{K_prev} · 3^{K}`` product, which
-    is why neglecting bases per cut group matters more as chains grow).  The
-    report carries the per-fragment breakdown for cost tables.
+    combos (interior fragments pay the ``6^{K_in} · 3^{K_out}`` product over
+    their entering group and flat exiting cuts, which is why neglecting
+    bases per cut group matters more as trees grow).  The report carries the
+    per-fragment breakdown for cost tables.  Chains are linear trees;
+    :func:`allocate_chain_shots` is an alias.
     """
     counts = [int(c) for c in variants_per_fragment]
     if len(counts) < 2:
-        raise CutError("a chain has at least two fragments")
+        raise CutError("a fragment tree has at least two fragments")
     if any(c <= 0 for c in counts):
-        raise CutError("every chain fragment needs at least one variant")
+        raise CutError("every tree fragment needs at least one variant")
     per, report = allocate_shots(
         counts[0],
         sum(counts[1:]),
@@ -106,26 +110,28 @@ def allocate_chain_shots(
     return per, report
 
 
-def allocate_chain_pilot_shots(
+def allocate_tree_pilot_shots(
     pilot_variants_per_fragment: Sequence[int],
     shots_per_variant: int,
     pilot_shots: int | None = None,
 ) -> tuple[int, dict]:
-    """Pilot budget for chain golden detection: ``(pilot_shots, report)``.
+    """Pilot budget for tree golden detection: ``(pilot_shots, report)``.
 
     ``pilot_variants_per_fragment[i]`` counts the *pilot* combos fragment
     ``i`` runs during the detection sweep — zero for fragments the sweep
-    skips (always the terminal fragment, which has no exiting cuts and
-    therefore nothing to test).  ``pilot_shots=None`` derives the paper-mode
-    default from the production per-variant budget:
+    skips (always the leaves, which have no exiting cuts and therefore
+    nothing to test).  ``pilot_shots=None`` derives the paper-mode default
+    from the production per-variant budget:
     ``max(PILOT_FLOOR, shots_per_variant · PILOT_FRACTION)``, the same rule
     :func:`~repro.core.pipeline.cut_and_run` applies to bipartitions.  The
     report feeds the pipeline's cost accounting (pilot executions are kept
     separate from production ones, mirroring the pair path's bookkeeping).
+    Chains are linear trees; :func:`allocate_chain_pilot_shots` is an
+    alias.
     """
     counts = [int(c) for c in pilot_variants_per_fragment]
     if len(counts) < 2:
-        raise CutError("a chain has at least two fragments")
+        raise CutError("a fragment tree has at least two fragments")
     if any(c < 0 for c in counts):
         raise CutError("pilot variant counts cannot be negative")
     if sum(counts) == 0:
@@ -143,3 +149,9 @@ def allocate_chain_pilot_shots(
         "pilot_executions": pilot_shots * sum(counts),
     }
     return pilot_shots, report
+
+
+#: Chains are linear trees; the chain names remain as aliases of the single
+#: tree implementation.
+allocate_chain_shots = allocate_tree_shots
+allocate_chain_pilot_shots = allocate_tree_pilot_shots

@@ -1,0 +1,446 @@
+"""Topology-general fragment trees (chains are the one-child case).
+
+A :class:`FragmentTree` generalises :class:`~repro.cutting.chain.FragmentChain`
+to an arbitrary rooted tree of ``N ≥ 2`` fragments connected by ``N − 1``
+*cut groups*: cut group ``g`` severs the wires flowing from one fragment
+(its *source*) into exactly one other fragment (its *destination*).  Every
+non-root fragment receives preparation states on the wires of its single
+entering group; a fragment may emit cut wires to **several** child groups —
+its measurement side then covers the union of those groups' wires.  The
+root only measures, leaves only receive, and a chain is the degenerate tree
+in which every node has at most one child.
+
+:func:`partition_tree` builds a tree by *worklist bipartition*: the circuit
+starts as one piece; each :class:`~repro.cutting.cut.CutSpec` (given in
+**original-circuit** coordinates) finds the piece holding its cut points
+and splits it in two, with per-piece bookkeeping tracking where every
+earlier group's preparation and measurement wires ended up.  Unlike the
+chain cascade, the upstream half of a split can be re-cut later, which is
+exactly what a branching node needs.  A ``CutError`` is raised when the
+specs do not induce a tree — a group's wires split across fragments, or a
+fragment would receive wires from two different groups (a DAG).
+
+Node indices are topological (parents precede children, the root is node
+0); cut groups keep the order of ``specs``.  The flat little-endian layout
+of a fragment's measured cut bits concatenates its exiting groups'
+wires in ascending group order (``TreeFragment.cut_local``), which is the
+record layout every downstream consumer — caches, execution, golden
+detection and the tree-order reconstruction — shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.cutting.cut import CutSpec
+from repro.cutting.fragments import bipartition
+from repro.exceptions import CutError
+
+__all__ = [
+    "FragmentTree",
+    "TreeFragment",
+    "partition_tree",
+]
+
+
+@dataclass
+class TreeFragment:
+    """One node of a fragment tree.
+
+    Attributes
+    ----------
+    circuit:
+        The fragment's local circuit.
+    index:
+        Node position in the tree's topological order (root = 0).
+    prep_local:
+        Local qubits receiving preparation states, ordered by cut index of
+        the entering group (empty at the root).
+    cut_local:
+        Local qubits measured in tomography bases — the **flat** layout:
+        each exiting group's wires (in cut order) concatenated in ascending
+        group order.  Cut bit ``k`` of a measurement record is bit ``k`` of
+        this list.
+    out_local:
+        Local output qubits (everything not in ``cut_local``), ordered by
+        original label.
+    out_original:
+        Original-circuit labels of the outputs (same order as ``out_local``).
+    in_group:
+        Id of the cut group entering from the parent (``None`` at the root).
+    meas_groups:
+        Ids of the exiting cut groups, ascending (empty at a leaf).
+    cut_local_by_group:
+        Exiting group id → that group's local wires in cut order
+        (concatenating them in ``meas_groups`` order yields ``cut_local``).
+    parent:
+        Parent node index (filled in by :class:`FragmentTree`).
+    """
+
+    circuit: Circuit
+    index: int
+    prep_local: list[int]
+    cut_local: list[int]
+    out_local: list[int]
+    out_original: list[int]
+    in_group: "int | None" = None
+    meas_groups: list[int] = field(default_factory=list)
+    cut_local_by_group: dict[int, list[int]] = field(default_factory=dict)
+    parent: "int | None" = field(default=None, repr=False)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def n_out(self) -> int:
+        return len(self.out_local)
+
+    @property
+    def num_prep(self) -> int:
+        return len(self.prep_local)
+
+    @property
+    def num_meas(self) -> int:
+        return len(self.cut_local)
+
+    @property
+    def num_children(self) -> int:
+        return len(self.meas_groups)
+
+    def group_offset(self, group: int) -> int:
+        """Position of ``group``'s first cut bit in the flat ``cut_local``."""
+        off = 0
+        for h in self.meas_groups:
+            if h == group:
+                return off
+            off += len(self.cut_local_by_group[h])
+        raise CutError(f"group {group} does not exit fragment {self.index}")
+
+
+@dataclass
+class FragmentTree:
+    """A rooted tree of fragments connected by cut groups."""
+
+    #: the fragments in topological order (root first, parents before children)
+    fragments: list[TreeFragment]
+    #: number of cuts per group, in spec order
+    group_sizes: list[int]
+    #: the cut specs the tree was built from (original-circuit coordinates)
+    specs: list[CutSpec] = field(repr=False, default_factory=list)
+    #: group id → node measuring that group's wires (derived)
+    group_src: list[int] = field(init=False, repr=False)
+    #: group id → node receiving that group's preparations (derived)
+    group_dst: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._link()
+
+    def _link(self) -> None:
+        if len(self.fragments) < 2:
+            raise CutError("a fragment tree needs at least two fragments")
+        G = len(self.group_sizes)
+        if G != len(self.fragments) - 1:
+            raise CutError(
+                "a fragment tree needs exactly one cut group per non-root "
+                "fragment"
+            )
+        src: list = [None] * G
+        dst: list = [None] * G
+        for i, frag in enumerate(self.fragments):
+            if (frag.in_group is None) != (i == 0):
+                raise CutError(
+                    "exactly the root fragment (node 0) may lack an "
+                    "entering cut group"
+                )
+            if frag.in_group is not None:
+                g = frag.in_group
+                if not 0 <= g < G:
+                    raise CutError(f"entering group {g} out of range")
+                if dst[g] is not None:
+                    raise CutError(
+                        f"cut group {g} enters two fragments; the structure "
+                        "is not a tree"
+                    )
+                dst[g] = i
+                if frag.num_prep != self.group_sizes[g]:
+                    raise CutError(
+                        f"fragment {i} has {frag.num_prep} preparation "
+                        f"wires, expected {self.group_sizes[g]} from group {g}"
+                    )
+            flat: list[int] = []
+            for g in frag.meas_groups:
+                if not 0 <= g < G:
+                    raise CutError(f"exiting group {g} out of range")
+                if src[g] is not None:
+                    raise CutError(
+                        f"cut group {g} exits two fragments; the structure "
+                        "is not a tree"
+                    )
+                src[g] = i
+                wires = frag.cut_local_by_group.get(g)
+                if wires is None or len(wires) != self.group_sizes[g]:
+                    raise CutError(
+                        f"fragment {i} group {g} wire list mismatches the "
+                        f"group size {self.group_sizes[g]}"
+                    )
+                flat.extend(wires)
+            if flat != list(frag.cut_local):
+                raise CutError(
+                    f"fragment {i}: cut_local is not the group-ordered "
+                    "concatenation of cut_local_by_group"
+                )
+        for g in range(G):
+            if src[g] is None or dst[g] is None:
+                raise CutError(f"cut group {g} is not attached to the tree")
+            if not src[g] < dst[g]:
+                raise CutError(
+                    f"cut group {g}: source node {src[g]} must precede "
+                    f"destination node {dst[g]} (topological order)"
+                )
+        self.group_src = src
+        self.group_dst = dst
+        for i, frag in enumerate(self.fragments):
+            frag.parent = None if i == 0 else src[frag.in_group]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_sizes)
+
+    @property
+    def total_cuts(self) -> int:
+        return sum(self.group_sizes)
+
+    @property
+    def is_chain(self) -> bool:
+        """True when every group links node ``g`` to node ``g + 1``."""
+        return all(s == g for g, s in enumerate(self.group_src)) and all(
+            d == g + 1 for g, d in enumerate(self.group_dst)
+        )
+
+    def children(self, index: int) -> list[int]:
+        """Child node indices of one fragment, in exiting-group order."""
+        return [self.group_dst[g] for g in self.fragments[index].meas_groups]
+
+    def output_order(self) -> list[int]:
+        """Original qubit labels, node by node, root first."""
+        out: list[int] = []
+        for frag in self.fragments:
+            out.extend(frag.out_original)
+        return out
+
+    def describe(self) -> str:
+        widths = "+".join(str(f.num_qubits) for f in self.fragments)
+        edges = ",".join(
+            f"{self.group_src[g]}→{self.group_dst[g]}(K={k})"
+            for g, k in enumerate(self.group_sizes)
+        )
+        return (
+            f"FragmentTree(N={self.num_fragments}, widths {widths}q, "
+            f"groups [{edges}])"
+        )
+
+
+# ---------------------------------------------------------------------------
+# worklist bipartition
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Piece:
+    """One not-yet-final fragment of the worklist partition.
+
+    ``wire_orig``/``inst_orig`` map piece-local coordinates back to the
+    original circuit; ``entering`` carries the id and local wires (cut
+    order) of the group preparing into this piece, ``exiting`` the local
+    wires of every group measured on this piece.
+    """
+
+    circuit: Circuit
+    wire_orig: list[int]
+    inst_orig: list[int]
+    entering: "tuple[int, list[int]] | None"
+    exiting: dict[int, list[int]]
+
+
+def partition_tree(circuit: Circuit, specs: Sequence[CutSpec]) -> FragmentTree:
+    """Split ``circuit`` into a ``len(specs) + 1``-fragment tree.
+
+    Every spec is expressed in **original-circuit** coordinates; each is
+    applied to the piece currently holding its cut points, so earlier
+    groups' fragments can branch — the upstream half of one split may be
+    split again by a later spec, giving its node several child groups.
+    Chains come out bit-identical to the repeated-bipartition cascade of
+    :func:`~repro.cutting.chain.partition_chain` (which now delegates
+    here).
+    """
+    specs = list(specs)
+    if not specs:
+        raise CutError("partition_tree needs at least one cut spec")
+    pieces = [
+        _Piece(
+            circuit=circuit,
+            wire_orig=list(range(circuit.num_qubits)),
+            inst_orig=list(range(len(circuit))),
+            entering=None,
+            exiting={},
+        )
+    ]
+    for g, spec in enumerate(specs):
+        j = _find_piece(pieces, spec, g)
+        pieces[j : j + 1] = _cut_piece(pieces[j], spec, g)
+    return _assemble(pieces, specs)
+
+
+def _find_piece(pieces: list[_Piece], spec: CutSpec, stage: int) -> int:
+    """Index of the piece holding every cut point of one spec."""
+    owners: set[int] = set()
+    for c in spec.cuts:
+        owner = next(
+            (i for i, p in enumerate(pieces) if c.gate_index in p.inst_orig),
+            None,
+        )
+        if owner is None:
+            raise CutError(
+                f"cut group {stage}: instruction {c.gate_index} was consumed "
+                "by an earlier fragment"
+            )
+        owners.add(owner)
+    if len(owners) > 1:
+        raise CutError(
+            f"cut group {stage}: cut points span {len(owners)} fragments; "
+            "every group must sever wires of a single fragment"
+        )
+    return owners.pop()
+
+
+def _translate_spec(
+    spec: CutSpec, stage: int, wire_orig: list[int], inst_orig: list[int]
+) -> CutSpec:
+    """Re-express an original-coordinate spec in piece-local coordinates."""
+    from repro.cutting.cut import CutPoint
+
+    wire_map = {orig: loc for loc, orig in enumerate(wire_orig)}
+    inst_map = {orig: loc for loc, orig in enumerate(inst_orig)}
+    points = []
+    for c in spec.cuts:
+        if c.wire not in wire_map:
+            raise CutError(
+                f"cut group {stage}: wire {c.wire} was consumed by an "
+                "earlier fragment"
+            )
+        if c.gate_index not in inst_map:
+            raise CutError(
+                f"cut group {stage}: instruction {c.gate_index} was consumed "
+                "by an earlier fragment"
+            )
+        points.append(CutPoint(wire_map[c.wire], inst_map[c.gate_index]))
+    return CutSpec(tuple(points))
+
+
+def _cut_piece(piece: _Piece, spec: CutSpec, g: int) -> list[_Piece]:
+    """Bipartition one piece along spec ``g``, re-homing its group wires.
+
+    Earlier groups' wires must land whole in one half: a preparation wire
+    lives where the wire *starts* (the up half when the new spec re-cuts
+    it), a measurement wire where it *ends* (the down half in that case).
+    """
+    local_spec = _translate_spec(spec, g, piece.wire_orig, piece.inst_orig)
+    pair = bipartition(piece.circuit, local_spec)
+    cut_wires = {c.wire for c in local_spec.cuts}
+    q_up = sorted(set(pair.up_out_original) | cut_wires)
+    up_map = {w: i for i, w in enumerate(q_up)}
+    down_map = {w: i for i, w in enumerate(pair.down_out_original)}
+    down_nodes = set(pair.down_node_indices)
+    up_nodes = [i for i in range(len(piece.circuit)) if i not in down_nodes]
+
+    up_exiting: dict[int, list[int]] = {}
+    down_exiting: dict[int, list[int]] = {}
+    for h, wires in piece.exiting.items():
+        # measure end of a wire re-cut by spec g lives in the down half
+        locs = {"down" if w in down_map else "up" for w in wires}
+        if len(locs) > 1:
+            raise CutError(
+                f"cut group {g} splits the measured wires of cut group {h} "
+                "across two fragments; the specs do not induce a tree"
+            )
+        if locs == {"up"}:
+            up_exiting[h] = [up_map[w] for w in wires]
+        else:
+            down_exiting[h] = [down_map[w] for w in wires]
+    up_exiting[g] = list(pair.up_cut_local)
+
+    up_entering = None
+    if piece.entering is not None:
+        h, wires = piece.entering
+        # a preparation applies at the wire start, which stays in the up
+        # half when spec g re-cuts the wire
+        locs = {"up" if w in up_map else "down" for w in wires}
+        if len(locs) > 1:
+            raise CutError(
+                f"cut group {g} splits the preparation wires of cut group "
+                f"{h} across two fragments; the specs do not induce a tree"
+            )
+        if locs == {"down"}:
+            raise CutError(
+                f"one fragment would receive cut wires from both group {h} "
+                f"and group {g}; the specs induce a DAG, not a tree"
+            )
+        up_entering = (h, [up_map[w] for w in wires])
+
+    up_piece = _Piece(
+        circuit=pair.upstream,
+        wire_orig=[piece.wire_orig[w] for w in q_up],
+        inst_orig=[piece.inst_orig[i] for i in up_nodes],
+        entering=up_entering,
+        exiting=up_exiting,
+    )
+    down_piece = _Piece(
+        circuit=pair.downstream,
+        wire_orig=[piece.wire_orig[w] for w in pair.down_out_original],
+        inst_orig=[piece.inst_orig[i] for i in pair.down_node_indices],
+        entering=(g, list(pair.down_cut_local)),
+        exiting=down_exiting,
+    )
+    return [up_piece, down_piece]
+
+
+def _assemble(pieces: list[_Piece], specs: list[CutSpec]) -> FragmentTree:
+    fragments: list[TreeFragment] = []
+    for i, p in enumerate(pieces):
+        if (p.entering is None) != (i == 0):
+            raise CutError(
+                "the cut specs do not connect the fragments into a tree"
+            )
+        meas_groups = sorted(p.exiting)
+        by_group = {h: list(p.exiting[h]) for h in meas_groups}
+        cut_flat = [w for h in meas_groups for w in by_group[h]]
+        cut_set = set(cut_flat)
+        out_local = [
+            q for q in range(p.circuit.num_qubits) if q not in cut_set
+        ]
+        fragments.append(
+            TreeFragment(
+                circuit=p.circuit,
+                index=i,
+                prep_local=list(p.entering[1]) if p.entering else [],
+                cut_local=cut_flat,
+                out_local=out_local,
+                out_original=[p.wire_orig[q] for q in out_local],
+                in_group=p.entering[0] if p.entering else None,
+                meas_groups=meas_groups,
+                cut_local_by_group=by_group,
+            )
+        )
+    return FragmentTree(
+        fragments=fragments,
+        group_sizes=[spec.num_cuts for spec in specs],
+        specs=list(specs),
+    )

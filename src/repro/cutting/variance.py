@@ -35,10 +35,11 @@ from repro.cutting.reconstruction import (
     _basis_rows,
     _chain_row_runs,
     _chain_rows,
-    _contract_chain,
+    _contract_tree,
     _normalise_bases,
     _signs_for,
-    build_chain_fragment_tensor,
+    _tree_of,
+    build_tree_fragment_tensor,
 )
 from repro.exceptions import ReconstructionError
 from repro.utils.bits import permute_probability_axes
@@ -48,6 +49,8 @@ __all__ = [
     "chain_reconstruction_variance",
     "predicted_stddev_tv",
     "reconstruction_variance",
+    "tree_predicted_stddev_tv",
+    "tree_reconstruction_variance",
 ]
 
 _PREP_OF = {
@@ -151,8 +154,9 @@ def predicted_stddev_tv(
 
 
 # ---------------------------------------------------------------------------
-# Chain variance.  The estimator is a product of N independent fragment
-# tensors, so the first-order delta method gives, per basis-row combination,
+# Tree variance (chains are the one-child case).  The estimator is a product
+# of N independent fragment tensors, so the first-order delta method gives,
+# per basis-row combination,
 #
 #     Var(Π_i T_i) ≈ Σ_i (Π_{j≠i} T_j²) · Var(T_i)
 #
@@ -161,62 +165,79 @@ def predicted_stddev_tv(
 # fragment and row, the variance follows the same multinomial/signed-sum
 # rules as the pair stats: one independent run per (init, setting) record,
 # ``Var = (Σ c² p − mean²)/N`` within a run, variances adding across the
-# ``2^{K_prev}`` preparation eigenstate runs a row consumes.
+# ``2^{K_prev}`` preparation eigenstate runs a row consumes.  The
+# substituted products are contracted with the same leaves-to-root kernel
+# as the reconstruction itself.
 
 
-def _chain_row_stats(data, index: int, bases=None):
-    """Means and variances of one fragment's reduced tensor rows.
+def _tree_row_stats(data, index: int, bases=None):
+    """Means and variances of one node's reduced tensor rows.
 
     Record resolution (``I``-fallback, eigenstate expansion, signs) comes
     from the shared :func:`~repro.cutting.reconstruction._chain_row_runs`
-    iterator, so the variance model consumes exactly the runs the
-    reconstruction does.  Per independent run the multinomial signed-sum
-    rule gives ``Var = (Σ c² p − mean²)/N``; entering-side signs square
-    away and run variances add.
+    iterator over the node's *flat* exiting rows, so the variance model
+    consumes exactly the runs the reconstruction does.  Per independent run
+    the multinomial signed-sum rule gives ``Var = (Σ c² p − mean²)/N``;
+    entering-side signs square away and run variances add.  Both returned
+    arrays carry one row axis per child group, ready for the tree
+    contraction.
     """
     frag, records, _, _, rows_prev, rows_next, fallback = _chain_rows(
         data, index, bases
     )
     N = max(data.shots_per_variant, 1)
-    means, _, _ = build_chain_fragment_tensor(data, index, bases)
-    variances = np.zeros_like(means)
+    means, _, _ = build_tree_fragment_tensor(data, index, bases)
+    flat = np.zeros((len(rows_prev), len(rows_next), 1 << frag.n_out))
     for a, b, _sign, signs_n, A in _chain_row_runs(
         index, frag, records, rows_prev, rows_next, fallback
     ):
         run_mean = A @ signs_n
-        variances[a, b] += np.clip(A.sum(axis=1) - run_mean**2, 0.0, None) / N
-    return means, variances
+        flat[a, b] += np.clip(A.sum(axis=1) - run_mean**2, 0.0, None) / N
+    return means, flat.reshape(means.shape)
 
 
-def chain_reconstruction_variance(data, bases=None) -> np.ndarray:
-    """Per-bitstring variance estimate of a chain reconstruction.
+#: chains are linear trees; the historical name remains for its importers
+_chain_row_stats = _tree_row_stats
 
-    Aligned with :func:`repro.cutting.reconstruction.reconstruct_chain_distribution`
+
+def tree_reconstruction_variance(data, bases=None) -> np.ndarray:
+    """Per-bitstring variance estimate of a tree reconstruction.
+
+    Aligned with :func:`repro.cutting.reconstruction.reconstruct_tree_distribution`
     output; exact data (``shots=0``) yields zeros.  For each fragment the
-    chain is re-contracted with that fragment's variance tensor substituted
+    tree is re-contracted with that fragment's variance tensor substituted
     and every other tensor squared (first-order delta method).
     """
-    chain = data.chain
-    n_total = len(chain.output_order())
+    tree = _tree_of(data)
+    n_total = len(tree.output_order())
     if data.shots_per_variant <= 0:
         return np.zeros(1 << n_total)
     stats = [
-        _chain_row_stats(data, i, bases) for i in range(chain.num_fragments)
+        _tree_row_stats(data, i, bases) for i in range(tree.num_fragments)
     ]
-    scale = 1.0 / float(4**chain.total_cuts)
+    scale = 1.0 / float(4**tree.total_cuts)
     total = np.zeros(1 << n_total)
-    for v in range(chain.num_fragments):
+    for v in range(tree.num_fragments):
         tensors = [
             stats[i][1] if i == v else np.square(stats[i][0])
-            for i in range(chain.num_fragments)
+            for i in range(tree.num_fragments)
         ]
-        total += permute_probability_axes(
-            _contract_chain(tensors), chain.output_order()
-        )
+        vec, order = _contract_tree(tensors, tree)
+        total += permute_probability_axes(vec, order)
     return scale * total
 
 
-def chain_predicted_stddev_tv(data, bases=None) -> float:
-    """Chain analogue of :func:`predicted_stddev_tv`."""
-    var = chain_reconstruction_variance(data, bases)
+def tree_predicted_stddev_tv(data, bases=None) -> float:
+    """Tree analogue of :func:`predicted_stddev_tv`."""
+    var = tree_reconstruction_variance(data, bases)
     return float(0.5 * np.sqrt(np.clip(var, 0, None)).sum())
+
+
+def chain_reconstruction_variance(data, bases=None) -> np.ndarray:
+    """Chain alias of :func:`tree_reconstruction_variance` (linear tree)."""
+    return tree_reconstruction_variance(data, bases)
+
+
+def chain_predicted_stddev_tv(data, bases=None) -> float:
+    """Chain alias of :func:`tree_predicted_stddev_tv` (linear tree)."""
+    return tree_predicted_stddev_tv(data, bases)

@@ -51,6 +51,8 @@ __all__ = [
     "downstream_variant",
     "chain_variant",
     "chain_variant_tuples",
+    "tree_variant",
+    "tree_variant_tuples",
     "preparations_for_bases",
 ]
 
@@ -154,20 +156,22 @@ def upstream_variant(pair: FragmentPair, setting: Sequence[str]) -> Circuit:
     return qc
 
 
-def chain_variant_tuples(
-    chain,
+def tree_variant_tuples(
+    tree,
     index: int,
     allowed_prep_bases: "Sequence[Sequence[str]] | None" = None,
     allowed_settings: "Sequence[Sequence[str]] | None" = None,
 ) -> list[tuple[tuple[str, ...], tuple[str, ...]]]:
-    """All ``(inits, setting)`` combos of one chain fragment.
+    """All ``(inits, setting)`` combos of one tree (or chain) fragment.
 
-    The first fragment has an empty init side, the last an empty setting
-    side; interior fragments take the full product (``6^{K_prev} · 3^{K}``
-    by default, reduced pools via the ``allowed_*`` arguments exactly as in
-    :func:`downstream_init_tuples` / :func:`upstream_setting_tuples`).
+    The root has an empty init side, leaves an empty setting side; interior
+    fragments take the full product (``6^{K_prev} · 3^{K}`` by default,
+    with ``K`` the node's *flat* exiting cut count — the union of its child
+    groups' wires — and reduced pools via the ``allowed_*`` arguments
+    exactly as in :func:`downstream_init_tuples` /
+    :func:`upstream_setting_tuples`, in flat cut order).
     """
-    frag = chain.fragments[index]
+    frag = tree.fragments[index]
     inits = (
         downstream_init_tuples(frag.num_prep, allowed_prep_bases)
         if frag.num_prep
@@ -181,20 +185,22 @@ def chain_variant_tuples(
     return [(i, s) for i in inits for s in settings]
 
 
-def chain_variant(
-    chain, index: int, inits: Sequence[str], setting: Sequence[str]
+def tree_variant(
+    tree, index: int, inits: Sequence[str], setting: Sequence[str]
 ) -> Circuit:
-    """One chain fragment with preparation prefix and measurement suffix.
+    """One tree (or chain) fragment with preparation prefix and measurement
+    suffix.
 
     Structure: preparation gates on the entering cut wires, a fence, the
-    fragment body, a fence, basis-change gates on the exiting cut wires —
-    the superposition of :func:`downstream_variant` and
-    :func:`upstream_variant` (either side collapses away when the fragment
-    sits at the corresponding end of the chain).  The fences keep the body
-    a standalone transpile unit, which is what lets the noisy chain cache
-    serve every combined variant from one transpiled body.
+    fragment body, a fence, basis-change gates on the exiting cut wires (in
+    the node's flat cut order, spanning every child group) — the
+    superposition of :func:`downstream_variant` and
+    :func:`upstream_variant` (either side collapses away at the root /
+    leaves).  The fences keep the body a standalone transpile unit, which
+    is what lets the noisy tree cache serve every combined variant from one
+    transpiled body.
     """
-    frag = chain.fragments[index]
+    frag = tree.fragments[index]
     if len(inits) != frag.num_prep:
         raise CutError("init tuple length != number of entering cuts")
     if len(setting) != frag.num_meas:
@@ -224,6 +230,12 @@ def chain_variant(
         elif basis != "Z":
             raise CutError(f"invalid measurement basis {basis!r}")
     return qc
+
+
+#: Chains are linear trees; the chain names remain as aliases of the single
+#: tree implementation.
+chain_variant = tree_variant
+chain_variant_tuples = tree_variant_tuples
 
 
 def downstream_variant(pair: FragmentPair, inits: Sequence[str]) -> Circuit:

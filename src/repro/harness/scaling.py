@@ -29,9 +29,26 @@ from repro.utils.timing import Stopwatch
 __all__ = [
     "chain_cut_circuit",
     "golden_chain_circuit",
+    "golden_tree_circuit",
     "multi_cut_golden_circuit",
     "run_scaling",
+    "tree_cut_circuit",
 ]
+
+
+def _tree_children(parents: "list[int]") -> dict[int, list[int]]:
+    """Builder-node → ordered child builder-nodes, validating the shape."""
+    N = len(parents) + 1
+    children: dict[int, list[int]] = {i: [] for i in range(N)}
+    for child in range(1, N):
+        p = parents[child - 1]
+        if not 0 <= p < child:
+            raise ValueError(
+                f"parents[{child - 1}] = {p} must name an earlier node "
+                f"(0..{child - 1})"
+            )
+        children[p].append(child)
+    return children
 
 
 def multi_cut_golden_circuit(
@@ -145,6 +162,176 @@ def chain_cut_circuit(
                 CutSpec(tuple(CutPoint(w, boundary[w]) for w in cut_wires))
             )
     return qc, specs
+
+
+def tree_cut_circuit(
+    parents: "list[int]",
+    cuts_per_group: "int | list[int]" = 1,
+    fresh_per_fragment: int = 1,
+    depth: int = 2,
+    seed: "int | None" = None,
+    real_blocks: bool = False,
+):
+    """A branched CutQC-style circuit with an explicit fragment-tree shape.
+
+    ``parents[g]`` names the builder-node feeding cut group ``g`` into
+    builder-node ``g + 1`` (so ``parents = [0, 0]`` is a Y — one root with
+    two children — and ``[0, 0, 1, 1]`` a 5-node two-level tree).  Block
+    ``i`` acts on the wires entering from its parent plus
+    ``max(fresh_per_fragment, outgoing cuts)`` fresh qubits; each child
+    group's cut wires are distinct fresh qubits of the parent block, so
+    sibling subtrees only share wires through their common ancestor and
+    the specs induce a genuine tree.  Returns ``(circuit, specs)`` with
+    one :class:`~repro.cutting.cut.CutSpec` per group in original-circuit
+    coordinates — ready for :func:`repro.cutting.tree.partition_tree`.
+    ``parents = [0, 1, 2, ...]`` degenerates to a chain.
+
+    ``real_blocks=True`` keeps every block real-amplitude, making every
+    cut wire Y-golden (the tree analogue of
+    :func:`multi_cut_golden_circuit`).
+    """
+    parents = list(parents)
+    if not parents:
+        raise ValueError("a tree needs at least one cut group")
+    N = len(parents) + 1
+    children = _tree_children(parents)
+    if isinstance(cuts_per_group, int):
+        cuts_per_group = [cuts_per_group] * (N - 1)
+    if len(cuts_per_group) != N - 1:
+        raise ValueError("need one cut count per tree edge")
+    rng = as_generator(seed)
+    block = random_real_circuit if real_blocks else random_circuit
+
+    # fresh-qubit allocation: node i owns max(fresh, outgoing cuts) wires
+    fresh_of: dict[int, list[int]] = {}
+    n = 0
+    for i in range(N):
+        total_out = sum(cuts_per_group[c - 1] for c in children[i])
+        width = max(fresh_per_fragment, total_out)
+        fresh_of[i] = list(range(n, n + width))
+        n += width
+    qc = Circuit(n, name=f"tree[N={N}]")
+
+    edge_wires: dict[int, list[int]] = {}  # child node -> entering wires
+    specs_by_child: dict[int, CutSpec] = {}
+    for i in range(N):
+        qubits = edge_wires.get(i, []) + fresh_of[i]
+        before = len(qc)
+        # entangling ladder: couples the entering wires through the whole
+        # block, pinning the intended tree shape; cx is real, so
+        # Y-goldenness survives real_blocks
+        for a, b in zip(qubits, qubits[1:]):
+            qc.cx(a, b)
+        qc = qc.compose(block(len(qubits), depth, seed=rng), qubits=qubits)
+        # each child group takes distinct wires off the end of the fresh set
+        pos = len(fresh_of[i])
+        for c in reversed(children[i]):
+            k = cuts_per_group[c - 1]
+            edge_wires[c] = fresh_of[i][pos - k : pos]
+            pos -= k
+        for c in children[i]:
+            for w in edge_wires[c]:  # every cut wire needs an anchor here
+                if not any(
+                    w in qc[j].qubits for j in range(before, len(qc))
+                ):
+                    angle = float(rng.uniform(0, 6.28))
+                    if real_blocks:
+                        qc.ry(angle, w)
+                    else:
+                        qc.rx(angle, w)
+            boundary = {
+                w: max(j for j, inst in enumerate(qc) if w in inst.qubits)
+                for w in edge_wires[c]
+            }
+            specs_by_child[c] = CutSpec(
+                tuple(CutPoint(w, boundary[w]) for w in edge_wires[c])
+            )
+    return qc, [specs_by_child[c] for c in range(1, N)]
+
+
+def golden_tree_circuit(
+    parents: "list[int]",
+    planted_groups: "tuple[int, ...] | list[int]" = (),
+    fresh_per_fragment: int = 2,
+    depth: int = 2,
+    seed: "int | None" = None,
+):
+    """A tree circuit with X/Y-golden cut groups planted where asked.
+
+    The tree analogue of :func:`golden_chain_circuit` — ``parents``
+    encodes the topology exactly as in :func:`tree_cut_circuit`, one cut
+    per group.  A *planted* group's cut wire is driven only by Z-diagonal
+    gates (``rz``/``cz``/``t``) from ``|0⟩``, so the state entering that
+    cut carries no X or Y information **for every preparation context**
+    the parent group can inject — both bases are golden at that cut
+    unconditionally, while Z stays maximally informative.  A *regular*
+    group's cut wire is mixed into the block with generic complex
+    rotations and an entangling gate, so generically no basis is golden
+    there.
+
+    Returns ``(circuit, specs, planted_maps)``: ``planted_maps[g]`` is
+    ``{0: ("X", "Y")}`` for planted groups and ``None`` otherwise — ready
+    to compare ``golden="detect"`` verdicts (or feed ``golden="known"``)
+    in :func:`repro.core.pipeline.cut_and_run_tree`.
+    """
+    parents = list(parents)
+    if not parents:
+        raise ValueError("a tree needs at least one cut group")
+    N = len(parents) + 1
+    children = _tree_children(parents)
+    planted = set(planted_groups)
+    if planted - set(range(N - 1)):
+        raise ValueError(
+            f"planted groups {sorted(planted)} out of range "
+            f"(tree has {N - 1} groups)"
+        )
+    for i in range(N):
+        if fresh_per_fragment < len(children[i]) + 1:
+            raise ValueError(
+                f"node {i} has {len(children[i])} children; needs "
+                f"fresh_per_fragment >= {len(children[i]) + 1}"
+            )
+    rng = as_generator(seed)
+    n = fresh_per_fragment * N
+    qc = Circuit(n, name=f"golden_tree[N={N}]")
+    edge_wire: dict[int, int] = {}  # child node -> its entering wire
+    specs_by_child: dict[int, CutSpec] = {}
+    for i in range(N):
+        fresh = list(
+            range(i * fresh_per_fragment, (i + 1) * fresh_per_fragment)
+        )
+        qubits = ([edge_wire[i]] if i > 0 else []) + fresh
+        # the *last* fresh qubits carry on, one per child
+        outs = fresh[len(fresh) - len(children[i]) :] if children[i] else []
+        body = [q for q in qubits if q not in outs]
+        before = len(qc)
+        qc = qc.compose(
+            random_circuit(len(body), depth, seed=rng), qubits=body
+        )
+        if i > 0 and not any(  # anchor the entering wire in this block
+            qubits[0] in qc[j].qubits for j in range(before, len(qc))
+        ):
+            qc.cx(qubits[0], body[1])
+        for w, c in zip(outs, children[i]):
+            if c - 1 in planted:
+                # Z-diagonal drive only: the cut wire stays |0⟩ exactly, so
+                # X and Y are golden for every entering preparation
+                qc.rz(float(rng.uniform(0, 6.28)), w)
+                qc.cz(w, body[0])
+                qc.t(w)
+            else:
+                qc.ry(float(rng.uniform(0.5, 2.6)), w)
+                qc.cx(body[0], w)
+                qc.rx(float(rng.uniform(0.5, 2.6)), w)
+            boundary = max(
+                j for j, inst in enumerate(qc) if w in inst.qubits
+            )
+            specs_by_child[c] = CutSpec((CutPoint(w, boundary),))
+            edge_wire[c] = w
+    planted_maps = [
+        {0: ("X", "Y")} if g in planted else None for g in range(N - 1)
+    ]
+    return qc, [specs_by_child[c] for c in range(1, N)], planted_maps
 
 
 def golden_chain_circuit(

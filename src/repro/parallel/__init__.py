@@ -4,10 +4,12 @@ from repro.parallel.executor import (
     parallel_map,
     run_chain_fragments_parallel,
     run_fragments_parallel,
+    run_tree_fragments_parallel,
 )
 
 __all__ = [
     "parallel_map",
     "run_chain_fragments_parallel",
     "run_fragments_parallel",
+    "run_tree_fragments_parallel",
 ]

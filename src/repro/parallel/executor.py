@@ -22,14 +22,16 @@ Two structural optimisations over a naive per-task fan-out:
   from cached exact distributions instead of re-transpiling and
   re-simulating the fragment body per variant.
 
-Multi-fragment chains fan out the same way
-(:func:`run_chain_fragments_parallel`): the probe backend builds one
-:class:`~repro.cutting.cache.ChainCachePool` — one per-fragment cache per
-chain link — warms every fragment's variants up front, and the pool is
-then shared **read-only** across all worker threads; each worker samples
-any (fragment, variant) task straight from the warmed distributions, so
-fragment bodies are transpiled/simulated exactly once however many
-workers run.
+Fragment trees — chains included — fan out the same way
+(:func:`run_tree_fragments_parallel` /
+:func:`run_chain_fragments_parallel`): the probe backend builds one
+:class:`~repro.cutting.cache.TreeCachePool` — one per-fragment cache per
+tree node — warms every fragment's variants up front (batching each
+node's distinct measurement settings into one stacked rotation pass on
+the ideal path), and the pool is then shared **read-only** across all
+worker threads; each worker samples any (fragment, variant) task straight
+from the warmed distributions, so fragment bodies are
+transpiled/simulated exactly once however many workers run.
 
 Next scaling lever (see ROADMAP.md): a process-pool mode for noisy
 density-matrix backends whose Python-side overhead does not release the
@@ -46,11 +48,11 @@ import numpy as np
 
 from repro.backends.base import Backend
 from repro.cutting.execution import (
-    ChainFragmentData,
     FragmentData,
-    _chain_variant_lists,
+    TreeFragmentData,
     _split_joint_probs,
     _split_upstream_probs,
+    _tree_variant_lists,
 )
 from repro.cutting.fragments import FragmentPair
 from repro.cutting.variants import (
@@ -66,6 +68,7 @@ __all__ = [
     "parallel_map",
     "run_chain_fragments_parallel",
     "run_fragments_parallel",
+    "run_tree_fragments_parallel",
 ]
 
 
@@ -201,26 +204,26 @@ def run_fragments_parallel(
     )
 
 
-def run_chain_fragments_parallel(
-    chain,
+def run_tree_fragments_parallel(
+    tree,
     backend_factory: Callable[[], Backend],
     shots: int,
     variants: "Sequence[Sequence[tuple]] | None" = None,
     seed: "int | np.random.Generator | None" = None,
     max_workers: int | None = None,
     mode: str = "thread",
-) -> ChainFragmentData:
-    """Threaded equivalent of :func:`repro.cutting.execution.run_chain_fragments`.
+) -> TreeFragmentData:
+    """Threaded equivalent of :func:`repro.cutting.execution.run_tree_fragments`.
 
-    Every (fragment, variant) task across the whole chain is one work item;
-    the probe backend's :class:`~repro.cutting.cache.ChainCachePool` is
-    warmed eagerly and then shared read-only by all workers, so each
-    fragment body is transpiled/simulated exactly once regardless of worker
-    count.  Results are independent of worker count and of ``mode``
+    Every (fragment, variant) task across the whole tree is one work item;
+    the probe backend's :class:`~repro.cutting.cache.TreeCachePool` is
+    warmed **once** eagerly and then shared read-only by all workers, so
+    each fragment body is transpiled/simulated exactly once regardless of
+    worker count.  Results are independent of worker count and of ``mode``
     (``"thread"``/``"serial"``) because every task's RNG stream is derived
     from its global index.
     """
-    variants = _chain_variant_lists(chain, variants)
+    variants = _tree_variant_lists(tree, variants)
     tasks = [
         (i, combo)
         for i, combos in enumerate(variants)
@@ -229,14 +232,14 @@ def run_chain_fragments_parallel(
     ]
 
     probe = backend_factory()
-    pool = probe.make_chain_cache_pool(chain)
+    pool = probe.make_tree_cache_pool(tree)
     if pool is not None:
         pool.warm(variants)
 
     def run_task(backend, task, rng):
         index, combo = task
-        return backend.run_chain_variants(
-            chain,
+        return backend.run_tree_variants(
+            tree,
             index,
             [combo],
             shots=shots,
@@ -247,14 +250,14 @@ def run_chain_fragments_parallel(
     results, seconds, num_backends = _fan_out(
         backend_factory, probe, tasks, run_task, seed, max_workers, mode
     )
-    records: list[dict] = [{} for _ in chain.fragments]
+    records: list[dict] = [{} for _ in tree.fragments]
     for (index, combo), res in zip(tasks, results):
-        frag = chain.fragments[index]
+        frag = tree.fragments[index]
         records[index][combo] = _split_joint_probs(
             res.probabilities(), frag.out_local, frag.cut_local
         )
-    return ChainFragmentData(
-        chain=chain,
+    return TreeFragmentData(
+        tree=tree,
         records=records,
         shots_per_variant=shots,
         modeled_seconds=seconds,
@@ -264,4 +267,29 @@ def run_chain_fragments_parallel(
             "num_worker_backends": num_backends,
             "cached": pool is not None,
         },
+    )
+
+
+def run_chain_fragments_parallel(
+    chain,
+    backend_factory: Callable[[], Backend],
+    shots: int,
+    variants: "Sequence[Sequence[tuple]] | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    max_workers: int | None = None,
+    mode: str = "thread",
+) -> TreeFragmentData:
+    """Chain alias of :func:`run_tree_fragments_parallel` (a linear tree)."""
+    from repro.cutting.execution import ChainFragmentData
+
+    return ChainFragmentData._from_tree_data(
+        run_tree_fragments_parallel(
+            chain,
+            backend_factory,
+            shots,
+            variants=variants,
+            seed=seed,
+            max_workers=max_workers,
+            mode=mode,
+        )
     )

@@ -170,3 +170,54 @@ class TestChainParallelExecutor:
         assert total_variation(p, truth) < 0.02
         assert data.modeled_seconds >= 0
         assert data.metadata["parallel"] is True
+
+
+class TestTreeParallelExecutor:
+    """Satellite (PR 5): the tree cache pool is warmed once by the probe
+    backend and shared read-only across workers, so ``mode="serial"`` and
+    ``mode="thread"`` are bit-identical for branched fragment trees —
+    mirroring the chain regression above."""
+
+    @staticmethod
+    def _tree(seed=83, parents=(0, 0, 1, 1)):
+        from repro.cutting import partition_tree
+        from repro.harness.scaling import tree_cut_circuit
+
+        qc, specs = tree_cut_circuit(
+            list(parents), 1, fresh_per_fragment=2, depth=2, seed=seed
+        )
+        return qc, partition_tree(qc, specs)
+
+    @staticmethod
+    def _assert_identical(a, b):
+        for i in range(a.tree.num_fragments):
+            assert set(a.records[i]) == set(b.records[i])
+            for k in a.records[i]:
+                np.testing.assert_array_equal(a.records[i][k], b.records[i][k])
+
+    @pytest.mark.parametrize("factory", [IdealBackend, fake_5q_device])
+    def test_serial_equals_thread(self, factory):
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        a = run_tree_fragments_parallel(
+            tree, factory, shots=400, seed=5, max_workers=4, mode="thread"
+        )
+        b = run_tree_fragments_parallel(
+            tree, factory, shots=400, seed=5, mode="serial"
+        )
+        self._assert_identical(a, b)
+        assert a.metadata["cached"] and b.metadata["cached"]
+
+    def test_parallel_tree_reconstructs_truth(self):
+        from repro.cutting.reconstruction import reconstruct_tree_distribution
+        from repro.parallel import run_tree_fragments_parallel
+
+        qc, tree = self._tree(seed=84)
+        truth = simulate_statevector(qc).probabilities()
+        data = run_tree_fragments_parallel(
+            tree, IdealBackend, shots=100_000, seed=9, max_workers=4
+        )
+        p = reconstruct_tree_distribution(data, postprocess="clip")
+        assert total_variation(p, truth) < 0.02
+        assert data.metadata["parallel"] is True
