@@ -1,0 +1,130 @@
+"""Dense vs sparse tree reconstruction — the first 20+-qubit workload.
+
+The dense contraction carries a full ``2^n`` probability vector to the
+root, which walls out around ~24 qubits (a 25-qubit float64 vector is
+268 MB, and the contraction holds more than one).  The ``prune=`` sparse
+path (:mod:`repro.cutting.sparse`) prunes outcome columns *during* the
+leaves-to-root contraction, so memory follows the number of kept
+outcomes instead of ``2^n``.
+
+Workload: the :func:`~repro.harness.scaling.ghz_star_circuit` family — a
+wide GHZ star whose fragments stay ≤ 8 qubits while the full register
+grows without bound, with per-child ``ry`` perturbations keeping the
+exact distribution analytically known (``2^{children+1}`` outcomes).
+
+* ``sparse-25q`` — the headline: a 25-qubit reconstruction through
+  ``threshold(1e-5)`` on exact fragment data (float64 and the float32
+  fast path).  Asserted: measured TV against the analytic truth is
+  within ``prune_bound`` (+ 0 sampling error — exact data), and the
+  tracemalloc peak is far below the dense path's 268 MB floor.
+* ``recon-13q`` / ``recon-16q`` — dense vs sparse speed and peak-memory
+  curves where both paths still fit: dense stays ≤ 1e-9 of the truth,
+  tight-threshold sparse degrades gracefully to the same answer.
+
+Baselines live in ``benchmarks/BENCH_sparse_reconstruction.json``;
+refresh with
+``python benchmarks/compare.py --write-baseline --suite sparse_reconstruction``.
+Memory is recorded via :func:`conftest.record_memory` and gated by
+``compare.py`` exactly like time.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_memory, register_report
+
+from repro.cutting.execution import exact_tree_data
+from repro.cutting.reconstruction import reconstruct_tree_distribution
+from repro.cutting.sparse import threshold
+from repro.cutting.tree import partition_tree
+from repro.harness.scaling import ghz_star_circuit, ghz_star_truth
+
+_ANGLES = (0.25, 0.45, 0.65)
+#: qubit count -> (children, fresh_per_child); n = 1 + C·(1 + F)
+_CURVE = {13: (3, 3), 16: (3, 4)}
+_HEADLINE = 25  # (3, 7)
+_EPS = 1e-5
+
+
+def _workload(children: int, fresh: int):
+    qc, specs = ghz_star_circuit(children, fresh, angles=_ANGLES)
+    tree = partition_tree(qc, specs)
+    data = exact_tree_data(tree)
+    truth = ghz_star_truth(children, fresh, angles=_ANGLES)
+    return data, truth
+
+
+_DATA = {n: _workload(c, f) for n, (c, f) in _CURVE.items()}
+_DATA[_HEADLINE] = _workload(3, 7)
+
+
+def _dense_truth(n: int) -> np.ndarray:
+    out = np.zeros(1 << n)
+    for k, v in _DATA[n][1].items():
+        out[k] = v
+    return out
+
+
+@pytest.mark.parametrize("n", sorted(_CURVE))
+@pytest.mark.benchmark(group="dense-reconstruction")
+def test_dense_reconstruction(benchmark, n):
+    data, _ = _DATA[n]
+    probs = record_memory(
+        benchmark, reconstruct_tree_distribution, data, postprocess="raw"
+    )
+    benchmark(reconstruct_tree_distribution, data, postprocess="raw")
+    assert np.abs(probs - _dense_truth(n)).max() <= 1e-9
+
+
+@pytest.mark.parametrize("n", sorted(_CURVE))
+@pytest.mark.benchmark(group="sparse-reconstruction")
+def test_sparse_reconstruction(benchmark, n):
+    data, truth = _DATA[n]
+    run = lambda: reconstruct_tree_distribution(
+        data, postprocess="raw", prune=threshold(_EPS)
+    )
+    sd = record_memory(benchmark, run)
+    benchmark(run)
+    # rigorous bound: with exact data the sampling term is identically 0
+    assert sd.tv_against(truth) <= sd.prune_bound + 1e-12
+    # the perturbed star keeps 2^{children+1} outcomes; pruning found them
+    assert sd.nnz == len(truth)
+
+
+@pytest.mark.parametrize("n", sorted(_CURVE))
+@pytest.mark.benchmark(group="sparse-loose-threshold")
+def test_sparse_loose_threshold_graceful(benchmark, n):
+    """A loose threshold discards real mass but stays within its bound."""
+    data, truth = _DATA[n]
+    run = lambda: reconstruct_tree_distribution(
+        data, postprocess="raw", prune=threshold(0.05)
+    )
+    sd = record_memory(benchmark, run)
+    benchmark(run)
+    assert sd.nnz < len(truth)  # genuinely pruned
+    assert sd.prune_bound > 0.0
+    assert sd.tv_against(truth) <= sd.prune_bound + 1e-12
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.benchmark(group="sparse-25q")
+def test_sparse_25q(benchmark, dtype):
+    """The 20+-qubit headline: dense would need a 268 MB vector."""
+    data, truth = _DATA[_HEADLINE]
+    dt = np.dtype(dtype)
+    run = lambda: reconstruct_tree_distribution(
+        data, postprocess="raw", prune=threshold(_EPS), dtype=dt
+    )
+    sd = record_memory(benchmark, run)
+    benchmark(run)
+    dense_bytes = (1 << _HEADLINE) * 8  # the vector alone, ex. intermediates
+    tol = sd.prune_bound + (1e-12 if dtype == "float64" else 1e-5)
+    assert sd.tv_against(truth) <= tol
+    assert benchmark.extra_info["mem_peak_bytes"] < dense_bytes
+    register_report(
+        f"sparse 25q ({dtype}): nnz={sd.nnz}, "
+        f"prune_bound={sd.prune_bound:.3e}, "
+        f"tv={sd.tv_against(truth):.3e}, "
+        f"peak={benchmark.extra_info['mem_peak_bytes'] / 1e6:.2f} MB "
+        f"(dense vector alone: {dense_bytes / 1e6:.0f} MB)"
+    )

@@ -14,6 +14,13 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_multi_fragment.json``   ← ``bench_multi_fragment.py``
 * ``benchmarks/BENCH_chain_detection.json``  ← ``bench_chain_detection.py``
 * ``benchmarks/BENCH_tree_fragments.json``   ← ``bench_tree_fragments.py``
+* ``benchmarks/BENCH_sparse_reconstruction.json``
+  ← ``bench_sparse_reconstruction.py``
+
+Suites that opt into :func:`conftest.record_memory` also carry a
+``mem_peak_bytes`` per benchmark (tracemalloc high-water mark of one
+un-timed run); the comparison prints a memory column and flags a peak
+growing beyond ``--max-regression`` exactly like a slowdown.
 
 ``--suite NAME`` (repeatable; matches the json/bench file stem) restricts
 either mode to a subset, e.g. ``--write-baseline --suite noisy_fragments``
@@ -49,6 +56,7 @@ SUITES = {
     "BENCH_multi_fragment.json": "bench_multi_fragment.py",
     "BENCH_chain_detection.json": "bench_chain_detection.py",
     "BENCH_tree_fragments.json": "bench_tree_fragments.py",
+    "BENCH_sparse_reconstruction.json": "bench_sparse_reconstruction.py",
 }
 
 
@@ -84,10 +92,21 @@ def run_suite(bench_file: str, json_path: Path) -> None:
     subprocess.run(cmd, check=True)
 
 
-def load_means(json_path: Path) -> dict[str, float]:
-    """benchmark name -> mean seconds."""
+def load_stats(json_path: Path) -> dict[str, dict]:
+    """benchmark name -> {mean seconds, tracemalloc peak bytes (or None)}.
+
+    ``mem_peak_bytes`` comes from :func:`conftest.record_memory`; suites
+    that never call it simply have no memory column, so old baselines
+    keep comparing cleanly.
+    """
     payload = json.loads(json_path.read_text())
-    return {b["fullname"]: b["stats"]["mean"] for b in payload["benchmarks"]}
+    return {
+        b["fullname"]: {
+            "mean": b["stats"]["mean"],
+            "mem": b.get("extra_info", {}).get("mem_peak_bytes"),
+        }
+        for b in payload["benchmarks"]
+    }
 
 
 def write_baselines(suites: dict[str, str]) -> None:
@@ -108,23 +127,39 @@ def compare(
                 continue
             current_path = Path(tmp) / json_name
             run_suite(bench_file, current_path)
-            baseline = load_means(baseline_path)
-            current = load_means(current_path)
+            baseline = load_stats(baseline_path)
+            current = load_stats(current_path)
             print(f"\n== {bench_file} (vs {json_name}) ==")
             width = max((len(n) for n in current), default=0)
-            for name, mean in sorted(current.items()):
+            for name, stats in sorted(current.items()):
+                mean = stats["mean"]
                 base = baseline.get(name)
                 if base is None:
                     print(f"{name:<{width}}  NEW        {mean * 1e3:9.3f} ms")
                     continue
-                ratio = mean / base if base > 0 else float("inf")
+                ratio = (
+                    mean / base["mean"] if base["mean"] > 0 else float("inf")
+                )
                 flag = ""
                 if ratio > max_regression:
                     flag = "  <-- REGRESSION"
                     regressions.append(f"{name}: {ratio:.2f}x slower")
+                mem_col = ""
+                if stats["mem"] is not None and base["mem"]:
+                    mem_ratio = stats["mem"] / base["mem"]
+                    mem_col = (
+                        f"  mem {base['mem'] / 1e6:8.2f} MB ->"
+                        f" {stats['mem'] / 1e6:8.2f} MB"
+                    )
+                    if mem_ratio > max_regression:
+                        flag = "  <-- MEM REGRESSION"
+                        regressions.append(
+                            f"{name}: {mem_ratio:.2f}x more peak memory"
+                        )
                 print(
-                    f"{name:<{width}}  {base * 1e3:9.3f} ms -> {mean * 1e3:9.3f} ms"
-                    f"  ({1 / ratio:5.2f}x speedup){flag}"
+                    f"{name:<{width}}  {base['mean'] * 1e3:9.3f} ms ->"
+                    f" {mean * 1e3:9.3f} ms"
+                    f"  ({1 / ratio:5.2f}x speedup){mem_col}{flag}"
                 )
     if regressions:
         print("\nregressions beyond threshold:")

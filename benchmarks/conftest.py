@@ -13,12 +13,41 @@ Fig. 4, 50 × 1000 for Fig. 5).
 from __future__ import annotations
 
 import os
+import tracemalloc
 
 _REPORTS: list[str] = []
 
 
 def register_report(text: str) -> None:
     _REPORTS.append(text)
+
+
+def record_memory(benchmark, fn, *args, **kwargs):
+    """Attach a tracemalloc memory profile of ``fn`` to a benchmark.
+
+    Runs ``fn`` once (outside the timed loop) under :mod:`tracemalloc`
+    and stores ``mem_peak_bytes`` (allocation high-water mark) and
+    ``result_nbytes`` (the returned object's ``nbytes``, when it has one
+    — dense vector or sparse pair alike) in ``benchmark.extra_info``, so
+    the numbers land in the ``BENCH_*.json`` baselines and
+    ``compare.py`` can gate memory the way it gates time.  Returns the
+    result for further assertions.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    benchmark.extra_info["mem_peak_bytes"] = int(peak)
+    nbytes = getattr(result, "nbytes", None)
+    if nbytes is not None:
+        benchmark.extra_info["result_nbytes"] = int(nbytes)
+    return result
 
 
 def paper_scale() -> bool:

@@ -152,7 +152,7 @@ class Backend(abc.ABC):
         ]
         return self.run(circuits, shots=shots, seed=seed)
 
-    def make_tree_cache_pool(self, tree):
+    def make_tree_cache_pool(self, tree, dtype=np.float64):
         """Build the per-fragment cache pool :meth:`run_tree_variants` uses.
 
         The tree analogue of :meth:`make_variant_cache`: ``None`` for
@@ -161,12 +161,15 @@ class Backend(abc.ABC):
         ideal and fake-hardware backends, so every fragment body is
         transpiled/simulated exactly once per pipeline invocation —
         the exactly-``N``-body-transpiles law for an ``N``-node tree.
+        ``dtype`` is the requested precision of the cached *probability*
+        records (simulation itself stays complex); backends whose caches
+        do not support it may ignore the request.
         """
         return None
 
-    def make_chain_cache_pool(self, chain):
+    def make_chain_cache_pool(self, chain, dtype=np.float64):
         """Chain alias of :meth:`make_tree_cache_pool` (a linear tree)."""
-        return self.make_tree_cache_pool(chain)
+        return self.make_tree_cache_pool(chain, dtype=dtype)
 
     def run_tree_variants(
         self,

@@ -220,8 +220,14 @@ class FakeHardwareBackend(Backend):
             )
         return out
 
-    def make_tree_cache_pool(self, tree):
-        """One :class:`NoisyTreeFragmentSimCache` per tree fragment."""
+    def make_tree_cache_pool(self, tree, dtype=np.float64):
+        """One :class:`NoisyTreeFragmentSimCache` per tree fragment.
+
+        ``dtype`` is accepted for interface parity but ignored: noisy
+        caches serve finite-shot sampling, where shot noise dwarfs any
+        float32 rounding, and the density-matrix pipeline is not worth
+        complicating for it.
+        """
         from repro.cutting.cache import TreeCachePool
         from repro.cutting.noisy_cache import NoisyTreeFragmentSimCache
 

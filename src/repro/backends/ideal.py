@@ -113,12 +113,18 @@ class IdealBackend(Backend):
         ]
         return out
 
-    def make_tree_cache_pool(self, tree):
-        """One :class:`TreeFragmentSimCache` per tree fragment."""
+    def make_tree_cache_pool(self, tree, dtype=np.float64):
+        """One :class:`TreeFragmentSimCache` per tree fragment.
+
+        ``dtype`` sets the precision of the cached probability records
+        (float32 is the memory-halving fast path; simulation itself stays
+        complex — see :class:`~repro.cutting.cache.TreeFragmentSimCache`).
+        """
         from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
 
         return TreeCachePool(
-            tree, [TreeFragmentSimCache(f) for f in tree.fragments]
+            tree,
+            [TreeFragmentSimCache(f, dtype=dtype) for f in tree.fragments],
         )
 
     def run_tree_variants(

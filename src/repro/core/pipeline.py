@@ -109,7 +109,9 @@ class TreeRunResult:
     :func:`cut_and_run_chain` runs through the same engine.
     """
 
-    #: reconstructed output distribution (little-endian over the full register)
+    #: reconstructed output distribution — a dense little-endian vector, or
+    #: a :class:`~repro.cutting.sparse.SparseDistribution` when ``prune=``
+    #: was set on the run
     probabilities: np.ndarray
     #: the fragment tree used
     tree: object
@@ -129,6 +131,9 @@ class TreeRunResult:
     #: :class:`~repro.core.detection.GoldenDetectionResult` per cut group
     #: (empty unless golden="detect")
     detection: list = field(default_factory=list)
+    #: accumulated L1 bound on the mass discarded by pruning (0.0 on the
+    #: dense path — see :mod:`repro.cutting.sparse`)
+    prune_bound: float = 0.0
 
     @property
     def chain(self):
@@ -146,7 +151,17 @@ class TreeRunResult:
 
     def expectation(self, diagonal: np.ndarray) -> float:
         """Expectation of a diagonal observable under the reconstruction."""
-        return float(np.dot(self.probabilities, np.asarray(diagonal)))
+        from repro.cutting.sparse import SparseDistribution
+
+        diagonal = np.asarray(diagonal)
+        if isinstance(self.probabilities, SparseDistribution):
+            return float(
+                np.dot(
+                    self.probabilities.values,
+                    diagonal[self.probabilities.indices],
+                )
+            )
+        return float(np.dot(self.probabilities, diagonal))
 
     def variance(self) -> np.ndarray:
         """Delta-method shot-noise variance of each reconstructed entry."""
@@ -159,6 +174,22 @@ class TreeRunResult:
         from repro.cutting.variance import tree_predicted_stddev_tv
 
         return tree_predicted_stddev_tv(self.data, bases=self.bases)
+
+    def tv_bound(self) -> float:
+        """Predicted total-variation error: shot noise + pruning loss.
+
+        ``predicted_stddev_tv() + prune_bound`` — the delta-method
+        sampling stddev plus the rigorous L1 bound on everything the
+        ``prune=`` policy discarded (see :mod:`repro.cutting.sparse`).
+        The variance model densifies intermediate factors, so this is a
+        small-``n`` diagnostic; at 20+ qubits report ``prune_bound``
+        directly (with exact fragment data the sampling term is zero).
+        """
+        from repro.cutting.variance import tree_tv_bound
+
+        return tree_tv_bound(
+            self.data, bases=self.bases, prune_bound=self.prune_bound
+        )
 
 
 #: chains are linear trees; the chain result type is the tree result type
@@ -177,6 +208,8 @@ def cut_and_run_tree(
     alpha: float = DEFAULT_ALPHA,
     pilot_shots: int | None = None,
     exploit_all: bool = False,
+    prune=None,
+    dtype=np.float64,
     _tree=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment tree, run it, reconstruct.
@@ -212,6 +245,17 @@ def cut_and_run_tree(
     serves the pilot sweep *and* the production run, so each fragment body
     is transpiled/simulated exactly once — an N-node tree costs N body
     transpiles no matter the mode.
+
+    ``prune`` (a :class:`~repro.cutting.sparse.PrunePolicy`, e.g.
+    ``threshold(1e-4)`` or ``top_k(256)``) switches the reconstruction to
+    the sparse path: the result's ``probabilities`` is then a
+    :class:`~repro.cutting.sparse.SparseDistribution` and ``prune_bound``
+    carries the accumulated L1 bound on the discarded mass, so
+    :meth:`TreeRunResult.tv_bound` = sampling stddev + prune bound.
+    ``dtype=np.float32`` is the memory-halving fast path (probability
+    records and contraction only — simulation and sampling stay exact, so
+    RNG streams are unchanged); the float64 default is bit-identical to
+    the pre-knob pipeline.
     """
     from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
     from repro.cutting.execution import run_tree_fragments
@@ -225,7 +269,7 @@ def cut_and_run_tree(
 
     rng = as_generator(seed)
     tree = _tree if _tree is not None else partition_tree(circuit, specs)
-    pool = backend.make_tree_cache_pool(tree)
+    pool = backend.make_tree_cache_pool(tree, dtype=dtype)
 
     detection: list = []
     pilot_report: "dict | None" = None
@@ -372,11 +416,16 @@ def cut_and_run_tree(
         variants=variants,
         seed=derive_rng(rng, 0x53),
         pool=pool,
+        dtype=dtype,
     )
 
     with Stopwatch() as sw:
         probs = reconstruct_tree_distribution(
-            data, bases=bases, postprocess=postprocess
+            data,
+            bases=bases,
+            postprocess=postprocess,
+            prune=prune,
+            dtype=dtype,
         )
 
     counts = [len(r) for r in data.records]
@@ -393,6 +442,7 @@ def cut_and_run_tree(
         reconstruction_seconds=sw.elapsed,
         bases=bases,
         detection=detection,
+        prune_bound=float(getattr(probs, "prune_bound", 0.0)),
     )
 
 
@@ -408,6 +458,8 @@ def cut_and_run_chain(
     alpha: float = DEFAULT_ALPHA,
     pilot_shots: int | None = None,
     exploit_all: bool = False,
+    prune=None,
+    dtype=np.float64,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment chain, run it, reconstruct.
 
@@ -434,6 +486,8 @@ def cut_and_run_chain(
         alpha=alpha,
         pilot_shots=pilot_shots,
         exploit_all=exploit_all,
+        prune=prune,
+        dtype=dtype,
         _tree=chain,
     )
     res.data = ChainFragmentData._from_tree_data(res.data)

@@ -69,6 +69,13 @@ from repro.cutting.reconstruction import (
     reconstruct_tree_distribution,
     reconstruct_tree_distribution_reference,
 )
+from repro.cutting.sparse import (
+    PrunePolicy,
+    SparseDistribution,
+    postprocess_sparse,
+    threshold,
+    top_k,
+)
 from repro.cutting.io import load_fragment_data, save_fragment_data
 from repro.cutting.pauli_cut import (
     cut_pauli_expectation,
@@ -87,6 +94,7 @@ from repro.cutting.variance import (
     reconstruction_variance,
     tree_predicted_stddev_tv,
     tree_reconstruction_variance,
+    tree_tv_bound,
 )
 from repro.cutting.allocation import AllocationPlan, suggest_allocation
 
@@ -143,6 +151,11 @@ __all__ = [
     "reconstruct_tree_distribution_reference",
     "reconstruct_counts",
     "reconstruct_expectation",
+    "PrunePolicy",
+    "SparseDistribution",
+    "postprocess_sparse",
+    "threshold",
+    "top_k",
     "save_fragment_data",
     "load_fragment_data",
     "cut_pauli_expectation",
@@ -157,6 +170,7 @@ __all__ = [
     "predicted_stddev_tv",
     "chain_predicted_stddev_tv",
     "tree_predicted_stddev_tv",
+    "tree_tv_bound",
     "AllocationPlan",
     "suggest_allocation",
 ]

@@ -289,12 +289,27 @@ class TreeFragmentSimCache:
 
     Cost: ``6^{K_prev} · 3^{K}`` full variant simulations collapse to one
     batched body simulation plus ``3^{K}`` cheap axis rotations.
+
+    ``dtype`` is the precision of the *probability outputs* (the amplitude
+    simulation always runs in :data:`~repro.config.COMPLEX_DTYPE`): the
+    float64 default serves bit-identical results to the historical cache;
+    float32 halves the memory of every served distribution and record for
+    the reconstruction fast path (pinned at ≤ 1e-6 by the test suite).
     """
 
-    __slots__ = ("fragment", "_columns", "_rotated", "_probs", "_joint", "_axes")
+    __slots__ = (
+        "fragment",
+        "dtype",
+        "_columns",
+        "_rotated",
+        "_probs",
+        "_joint",
+        "_axes",
+    )
 
-    def __init__(self, fragment) -> None:
+    def __init__(self, fragment, dtype=np.float64) -> None:
         self.fragment = fragment
+        self.dtype = np.dtype(dtype)
         self._columns: "np.ndarray | None" = None
         #: setting -> rotated amplitude bank, shape ``(2,)*n + (2^{K_prev},)``
         self._rotated: dict[tuple[str, ...], np.ndarray] = {}
@@ -371,7 +386,10 @@ class TreeFragmentSimCache:
         rot = self._rotated_columns(setting)
         n = self.fragment.num_qubits
         psi = np.tensordot(rot, self._prep_coefficients(inits), axes=([n], [0]))
-        return np.square(psi.real) + np.square(psi.imag)
+        # astype is a no-op on the default float64 path (copy=False)
+        return (np.square(psi.real) + np.square(psi.imag)).astype(
+            self.dtype, copy=False
+        )
 
     def probabilities(
         self, inits: Sequence[str], setting: Sequence[str]

@@ -98,17 +98,22 @@ class FragmentData:
 
 
 def _split_joint_probs(
-    probs: np.ndarray, out_local: Sequence[int], cut_local: Sequence[int]
+    probs: np.ndarray,
+    out_local: Sequence[int],
+    cut_local: Sequence[int],
+    dtype=np.float64,
 ) -> np.ndarray:
     """Rearrange a full fragment distribution into ``A[b_out, b_cut]``.
 
     ``b_cut`` is little-endian in the cut index; an empty ``cut_local``
     yields a single column (pure-output fragments at the chain end).
+    ``dtype`` is the record precision (float64 default — bit-identical to
+    the historical records; float32 is the reconstruction fast path).
     """
     n = len(out_local) + len(cut_local)
     idx = np.arange(1 << n)
     sub_out, sub_cut = split_index(idx, [out_local, cut_local])
-    out = np.zeros((1 << len(out_local), 1 << len(cut_local)))
+    out = np.zeros((1 << len(out_local), 1 << len(cut_local)), dtype=dtype)
     np.add.at(out, (sub_out, sub_cut), probs)
     return out
 
@@ -300,6 +305,7 @@ def run_tree_fragments(
     variants: "Sequence[Sequence[tuple]] | None" = None,
     seed: "int | np.random.Generator | None" = None,
     pool=None,
+    dtype=np.float64,
 ) -> TreeFragmentData:
     """Execute every tree fragment's variants on ``backend``.
 
@@ -313,7 +319,10 @@ def run_tree_fragments(
     instead of re-simulating the body per variant.  Chains run through
     this exact code path (per-fragment RNG streams included), so
     :func:`run_chain_fragments` results are bit-identical to what they
-    were before the tree refactor.
+    were before the tree refactor.  ``dtype`` sets the record precision
+    (float64 default — bit-identical; float32 halves record memory for
+    the sparse/fast reconstruction path and never changes the sampling
+    law, which draws before the cast).
     """
     from repro.utils.rng import as_generator, derive_rng
 
@@ -337,7 +346,7 @@ def run_tree_fragments(
         records.append(
             {
                 combo: _split_joint_probs(
-                    res.probabilities(), frag.out_local, frag.cut_local
+                    res.probabilities(), frag.out_local, frag.cut_local, dtype
                 )
                 for combo, res in zip(combos, results)
             }
@@ -365,6 +374,7 @@ def run_chain_fragments(
     variants: "Sequence[Sequence[tuple]] | None" = None,
     seed: "int | np.random.Generator | None" = None,
     pool=None,
+    dtype=np.float64,
 ) -> ChainFragmentData:
     """Execute every chain fragment's variants (chains are linear trees).
 
@@ -373,7 +383,13 @@ def run_chain_fragments(
     """
     return ChainFragmentData._from_tree_data(
         run_tree_fragments(
-            chain, backend, shots, variants=variants, seed=seed, pool=pool
+            chain,
+            backend,
+            shots,
+            variants=variants,
+            seed=seed,
+            pool=pool,
+            dtype=dtype,
         )
     )
 
@@ -382,20 +398,24 @@ def exact_tree_data(
     tree,
     variants: "Sequence[Sequence[tuple]] | None" = None,
     pool=None,
+    dtype=np.float64,
 ) -> TreeFragmentData:
     """Infinite-shot tree fragment data from the shared (ideal) cache pool.
 
     ``pool`` must hold :class:`~repro.cutting.cache.TreeFragmentSimCache`
     instances (e.g. from :meth:`IdealBackend.make_tree_cache_pool`) — exact
     data is an ideal-simulation notion, so a noisy backend's pool is
-    rejected rather than silently served.
+    rejected rather than silently served.  ``dtype`` sets the record
+    precision when this call builds the pool itself (a supplied pool keeps
+    its own dtype).
     """
     from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
 
     variants = _tree_variant_lists(tree, variants)
     if pool is None:
         pool = TreeCachePool(
-            tree, [TreeFragmentSimCache(f) for f in tree.fragments]
+            tree,
+            [TreeFragmentSimCache(f, dtype=dtype) for f in tree.fragments],
         )
     elif not all(isinstance(c, TreeFragmentSimCache) for c in pool):
         raise CutError(
@@ -432,10 +452,11 @@ def exact_chain_data(
     chain,
     variants: "Sequence[Sequence[tuple]] | None" = None,
     pool=None,
+    dtype=np.float64,
 ) -> ChainFragmentData:
     """Infinite-shot chain fragment data (chains are linear trees)."""
     return ChainFragmentData._from_tree_data(
-        exact_tree_data(chain, variants=variants, pool=pool)
+        exact_tree_data(chain, variants=variants, pool=pool, dtype=dtype)
     )
 
 

@@ -45,7 +45,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cutting.execution import FragmentData
+from repro.cutting.execution import FragmentData, TreeFragmentData
+from repro.cutting.sparse import (
+    PrunePolicy,
+    SparseDistribution,
+    postprocess_sparse,
+)
 from repro.exceptions import ReconstructionError
 from repro.utils.bits import permute_probability_axes
 
@@ -66,8 +71,12 @@ __all__ = [
     "reconstruct_counts",
     "reconstruct_expectation",
     "project_to_simplex",
+    "DEFAULT_DTYPE",
     "FULL_BASES",
 ]
+
+#: dense reconstructions accumulate in this dtype unless told otherwise
+DEFAULT_DTYPE = np.float64
 
 #: Default basis pool per cut (paper Eq. 1).
 FULL_BASES: tuple[str, ...] = ("I", "X", "Y", "Z")
@@ -449,8 +458,89 @@ def _contract_tree(
     return acc[0][0], order[0]
 
 
+def _contract_tree_pruned(
+    data, tree, bases, prune: PrunePolicy, dtype
+) -> tuple[np.ndarray, np.ndarray, list[int], float]:
+    """Leaves-to-root contraction with outcome pruning at every step.
+
+    The sparse twin of :func:`_contract_tree`: each subtree's accumulator
+    is a matrix over its *kept* outcome columns plus an aligned ``int64``
+    array of their little-endian value indices (own bits least
+    significant, child subtrees appended — the same bit bookkeeping as the
+    dense labels).  The node's own output axis is pruned at build time
+    (:func:`build_tree_fragment_tensor`), and after **each** child
+    contraction the combined outcome axis is re-pruned, so intermediate
+    widths stay ~``k × 2^{n_out}`` instead of multiplying across children.
+    One tensordot per edge is preserved, over exactly the kept slices.
+
+    Pruning scores are the all-``I``-row mixed-input marginals; each
+    step's discarded bound mass (see :mod:`repro.cutting.sparse`)
+    accumulates into the returned ``prune_bound``.  When nothing is
+    pruned the arithmetic — tensordot operands, summation order, final
+    division — is the very sequence the dense kernel runs, so
+    ``top_k(2^n)`` is bit-identical to the dense reconstruction.
+
+    Returns ``(indices, values, order, prune_bound)`` with ``order`` the
+    original-qubit label of each value-index bit, as in the dense kernel.
+    """
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    irow = [_identity_row_index(pools) for pools in group_bases]
+    acc: dict[int, np.ndarray] = {}
+    vals: dict[int, np.ndarray] = {}
+    nbits: dict[int, int] = {}
+    order: dict[int, list[int]] = {}
+    kin: dict[int, int] = {}
+    bound = 0.0
+    for i in reversed(range(tree.num_fragments)):
+        frag = tree.fragments[i]
+        t, _, _, keep, eps = build_tree_fragment_tensor(
+            data, i, bases, dtype, prune
+        )
+        bound += max(eps, 0.0)
+        v = keep.astype(np.int64)
+        nb = frag.n_out
+        labels = list(frag.out_original)
+        in_row = irow[frag.in_group] if frag.in_group is not None else 0
+        scale_in = float(
+            1 << tree.group_sizes[frag.in_group]
+            if frag.in_group is not None
+            else 1
+        )
+        k_inside = 0
+        for j, h in enumerate(frag.meas_groups):
+            child = tree.group_dst[h]
+            # axes: (R_in, <remaining child rows>, kept, child kept) — the
+            # next child's row axis is always axis 1, as in the dense kernel
+            t = np.tensordot(t, acc.pop(child), axes=([1], [0]))
+            v = (v[:, None] | (vals.pop(child) << nb)[None, :]).ravel()
+            nb += nbits.pop(child)
+            labels.extend(order.pop(child))
+            t = t.reshape(t.shape[:-2] + (t.shape[-2] * t.shape[-1],))
+            k_inside += tree.group_sizes[h] + kin.pop(child)
+            # prune the partial combination: its all-I rows (entering group
+            # + not-yet-contracted exit groups) are 2^{K_in} × the partial
+            # subtree's mixed-input marginal once the contracted cuts'
+            # 2^{k_inside} normalisation is divided out
+            sel = (in_row,) + tuple(
+                irow[h2] for h2 in frag.meas_groups[j + 1 :]
+            )
+            mass = np.maximum(t[sel] / float(1 << k_inside), 0.0)
+            keep = prune.select(mass / scale_in)
+            if keep.size < mass.size:
+                bound += max(float(mass.sum() - mass[keep].sum()), 0.0)
+                t = np.ascontiguousarray(t[..., keep])
+                v = v[keep]
+        acc[i] = t.reshape(t.shape[0], -1)
+        vals[i] = v
+        nbits[i] = nb
+        order[i] = labels
+        kin[i] = k_inside
+    values = acc[0][0] / float(1 << tree.total_cuts)
+    return vals[0], values, order[0], bound
+
+
 def build_chain_fragment_tensor(
-    data, index: int, bases=None
+    data, index: int, bases=None, dtype=DEFAULT_DTYPE
 ) -> tuple[np.ndarray, list, list]:
     """Reduced tensor of one chain fragment: shape ``(R_prev, R_next, 2^{n_out})``.
 
@@ -462,6 +552,12 @@ def build_chain_fragment_tensor(
     preparation code and exiting setting letter, then each exiting cut's
     ``U_k[m, t, r]`` and each entering cut's ``V_k[m, c]`` transfer matrix
     is contracted in with a single ``tensordot``.
+
+    ``dtype`` is the accumulation precision: the default ``float64`` is
+    bit-identical to the historical builder; ``float32`` halves memory
+    traffic and is pinned to the float64 result at ≤ 1e-6 by the test
+    suite (quasi-probabilities are O(1) and the contractions are short, so
+    single precision loses no physics).
     """
     frag, records, prev_bases, next_bases, rows_prev, rows_next, fallback = (
         _chain_rows(data, index, bases)
@@ -499,7 +595,9 @@ def build_chain_fragment_tensor(
             )
 
     n_out_dim = 1 << frag.n_out
-    T = np.stack([records[c] for c in needed])
+    # astype is a no-op on the default float64 path (copy=False), keeping
+    # it bit-identical; float32 converts once, before the heavy contractions
+    T = np.stack([records[c] for c in needed]).astype(dtype, copy=False)
     shape = (
         tuple(len(c) for c in codes)
         + tuple(len(l) for l in letters)
@@ -517,7 +615,7 @@ def build_chain_fragment_tensor(
     # exiting cuts: U_k[m, t, r] = δ(t = setting(m)) · w_m(r)
     for k in range(Kn):
         pool, need = next_bases[k], letters[k]
-        U = np.zeros((len(pool), len(need), 2))
+        U = np.zeros((len(pool), len(need), 2), dtype=dtype)
         for i, m in enumerate(pool):
             t = need.index(m if m != "I" else fallback[k])
             U[i, t, 0] = 1.0
@@ -529,7 +627,7 @@ def build_chain_fragment_tensor(
     # entering cuts: V_k[m, c] = eigenvalue weight of preparation c in m
     for k in range(Kp):
         pool, need = prev_bases[k], codes[k]
-        V = np.zeros((len(pool), len(need)))
+        V = np.zeros((len(pool), len(need)), dtype=dtype)
         for i, m in enumerate(pool):
             plus, minus = _PREP_OF[m]
             V[i, need.index(plus)] = 1.0
@@ -569,9 +667,30 @@ def build_chain_fragment_tensor_reference(
     return out, rows_prev, rows_next
 
 
+def _identity_row_index(pools) -> int:
+    """Flat index of the all-``I`` basis row in a C-order pool product.
+
+    The ``I`` component of every cut's transfer factor is the *marginal*
+    (entering side: unsigned sum over preparation eigenstates; exiting
+    side: unsigned sum over outcome bits), so this row of any reduced /
+    accumulated tensor is the mixed-input marginal the pruning policies
+    score — see :mod:`repro.cutting.sparse`.  Golden neglect never drops
+    ``I`` (:func:`repro.core.neglect.reduced_bases`), so the row exists
+    for every reduced pool; a custom pool without ``I`` cannot be pruned.
+    """
+    idx = 0
+    for pool in pools:
+        if "I" not in pool:
+            raise ReconstructionError(
+                f"prune= needs the 'I' basis in every pool, missing in {pool}"
+            )
+        idx = idx * len(pool) + pool.index("I")
+    return idx
+
+
 def build_tree_fragment_tensor(
-    data, index: int, bases=None
-) -> tuple[np.ndarray, list, list[list]]:
+    data, index: int, bases=None, dtype=DEFAULT_DTYPE, prune=None
+):
     """Reduced tensor of one tree node: one row axis per child group.
 
     Shape ``(R_in, R_out_1, .., R_out_C, 2^{n_out})`` with the child axes
@@ -580,10 +699,24 @@ def build_tree_fragment_tensor(
     basis rows are the product over its child groups' rows in flat cut
     order, so splitting the flat row axis into per-group axes is a C-order
     reshape.  Returns ``(tensor, rows_in, rows_per_group)``.
+
+    ``dtype`` selects the accumulation precision (float64 default, exactly
+    the historical result; float32 fast path pinned at ≤ 1e-6).  With a
+    ``prune=`` policy (:func:`repro.cutting.sparse.threshold` /
+    :func:`~repro.cutting.sparse.top_k`) the node's own output axis is
+    pruned by its mixed-input marginal — the all-``I`` row over the
+    entering *and* exiting pools — and the return grows to ``(tensor,
+    rows_in, rows_per_group, kept, eps)``: ``kept`` are the surviving
+    output indices (sorted, little-endian over ``frag.out_original``
+    order) and ``eps`` the accumulated error-bound mass of everything
+    discarded, in final-probability units (the true final mass any
+    discarded outcome could carry is at most its entry of the all-``I``
+    row, because the entering state obeys ``ρ ≤ 2^{K_in}·I/2^{K_in}``
+    and the rest of the reconstruction is completely positive).
     """
     tree = _tree_of(data)
     frag = tree.fragments[index]
-    T, rows_prev, _ = build_chain_fragment_tensor(data, index, bases)
+    T, rows_prev, _ = build_chain_fragment_tensor(data, index, bases, dtype)
     group_bases = _normalise_chain_bases(bases, tree.group_sizes)
     rows_per_group = [
         list(itertools.product(*group_bases[h])) for h in frag.meas_groups
@@ -593,7 +726,25 @@ def build_tree_fragment_tensor(
         + tuple(len(r) for r in rows_per_group)
         + (1 << frag.n_out,)
     )
-    return T.reshape(shape), rows_prev, rows_per_group
+    T = T.reshape(shape)
+    if prune is None:
+        return T, rows_prev, rows_per_group
+
+    in_pools = (
+        group_bases[frag.in_group] if frag.in_group is not None else []
+    )
+    sel = (_identity_row_index(in_pools),) + tuple(
+        _identity_row_index(group_bases[h]) for h in frag.meas_groups
+    )
+    # bound-units mass: 2^{K_in} × the node's mixed-input output marginal
+    # (exiting cut bits marginalised by the exit I rows)
+    mass = np.maximum(T[sel], 0.0)
+    scale_in = float(1 << len(in_pools))
+    keep = prune.select(mass / scale_in)
+    eps = float(mass.sum() - mass[keep].sum())
+    if keep.size < T.shape[-1]:
+        T = np.ascontiguousarray(T[..., keep])
+    return T, rows_prev, rows_per_group, keep, eps
 
 
 def build_tree_fragment_tensor_reference(
@@ -627,7 +778,9 @@ def reconstruct_tree_distribution(
     data,
     bases=None,
     postprocess: str = "clip",
-) -> np.ndarray:
+    prune: "PrunePolicy | None" = None,
+    dtype=DEFAULT_DTYPE,
+):
     """Full output distribution of an uncut circuit from tree fragment data.
 
     The single reconstruction engine: every node's reduced tensor is built
@@ -639,12 +792,40 @@ def reconstruct_tree_distribution(
     letting golden cuts neglect elements group by group — each group's
     Kronecker factors are sliced independently.  Chains run through this
     engine via :func:`reconstruct_chain_distribution`.
+
+    ``prune=None`` (default) returns the dense ``2^n`` vector exactly as
+    before.  With a policy (:func:`repro.cutting.sparse.threshold` /
+    :func:`~repro.cutting.sparse.top_k`) the contraction prunes outcome
+    columns as it goes and returns a
+    :class:`~repro.cutting.sparse.SparseDistribution` whose
+    ``prune_bound`` rigorously bounds the L1 (hence TV) distance to the
+    dense result of the same data; ``top_k(2^n)`` (or ``threshold(0)`` on
+    non-negative data) keeps everything and is bit-identical to dense.
+    ``dtype`` selects float64 (default, bit-identical to the historical
+    path) or the float32 fast path (pinned at ≤ 1e-6).
     """
     tree = _tree_of(data)
+    if prune is not None:
+        idx, values, order, bound = _contract_tree_pruned(
+            data, tree, bases, prune, dtype
+        )
+        # value-index bit j carries original qubit order[j]: the sparse
+        # counterpart of permute_probability_axes' dense reshuffle
+        final = np.zeros_like(idx)
+        for j, q in enumerate(order):
+            final |= ((idx >> j) & 1) << q
+        srt = np.argsort(final)
+        sd = SparseDistribution(
+            num_qubits=len(order),
+            indices=final[srt],
+            values=values[srt],
+            prune_bound=bound,
+        )
+        return postprocess_sparse(sd, postprocess)
     # adjacent fragments share their group's rows by construction: both
     # sides are itertools.product over the same per-group pools in `bases`
     tensors = [
-        build_tree_fragment_tensor(data, i, bases)[0]
+        build_tree_fragment_tensor(data, i, bases, dtype)[0]
         for i in range(tree.num_fragments)
     ]
     v, order = _contract_tree(tensors, tree)
@@ -658,14 +839,18 @@ def reconstruct_chain_distribution(
     data,
     bases=None,
     postprocess: str = "clip",
-) -> np.ndarray:
+    prune: "PrunePolicy | None" = None,
+    dtype=DEFAULT_DTYPE,
+):
     """Full output distribution from chain fragment data.
 
     Thin wrapper over :func:`reconstruct_tree_distribution` — a chain is
     the linear tree, and since the tree refactor there is one contraction
-    engine, not two.
+    engine, not two.  ``prune=``/``dtype=`` carry the same semantics.
     """
-    return reconstruct_tree_distribution(data, bases=bases, postprocess=postprocess)
+    return reconstruct_tree_distribution(
+        data, bases=bases, postprocess=postprocess, prune=prune, dtype=dtype
+    )
 
 
 def reconstruct_tree_distribution_reference(
@@ -779,22 +964,53 @@ def reconstruct_expectation(
 
 
 def reconstruct_counts(
-    data: FragmentData,
+    data,
     shots: int,
-    bases: Sequence[Sequence[str]] | None = None,
+    bases=None,
     postprocess: str = "clip",
+    prune: "PrunePolicy | None" = None,
+    dtype=DEFAULT_DTYPE,
+    seed: "int | np.random.Generator | None" = None,
 ) -> dict[str, int]:
-    """Reconstruction rendered as an expected-counts dictionary.
+    """Reconstruction rendered as a counts dictionary.
 
     A convenience for downstream code written against backend ``counts``
-    interfaces: the reconstructed distribution scaled to ``shots`` and
-    rounded (no extra sampling noise is injected).
+    interfaces.  ``data`` may be pair :class:`FragmentData` or tree/chain
+    :class:`~repro.cutting.execution.TreeFragmentData` (the latter accepts
+    the ``prune=``/``dtype=`` knobs of
+    :func:`reconstruct_tree_distribution`).  With ``seed=None`` (default)
+    the distribution is scaled to ``shots`` and rounded — deterministic,
+    no RNG is created or consumed, exactly the historical dense behaviour.
+    Passing a seed draws one multinomial sample instead; on a pruned
+    reconstruction the draw runs over the kept outcomes only, so the
+    dense ``2^n`` vector is never materialised.
     """
-    from repro.sim.sampler import probs_to_counts
+    from repro.sim.sampler import probs_to_counts, sample_counts
 
-    probs = reconstruct_distribution(data, bases=bases, postprocess=postprocess)
+    if isinstance(data, TreeFragmentData):
+        probs = reconstruct_tree_distribution(
+            data,
+            bases=bases,
+            postprocess=postprocess,
+            prune=prune,
+            dtype=dtype,
+        )
+        if isinstance(probs, SparseDistribution):
+            if seed is None:
+                return probs.to_counts(shots)
+            return probs.sample_counts(shots, seed)
+    else:
+        if prune is not None:
+            raise ReconstructionError(
+                "prune= needs tree/chain fragment data; pair data is dense"
+            )
+        probs = reconstruct_distribution(
+            data, bases=bases, postprocess=postprocess
+        )
     n = int(np.log2(probs.size))
-    return probs_to_counts(probs, shots, n)
+    if seed is None:
+        return probs_to_counts(probs, shots, n)
+    return sample_counts(probs, shots, seed, n)
 
 
 # ---------------------------------------------------------------------------
@@ -819,7 +1035,9 @@ def project_to_simplex(v: np.ndarray) -> np.ndarray:
     return np.clip(v - tau, 0.0, None)
 
 
-def _postprocess(vec: np.ndarray, mode: str) -> np.ndarray:
+def _postprocess(vec, mode: str):
+    if isinstance(vec, SparseDistribution):
+        return postprocess_sparse(vec, mode)
     if mode == "raw":
         return vec
     if mode == "clip":

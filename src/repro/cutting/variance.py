@@ -51,6 +51,7 @@ __all__ = [
     "reconstruction_variance",
     "tree_predicted_stddev_tv",
     "tree_reconstruction_variance",
+    "tree_tv_bound",
 ]
 
 _PREP_OF = {
@@ -231,6 +232,21 @@ def tree_predicted_stddev_tv(data, bases=None) -> float:
     """Tree analogue of :func:`predicted_stddev_tv`."""
     var = tree_reconstruction_variance(data, bases)
     return float(0.5 * np.sqrt(np.clip(var, 0, None)).sum())
+
+
+def tree_tv_bound(data, bases=None, prune_bound: float = 0.0) -> float:
+    """Total predicted TV error of a (possibly pruned) tree reconstruction.
+
+    The delta-method sampling stddev summary plus the rigorous L1 bound
+    on the mass a ``prune=`` policy discarded (see
+    :mod:`repro.cutting.sparse`): the two error sources are independent —
+    shot noise perturbs the kept entries, pruning removes entries — so
+    the total TV error is bounded (to first order in each) by their sum.
+    The variance model densifies intermediates, so call this for
+    small-``n`` diagnostics; on exact fragment data the sampling term is
+    exactly zero and ``prune_bound`` alone bounds the TV error.
+    """
+    return tree_predicted_stddev_tv(data, bases) + float(prune_bound)
 
 
 def chain_reconstruction_variance(data, bases=None) -> np.ndarray:

@@ -11,6 +11,8 @@ fragment data.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.circuits.circuit import Circuit
 from repro.circuits.random import random_circuit, random_real_circuit
 from repro.core.costs import cost_report
@@ -28,6 +30,8 @@ from repro.utils.timing import Stopwatch
 
 __all__ = [
     "chain_cut_circuit",
+    "ghz_star_circuit",
+    "ghz_star_truth",
     "golden_chain_circuit",
     "golden_tree_circuit",
     "multi_cut_golden_circuit",
@@ -247,6 +251,93 @@ def tree_cut_circuit(
                 tuple(CutPoint(w, boundary[w]) for w in edge_wires[c])
             )
     return qc, [specs_by_child[c] for c in range(1, N)]
+
+
+def ghz_star_circuit(
+    children: int = 3,
+    fresh_per_child: int = 7,
+    angles: "tuple[float, ...] | None" = None,
+):
+    """A wide GHZ-star with one cut per child — the 20+-qubit workload.
+
+    The root fragment prepares a ``(1 + children)``-qubit GHZ state (one
+    anchor, one carrier per child) and every carrier wire is cut right
+    after its entangling ``cx``; child fragment ``i`` extends its carrier
+    over ``fresh_per_child`` fresh qubits with a ``cx`` ladder, so the
+    full circuit is a ``1 + children·(1 + fresh_per_child)``-qubit GHZ
+    state — e.g. ``(3, 7)`` is 25 qubits cut into fragments of ≤ 8.
+    Fragments stay statevector-simulable while the *dense* reconstruction
+    would need a ``2^n`` float vector; the sparse path reconstructs it in
+    O(kept outcomes).
+
+    ``angles[i]`` (optional, one per child) appends ``ry(angle)`` to the
+    last qubit of child ``i`` **after** its ladder, flipping that qubit
+    with probability ``sin²(angle/2)`` independently per child — the
+    distribution stays analytically known (:func:`ghz_star_truth`,
+    ``2^{children + 1}`` outcomes) but is no longer two spikes, so
+    ``threshold`` pruning has genuine small mass to discard.
+
+    Returns ``(circuit, specs)`` ready for
+    :func:`~repro.cutting.tree.partition_tree` (a star: ``parents =
+    [0] * children``).
+    """
+    if children < 1 or fresh_per_child < 1:
+        raise ValueError("need at least one child and one fresh qubit")
+    if angles is not None and len(angles) != children:
+        raise ValueError("need one perturbation angle per child")
+    n = 1 + children * (1 + fresh_per_child)
+    qc = Circuit(n, name=f"ghz_star[{children}x{fresh_per_child}]")
+    qc.h(0)
+    for i in range(1, children + 1):
+        qc.cx(0, i)  # gate index i — the carrier's cut point
+    specs = [
+        CutSpec((CutPoint(i, i),)) for i in range(1, children + 1)
+    ]
+    for i in range(1, children + 1):
+        block = [i] + [
+            children + (i - 1) * fresh_per_child + 1 + j
+            for j in range(fresh_per_child)
+        ]
+        for a, b in zip(block, block[1:]):
+            qc.cx(a, b)
+        if angles is not None:
+            qc.ry(float(angles[i - 1]), block[-1])
+    return qc, specs
+
+
+def ghz_star_truth(
+    children: int = 3,
+    fresh_per_child: int = 7,
+    angles: "tuple[float, ...] | None" = None,
+) -> dict[int, float]:
+    """Exact output distribution of :func:`ghz_star_circuit`, as a sparse
+    ``{little-endian index: probability}`` dict — never a dense vector.
+
+    Each GHZ branch ``b ∈ {0, 1}`` has weight 1/2; within a branch the
+    ``ry`` on child ``i``'s last qubit flips it with probability
+    ``sin²(angles[i]/2)``, independently across children (the branches are
+    orthogonal on the unperturbed qubits, so there is no interference).
+    """
+    n = 1 + children * (1 + fresh_per_child)
+    if angles is None:
+        angles = (0.0,) * children
+    flip = [float(np.sin(a / 2.0) ** 2) for a in angles]
+    last = [children + i * fresh_per_child for i in range(1, children + 1)]
+    truth: dict[int, float] = {}
+    for b in (0, 1):
+        base = (1 << n) - 1 if b else 0
+        for subset in range(1 << children):
+            p = 0.5
+            idx = base
+            for i in range(children):
+                if (subset >> i) & 1:
+                    p *= flip[i]
+                    idx ^= 1 << last[i]
+                else:
+                    p *= 1.0 - flip[i]
+            if p > 0.0:
+                truth[idx] = truth.get(idx, 0.0) + p
+    return truth
 
 
 def golden_tree_circuit(

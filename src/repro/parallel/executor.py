@@ -212,6 +212,7 @@ def run_tree_fragments_parallel(
     seed: "int | np.random.Generator | None" = None,
     max_workers: int | None = None,
     mode: str = "thread",
+    dtype=np.float64,
 ) -> TreeFragmentData:
     """Threaded equivalent of :func:`repro.cutting.execution.run_tree_fragments`.
 
@@ -221,7 +222,8 @@ def run_tree_fragments_parallel(
     each fragment body is transpiled/simulated exactly once regardless of
     worker count.  Results are independent of worker count and of ``mode``
     (``"thread"``/``"serial"``) because every task's RNG stream is derived
-    from its global index.
+    from its global index.  ``dtype`` sets the record precision (sampling
+    happens in float64 before the cast, so RNG streams are unchanged).
     """
     variants = _tree_variant_lists(tree, variants)
     tasks = [
@@ -232,7 +234,7 @@ def run_tree_fragments_parallel(
     ]
 
     probe = backend_factory()
-    pool = probe.make_tree_cache_pool(tree)
+    pool = probe.make_tree_cache_pool(tree, dtype=dtype)
     if pool is not None:
         pool.warm(variants)
 
@@ -254,7 +256,7 @@ def run_tree_fragments_parallel(
     for (index, combo), res in zip(tasks, results):
         frag = tree.fragments[index]
         records[index][combo] = _split_joint_probs(
-            res.probabilities(), frag.out_local, frag.cut_local
+            res.probabilities(), frag.out_local, frag.cut_local, dtype
         )
     return TreeFragmentData(
         tree=tree,
@@ -278,6 +280,7 @@ def run_chain_fragments_parallel(
     seed: "int | np.random.Generator | None" = None,
     max_workers: int | None = None,
     mode: str = "thread",
+    dtype=np.float64,
 ) -> TreeFragmentData:
     """Chain alias of :func:`run_tree_fragments_parallel` (a linear tree)."""
     from repro.cutting.execution import ChainFragmentData
@@ -291,5 +294,6 @@ def run_chain_fragments_parallel(
             seed=seed,
             max_workers=max_workers,
             mode=mode,
+            dtype=dtype,
         )
     )

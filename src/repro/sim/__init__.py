@@ -7,7 +7,12 @@ from repro.sim.statevector import (
 )
 from repro.sim.density import DensityMatrix, simulate_density
 from repro.sim.unitary import circuit_unitary
-from repro.sim.sampler import counts_to_probs, probs_to_counts, sample_counts
+from repro.sim.sampler import (
+    counts_to_probs,
+    probs_to_counts,
+    sample_counts,
+    sample_sparse_counts,
+)
 from repro.sim.expectation import expectation_from_probs, expectation_of_observable
 from repro.sim.trajectories import simulate_trajectory, trajectory_probabilities
 
@@ -19,6 +24,7 @@ __all__ = [
     "simulate_density",
     "circuit_unitary",
     "sample_counts",
+    "sample_sparse_counts",
     "counts_to_probs",
     "probs_to_counts",
     "expectation_from_probs",

@@ -14,7 +14,12 @@ from repro.exceptions import SimulationError
 from repro.utils.bits import bitstring_to_index, format_bitstring
 from repro.utils.rng import as_generator
 
-__all__ = ["sample_counts", "counts_to_probs", "probs_to_counts"]
+__all__ = [
+    "sample_counts",
+    "sample_sparse_counts",
+    "counts_to_probs",
+    "probs_to_counts",
+]
 
 
 def sample_counts(
@@ -44,6 +49,40 @@ def sample_counts(
     draws = rng.multinomial(shots, p)
     hit = np.nonzero(draws)[0]
     return {format_bitstring(int(i), num_qubits): int(draws[i]) for i in hit}
+
+
+def sample_sparse_counts(
+    indices: np.ndarray,
+    probs: np.ndarray,
+    shots: int,
+    num_qubits: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> dict[str, int]:
+    """Draw ``shots`` outcomes from a sparse distribution — no dense vector.
+
+    ``indices`` are little-endian basis indices and ``probs`` the already
+    normalised probabilities aligned with them.  One ``multinomial`` draw
+    over the ``nnz`` kept entries: O(nnz + shots) in time and memory, so a
+    20+-qubit sparse reconstruction samples without ever materialising its
+    ``2^n`` vector.  The RNG consumption (one multinomial call) matches
+    :func:`sample_counts`.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    probs = np.asarray(probs, dtype=np.float64)
+    if indices.shape != probs.shape or indices.ndim != 1:
+        raise SimulationError("indices and probs must be 1-D and aligned")
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    total = probs.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise SimulationError(f"probabilities sum to {total}, not 1")
+    rng = as_generator(seed)
+    draws = rng.multinomial(shots, probs / total)
+    hit = np.nonzero(draws)[0]
+    return {
+        format_bitstring(int(indices[j]), num_qubits): int(draws[j])
+        for j in hit
+    }
 
 
 def counts_to_probs(counts: dict[str, int], num_qubits: int) -> np.ndarray:
