@@ -1,0 +1,139 @@
+"""Benchmarks of the resilient execution path (ISSUE 7).
+
+Measures what the retry layer costs when nothing goes wrong — the
+contract is that guarding a run is (nearly) free:
+
+* ``resilience-baseline`` — ``run_tree_fragments`` with no retry policy,
+  served from a warmed cache pool (the production fast path);
+* ``resilience-healthy-retry`` — the same run through the
+  :class:`~repro.cutting.resilience.RetryEngine` batch-first path with
+  boundary validation on; the ledger is asserted all-ok (zero retries,
+  zero failures) and the records bit-identical to the baseline;
+* ``resilience-faulted-retry`` — the same run against a
+  :class:`~repro.backends.faults.FaultInjectionBackend` with a 30%
+  transient rate, pricing the replay + backoff machinery under fire
+  (still bit-identical records — no gate, informational);
+* ``test_healthy_overhead_gate`` — asserts the healthy-retry mean within
+  ``_MAX_HEALTHY_OVERHEAD``× of the baseline mean, the
+  retry-overhead-when-healthy ≈ 0 guarantee.
+
+Baselines live in ``benchmarks/BENCH_resilience.json``; refresh with
+``python benchmarks/compare.py --write-baseline --suite resilience``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    FaultInjectionBackend,
+    FaultPlan,
+    IdealBackend,
+)
+from repro.cutting.execution import run_tree_fragments
+from repro.cutting.resilience import AttemptLedger, RetryPolicy
+from repro.cutting.tree import partition_tree
+from repro.harness.scaling import tree_cut_circuit
+
+_SHOTS = 1000
+_PARENTS = [0, 0]  # 3-node tree, two cut groups
+
+#: healthy-path gate: the guarded run may cost at most this factor over
+#: the unguarded baseline (one batched call either way; the delta is
+#: ledger records + payload validation)
+_MAX_HEALTHY_OVERHEAD = 1.6
+
+_MEANS: dict[str, float] = {}
+
+
+def _record_mean(benchmark, key: str) -> None:
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        _MEANS[key] = stats.stats.mean
+
+
+def _tree():
+    qc, specs = tree_cut_circuit(
+        _PARENTS, 1, fresh_per_fragment=2, depth=2, seed=930
+    )
+    return partition_tree(qc, specs)
+
+
+_TREE = _tree()
+_POOL = IdealBackend().make_tree_cache_pool(_TREE)
+_BASELINE = run_tree_fragments(
+    _TREE, IdealBackend(), shots=_SHOTS, seed=0, pool=_POOL
+)
+
+
+def _assert_identical(data):
+    for i in range(_TREE.num_fragments):
+        assert set(data.records[i]) == set(_BASELINE.records[i])
+        for k in data.records[i]:
+            np.testing.assert_array_equal(
+                data.records[i][k], _BASELINE.records[i][k]
+            )
+
+
+@pytest.mark.benchmark(group="resilience-baseline")
+def test_baseline_no_retry(benchmark):
+    data = benchmark(
+        lambda: run_tree_fragments(
+            _TREE, IdealBackend(), shots=_SHOTS, seed=0, pool=_POOL
+        )
+    )
+    _assert_identical(data)
+    _record_mean(benchmark, "baseline")
+
+
+@pytest.mark.benchmark(group="resilience-healthy-retry")
+def test_healthy_retry(benchmark):
+    def run():
+        ledger = AttemptLedger()
+        data = run_tree_fragments(
+            _TREE,
+            IdealBackend(),
+            shots=_SHOTS,
+            seed=0,
+            pool=_POOL,
+            retry=RetryPolicy(),
+            ledger=ledger,
+        )
+        return data, ledger
+
+    data, ledger = benchmark(run)
+    _assert_identical(data)
+    summary = ledger.summary()
+    assert summary["retries"] == 0
+    assert summary["failures"] == 0
+    _record_mean(benchmark, "healthy_retry")
+
+
+@pytest.mark.benchmark(group="resilience-faulted-retry")
+def test_faulted_retry(benchmark):
+    plan = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
+
+    def run():
+        dev = FaultInjectionBackend(IdealBackend(), plan)
+        return run_tree_fragments(
+            _TREE,
+            dev,
+            shots=_SHOTS,
+            seed=0,
+            pool=_POOL,
+            retry=RetryPolicy(max_attempts=4),
+        )
+
+    data = benchmark(run)
+    _assert_identical(data)  # retries re-sample the original streams
+    assert data.metadata["retry"]["failures"] > 0
+
+
+def test_healthy_overhead_gate():
+    """The resilience layer must be ≈ free when the backend is healthy."""
+    if "baseline" not in _MEANS or "healthy_retry" not in _MEANS:
+        pytest.skip("benchmark timing disabled; no means to compare")
+    ratio = _MEANS["healthy_retry"] / _MEANS["baseline"]
+    assert ratio < _MAX_HEALTHY_OVERHEAD, (
+        f"healthy-path retry overhead {ratio:.2f}x exceeds "
+        f"{_MAX_HEALTHY_OVERHEAD}x budget"
+    )

@@ -16,6 +16,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_tree_fragments.json``   ← ``bench_tree_fragments.py``
 * ``benchmarks/BENCH_sparse_reconstruction.json``
   ← ``bench_sparse_reconstruction.py``
+* ``benchmarks/BENCH_resilience.json``       ← ``bench_resilience.py``
 
 Suites that opt into :func:`conftest.record_memory` also carry a
 ``mem_peak_bytes`` per benchmark (tracemalloc high-water mark of one
@@ -57,6 +58,7 @@ SUITES = {
     "BENCH_chain_detection.json": "bench_chain_detection.py",
     "BENCH_tree_fragments.json": "bench_tree_fragments.py",
     "BENCH_sparse_reconstruction.json": "bench_sparse_reconstruction.py",
+    "BENCH_resilience.json": "bench_resilience.py",
 }
 
 

@@ -1,9 +1,10 @@
-"""Execution backends: ideal simulator and noisy fake hardware."""
+"""Execution backends: ideal simulator, noisy fake hardware, fault injection."""
 
-from repro.backends.base import Backend, ExecutionResult
+from repro.backends.base import Backend, ExecutionResult, validate_execution_result
 from repro.backends.ideal import IdealBackend
 from repro.backends.timing import DeviceTimingModel
 from repro.backends.fake_hardware import FakeHardwareBackend
+from repro.backends.faults import DeadVariantFamily, FaultInjectionBackend, FaultPlan
 from repro.backends.devices import fake_5q_device, fake_7q_device, fake_device
 
 __all__ = [
@@ -12,7 +13,11 @@ __all__ = [
     "IdealBackend",
     "DeviceTimingModel",
     "FakeHardwareBackend",
+    "DeadVariantFamily",
+    "FaultInjectionBackend",
+    "FaultPlan",
     "fake_5q_device",
     "fake_7q_device",
     "fake_device",
+    "validate_execution_result",
 ]

@@ -21,11 +21,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, CorruptedResultError
 from repro.sim.sampler import counts_to_probs
 from repro.utils.timing import VirtualClock
 
-__all__ = ["Backend", "ExecutionResult"]
+__all__ = ["Backend", "ExecutionResult", "validate_execution_result"]
 
 
 @dataclass
@@ -53,6 +53,55 @@ class ExecutionResult:
     def probabilities(self) -> np.ndarray:
         """Empirical distribution as a little-endian vector."""
         return counts_to_probs(self.counts, self.num_qubits)
+
+    def validate(
+        self, expected_shots: int | None = None, expected_qubits: int | None = None
+    ) -> "ExecutionResult":
+        """Boundary-check the payload; see :func:`validate_execution_result`."""
+        validate_execution_result(self, expected_shots, expected_qubits)
+        return self
+
+
+def validate_execution_result(
+    result: ExecutionResult,
+    expected_shots: int | None = None,
+    expected_qubits: int | None = None,
+) -> None:
+    """Validate a counts payload at the backend boundary.
+
+    Raises :class:`~repro.exceptions.CorruptedResultError` (retryable —
+    re-execution re-samples) if any counts key is not an ``n``-bit string
+    over ``{0,1}``, any count is negative or non-integer, the shot total
+    does not match ``result.shots``, or the declared shots/width disagree
+    with what the caller requested.  Exact-mode results (metadata
+    ``exact=True``) round ``p * shots`` per outcome, so their totals may
+    legitimately miss ``shots`` by rounding; only the total check is
+    skipped for them.
+    """
+    n = result.num_qubits
+    if expected_qubits is not None and n != expected_qubits:
+        raise CorruptedResultError(
+            f"result width {n} != requested width {expected_qubits}"
+        )
+    if expected_shots is not None and result.shots != expected_shots:
+        raise CorruptedResultError(
+            f"result declares {result.shots} shots, {expected_shots} requested"
+        )
+    total = 0
+    for key, count in result.counts.items():
+        if len(key) != n or any(ch not in "01" for ch in key):
+            raise CorruptedResultError(
+                f"counts key {key!r} is not a {n}-bit string"
+            )
+        if not isinstance(count, (int, np.integer)) or count < 0:
+            raise CorruptedResultError(
+                f"count {count!r} for key {key!r} is negative or non-integer"
+            )
+        total += int(count)
+    if not result.metadata.get("exact") and total != result.shots:
+        raise CorruptedResultError(
+            f"counts total {total} != declared shots {result.shots}"
+        )
 
 
 class Backend(abc.ABC):
@@ -99,7 +148,12 @@ class Backend(abc.ABC):
             if shots <= 0:
                 raise BackendError(f"shots must be positive, got {shots}")
         rngs = spawn_rngs(seed, len(batch))
-        return [self._execute(qc, shots, rng) for qc, rng in zip(batch, rngs)]
+        out = []
+        for qc, rng in zip(batch, rngs):
+            res = self._execute(qc, shots, rng)
+            res.validate(expected_shots=shots, expected_qubits=qc.num_qubits)
+            out.append(res)
+        return out
 
     def run_one(
         self,

@@ -31,7 +31,7 @@ import numpy as np
 from repro.backends.base import Backend, ExecutionResult
 from repro.backends.timing import DeviceTimingModel
 from repro.circuits.circuit import Circuit
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, SimulationError
 from repro.noise.model import NoiseModel
 from repro.noise.readout import apply_readout_error
 from repro.sim.density import (
@@ -114,7 +114,7 @@ class FakeHardwareBackend(Backend):
         total = probs.sum()
         if abs(total - 1.0) > 1e-6:
             # CPTP channels preserve trace; drift means a bug upstream.
-            raise RuntimeError(f"noisy simulation lost trace: {total}")
+            raise SimulationError(f"noisy simulation lost trace: {total}")
         return probs / total
 
     def _execute(

@@ -134,6 +134,13 @@ class TreeRunResult:
     #: accumulated L1 bound on the mass discarded by pruning (0.0 on the
     #: dense path — see :mod:`repro.cutting.sparse`)
     prune_bound: float = 0.0
+    #: rigorous TV widening for basis rows graceful degradation demoted
+    #: after permanent backend failures (0.0 on a healthy run — see
+    #: :func:`~repro.cutting.resilience.degradation_tv_penalty`)
+    degradation_bound: float = 0.0
+    #: exhausted variants that were demoted, as ``(fragment, (inits,
+    #: setting))`` pairs (empty on a healthy run)
+    degraded: list = field(default_factory=list)
 
     @property
     def chain(self):
@@ -176,19 +183,25 @@ class TreeRunResult:
         return tree_predicted_stddev_tv(self.data, bases=self.bases)
 
     def tv_bound(self) -> float:
-        """Predicted total-variation error: shot noise + pruning loss.
+        """Predicted TV error: shot noise + pruning loss + degradation.
 
-        ``predicted_stddev_tv() + prune_bound`` — the delta-method
-        sampling stddev plus the rigorous L1 bound on everything the
-        ``prune=`` policy discarded (see :mod:`repro.cutting.sparse`).
-        The variance model densifies intermediate factors, so this is a
-        small-``n`` diagnostic; at 20+ qubits report ``prune_bound``
-        directly (with exact fragment data the sampling term is zero).
+        ``predicted_stddev_tv() + prune_bound + degradation_bound`` — the
+        delta-method sampling stddev, the rigorous L1 bound on everything
+        the ``prune=`` policy discarded (see :mod:`repro.cutting.sparse`),
+        and the superoperator-norm penalty for basis rows graceful
+        degradation demoted after permanent backend failures (see
+        :mod:`repro.cutting.resilience`).  The variance model densifies
+        intermediate factors, so this is a small-``n`` diagnostic; at 20+
+        qubits report the structural bounds directly (with exact fragment
+        data the sampling term is zero).
         """
         from repro.cutting.variance import tree_tv_bound
 
         return tree_tv_bound(
-            self.data, bases=self.bases, prune_bound=self.prune_bound
+            self.data,
+            bases=self.bases,
+            prune_bound=self.prune_bound,
+            degradation_bound=self.degradation_bound,
         )
 
 
@@ -210,6 +223,10 @@ def cut_and_run_tree(
     exploit_all: bool = False,
     prune=None,
     dtype=np.float64,
+    retry=None,
+    on_exhausted: str = "raise",
+    checkpoint=None,
+    ledger=None,
     _tree=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment tree, run it, reconstruct.
@@ -256,6 +273,26 @@ def cut_and_run_tree(
     records and contraction only — simulation and sampling stay exact, so
     RNG streams are unchanged); the float64 default is bit-identical to
     the pre-knob pipeline.
+
+    Resilience knobs (see :mod:`repro.cutting.resilience`):
+
+    * ``retry`` — a :class:`~repro.cutting.resilience.RetryPolicy`.
+      Transient backend faults are retried with backoff; the healthy path
+      stays bit-identical to the retry-free run (same RNG streams, same
+      counts).  Attempts land in ``ledger`` (an
+      :class:`~repro.cutting.resilience.AttemptLedger`; one is created
+      when omitted) and its summary in ``costs["retry"]``.
+    * ``on_exhausted="degrade"`` — a permanently dead variant family does
+      not abort the run: its basis rows are demoted out of the
+      reconstruction pools (:func:`~repro.cutting.resilience
+      .plan_degradation`), the result records the demotions and carries
+      ``degradation_bound``, and :meth:`TreeRunResult.tv_bound` widens
+      accordingly — a degraded answer is still a bounded answer.
+      ``costs["reallocation"]`` reports the boosted per-variant budget
+      that would keep total device time flat on a re-run.
+    * ``checkpoint`` — a :class:`~repro.cutting.io.TreeCheckpoint`;
+      completed fragments persist as they finish, and a resumed run
+      splices them in (bit-identically) instead of re-executing.
     """
     from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
     from repro.cutting.execution import run_tree_fragments
@@ -270,6 +307,11 @@ def cut_and_run_tree(
     rng = as_generator(seed)
     tree = _tree if _tree is not None else partition_tree(circuit, specs)
     pool = backend.make_tree_cache_pool(tree, dtype=dtype)
+
+    if retry is not None and ledger is None:
+        from repro.cutting.resilience import AttemptLedger
+
+        ledger = AttemptLedger()
 
     detection: list = []
     pilot_report: "dict | None" = None
@@ -339,6 +381,8 @@ def cut_and_run_tree(
                 variants=pilot_variants,
                 seed=derive_rng(rng, 0x70 + i),
                 pool=pool,
+                retry=retry,
+                ledger=ledger,
             )
             pilot_seconds += pilot_data.modeled_seconds
             # one pilot verdicts every child group of this node
@@ -417,7 +461,26 @@ def cut_and_run_tree(
         seed=derive_rng(rng, 0x53),
         pool=pool,
         dtype=dtype,
+        retry=retry,
+        ledger=ledger,
+        on_exhausted=on_exhausted,
+        checkpoint=checkpoint,
     )
+
+    degraded_sites = list(data.metadata.get("degraded_sites", []))
+    degradation_bound = 0.0
+    demotions: dict = {}
+    if degraded_sites:
+        from repro.cutting.resilience import plan_degradation
+
+        pools = (
+            [list(group) for group in bases]
+            if bases is not None
+            else [[("I", "X", "Y", "Z")] * k for k in tree.group_sizes]
+        )
+        bases, demotions, degradation_bound = plan_degradation(
+            tree, data.records, pools, degraded_sites
+        )
 
     with Stopwatch() as sw:
         probs = reconstruct_tree_distribution(
@@ -432,6 +495,27 @@ def cut_and_run_tree(
     _, costs = allocate_tree_shots(counts, shots_per_variant=shots)
     if pilot_report is not None:
         costs = {**costs, **pilot_report}
+    if degraded_sites:
+        from repro.cutting.shots import reallocate_shots
+
+        failed = [0] * tree.num_fragments
+        for i, _ in degraded_sites:
+            failed[i] += 1
+        executed = [
+            len(data.records[i]) + failed[i] for i in range(tree.num_fragments)
+        ]
+        _, realloc = reallocate_shots(executed, failed, shots)
+        costs = {
+            **costs,
+            "degraded_variants": len(degraded_sites),
+            "demoted_bases": {
+                f"group{g}/cut{c}": list(letters)
+                for (g, c), letters in sorted(demotions.items())
+            },
+            "reallocation": realloc,
+        }
+    if ledger is not None:
+        costs = {**costs, "retry": ledger.summary()}
     return TreeRunResult(
         probabilities=probs,
         tree=tree,
@@ -443,6 +527,8 @@ def cut_and_run_tree(
         bases=bases,
         detection=detection,
         prune_bound=float(getattr(probs, "prune_bound", 0.0)),
+        degradation_bound=degradation_bound,
+        degraded=degraded_sites,
     )
 
 
@@ -460,6 +546,10 @@ def cut_and_run_chain(
     exploit_all: bool = False,
     prune=None,
     dtype=np.float64,
+    retry=None,
+    on_exhausted: str = "raise",
+    checkpoint=None,
+    ledger=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment chain, run it, reconstruct.
 
@@ -488,6 +578,10 @@ def cut_and_run_chain(
         exploit_all=exploit_all,
         prune=prune,
         dtype=dtype,
+        retry=retry,
+        on_exhausted=on_exhausted,
+        checkpoint=checkpoint,
+        ledger=ledger,
         _tree=chain,
     )
     res.data = ChainFragmentData._from_tree_data(res.data)
@@ -531,6 +625,8 @@ def cut_and_run(
     alpha: float = DEFAULT_ALPHA,
     pilot_shots: int | None = None,
     exploit_all: bool = False,
+    retry=None,
+    ledger=None,
 ) -> CutRunResult:
     """Cut ``circuit``, run the fragments on ``backend``, reconstruct.
 
@@ -538,7 +634,15 @@ def cut_and_run(
     docstring for the ``golden`` modes.  ``cuts=None`` triggers automatic
     cut search constrained by ``max_fragment_qubits`` (default:
     ``ceil(n/2) + 1``, the paper's balanced-bipartition shape).
+    ``retry`` / ``ledger`` enable the resilient execution path for both
+    the pilot and production runs (see
+    :mod:`repro.cutting.resilience`); exhaustion raises — graceful
+    degradation is a tree-pipeline notion.
     """
+    if retry is not None and ledger is None:
+        from repro.cutting.resilience import AttemptLedger
+
+        ledger = AttemptLedger()
     rng = as_generator(seed)
     if cuts is None:
         budget = max_fragment_qubits or (circuit.num_qubits + 1) // 2 + 1
@@ -579,6 +683,8 @@ def cut_and_run(
             inits=[("Z+",) * K],  # pilot only needs upstream statistics
             seed=derive_rng(rng, 0x51),
             cache=cache,
+            retry=retry,
+            ledger=ledger,
         )
         device_seconds += pilot_data.modeled_seconds
         detection = detect_golden_bases(pilot_data, alpha=alpha)
@@ -609,6 +715,8 @@ def cut_and_run(
         inits=inits,
         seed=derive_rng(rng, 0x52),
         cache=cache,
+        retry=retry,
+        ledger=ledger,
     )
     device_seconds += data.modeled_seconds
 

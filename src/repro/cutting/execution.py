@@ -133,6 +133,8 @@ def run_fragments(
     inits: Sequence[tuple[str, ...]] | None = None,
     seed: "int | np.random.Generator | None" = None,
     cache: "FragmentSimCache | None" = None,
+    retry=None,
+    ledger=None,
 ) -> FragmentData:
     """Execute all (or the given) fragment variants on ``backend``.
 
@@ -141,6 +143,12 @@ def run_fragments(
     ``cache`` may carry a pre-built variant cache from
     :meth:`~repro.backends.base.Backend.make_variant_cache` for backends
     whose fast path consumes one (ignored by circuit-level backends).
+
+    ``retry`` (a :class:`~repro.cutting.resilience.RetryPolicy`) turns on
+    the resilient path: one batched attempt bit-identical to the retry-free
+    call, per-variant replay with backoff on transient faults, attempts
+    logged to ``ledger``.  Exhaustion always raises here — graceful
+    degradation is a tree-pipeline notion.
     """
     if settings is None:
         settings = upstream_setting_tuples(pair.num_cuts)
@@ -152,9 +160,46 @@ def run_fragments(
         raise CutError("empty variant sets")
 
     t0 = backend.clock.now
-    results = backend.run_variants(
-        pair, settings, inits, shots=shots, seed=seed, cache=cache
-    )
+    if retry is None:
+        results = backend.run_variants(
+            pair, settings, inits, shots=shots, seed=seed, cache=cache
+        )
+    else:
+        from repro.cutting.resilience import RetryEngine
+        from repro.utils.rng import spawn_seed_sequences
+
+        engine = RetryEngine(retry, ledger=ledger)
+        if cache is None:
+            cache = backend.make_variant_cache(pair)
+        jobs = [("up", s) for s in settings] + [("down", a) for a in inits]
+        sites = [("pair", kind, label) for kind, label in jobs]
+        children = spawn_seed_sequences(seed, len(jobs))
+
+        def batch_call(streams):
+            return backend.run_variants(
+                pair, settings, inits, shots=shots, seed=streams, cache=cache
+            )
+
+        def single_call(j, stream):
+            kind, label = jobs[j]
+            ups = [label] if kind == "up" else []
+            downs = [label] if kind == "down" else []
+            return backend.run_variants(
+                pair, ups, downs, shots=shots, seed=[stream], cache=cache
+            )[0]
+
+        widths = [pair.n_up] * len(settings) + [pair.n_down] * len(inits)
+        results, _ = engine.run_batch(
+            sites,
+            children,
+            batch_call,
+            single_call,
+            expected_shots=shots,
+            expected_qubits=widths,
+            clock=backend.clock,
+            breaker_key="pair",
+            on_exhausted="raise",
+        )
     seconds = backend.clock.now - t0
 
     upstream: dict[tuple[str, ...], np.ndarray] = {}
@@ -306,6 +351,10 @@ def run_tree_fragments(
     seed: "int | np.random.Generator | None" = None,
     pool=None,
     dtype=np.float64,
+    retry=None,
+    ledger=None,
+    on_exhausted: str = "raise",
+    checkpoint=None,
 ) -> TreeFragmentData:
     """Execute every tree fragment's variants on ``backend``.
 
@@ -323,47 +372,129 @@ def run_tree_fragments(
     (float64 default — bit-identical; float32 halves record memory for
     the sparse/fast reconstruction path and never changes the sampling
     law, which draws before the cast).
+
+    Resilience knobs:
+
+    ``retry``
+        A :class:`~repro.cutting.resilience.RetryPolicy`.  The healthy
+        path stays one batched call per fragment with the exact streams
+        the retry-free call spawns (bit-identical counts); transient
+        faults replay only the failing variants with backoff, logged to
+        ``ledger``.
+    ``on_exhausted``
+        ``"raise"`` (default) propagates
+        :class:`~repro.exceptions.RetryExhaustedError`; ``"degrade"``
+        records exhausted variants in metadata ``degraded_sites`` as
+        ``(fragment, combo)`` pairs and leaves them out of the records —
+        the pipeline demotes their basis rows and widens the bound.
+    ``checkpoint``
+        A :class:`~repro.cutting.io.TreeCheckpoint`; completed fragments
+        are persisted as they finish and skipped (records loaded, RNG
+        stream still burned) on resume, so an aborted run never re-executes
+        finished fragments.
     """
     from repro.utils.rng import as_generator, derive_rng
 
     variants = _tree_variant_lists(tree, variants)
+    if on_exhausted not in ("raise", "degrade"):
+        raise CutError(f"on_exhausted must be 'raise' or 'degrade', got {on_exhausted!r}")
+    if on_exhausted == "degrade" and retry is None:
+        raise CutError("on_exhausted='degrade' requires a retry policy")
+    engine = None
+    if retry is not None:
+        from repro.cutting.resilience import RetryEngine
+
+        engine = RetryEngine(retry, ledger=ledger)
+        if pool is None:
+            pool = backend.make_tree_cache_pool(tree, dtype=dtype)
     rng = as_generator(seed)
     records: list[dict] = []
+    degraded: list[tuple[int, tuple]] = []
     t0 = backend.clock.now
     for i, combos in enumerate(variants):
+        # always burn fragment i's stream so skips/resumes never shift
+        # later fragments' RNG streams
+        frag_rng = derive_rng(rng, 0x60 + i)
         if combos is None:  # skipped fragment (partial/pilot pass)
             records.append({})
             continue
         frag = tree.fragments[i]
-        results = backend.run_tree_variants(
-            tree,
-            i,
-            combos,
-            shots=shots,
-            seed=derive_rng(rng, 0x60 + i),
-            cache=pool[i] if pool is not None else None,
-        )
-        records.append(
-            {
+        cache = pool[i] if pool is not None else None
+        if checkpoint is not None:
+            stored = checkpoint.load_fragment(i, combos, dtype=dtype)
+            if stored is not None:
+                rec, dead = stored
+                records.append(rec)
+                degraded.extend((i, combo) for combo in dead)
+                continue
+        if engine is None:
+            results = backend.run_tree_variants(
+                tree, i, combos, shots=shots, seed=frag_rng, cache=cache
+            )
+            rec = {
                 combo: _split_joint_probs(
                     res.probabilities(), frag.out_local, frag.cut_local, dtype
                 )
                 for combo, res in zip(combos, results)
             }
-        )
+            dead = []
+        else:
+            from repro.utils.rng import spawn_seed_sequences
+
+            children = spawn_seed_sequences(frag_rng, len(combos))
+            sites = [("tree", i, a, s) for a, s in combos]
+
+            def batch_call(streams, i=i, combos=combos, cache=cache):
+                return backend.run_tree_variants(
+                    tree, i, combos, shots=shots, seed=streams, cache=cache
+                )
+
+            def single_call(j, stream, i=i, combos=combos, cache=cache):
+                return backend.run_tree_variants(
+                    tree, i, [combos[j]], shots=shots, seed=[stream], cache=cache
+                )[0]
+
+            results, dead_idx = engine.run_batch(
+                sites,
+                children,
+                batch_call,
+                single_call,
+                expected_shots=shots,
+                expected_qubits=frag.num_qubits,
+                clock=backend.clock,
+                breaker_key=i,
+                on_exhausted=on_exhausted,
+            )
+            rec = {
+                combo: _split_joint_probs(
+                    res.probabilities(), frag.out_local, frag.cut_local, dtype
+                )
+                for combo, res in zip(combos, results)
+                if res is not None
+            }
+            dead = [combos[j] for j in dead_idx]
+            degraded.extend((i, combo) for combo in dead)
+        records.append(rec)
+        if checkpoint is not None:
+            checkpoint.save_fragment(i, rec, dead)
     seconds = backend.clock.now - t0
 
+    metadata = {
+        "backend": getattr(backend, "name", "backend"),
+        "variants_per_fragment": [
+            0 if c is None else len(c) for c in variants
+        ],
+    }
+    if degraded:
+        metadata["degraded_sites"] = degraded
+    if engine is not None:
+        metadata["retry"] = engine.ledger.summary()
     return TreeFragmentData(
         tree=tree,
         records=records,
         shots_per_variant=shots,
         modeled_seconds=seconds,
-        metadata={
-            "backend": getattr(backend, "name", "backend"),
-            "variants_per_fragment": [
-                0 if c is None else len(c) for c in variants
-            ],
-        },
+        metadata=metadata,
     )
 
 
@@ -375,11 +506,16 @@ def run_chain_fragments(
     seed: "int | np.random.Generator | None" = None,
     pool=None,
     dtype=np.float64,
+    retry=None,
+    ledger=None,
+    on_exhausted: str = "raise",
+    checkpoint=None,
 ) -> ChainFragmentData:
     """Execute every chain fragment's variants (chains are linear trees).
 
-    Same engine, records and RNG streams as :func:`run_tree_fragments`;
-    only the result's historical :class:`ChainFragmentData` type is kept.
+    Same engine, records, RNG streams and resilience knobs as
+    :func:`run_tree_fragments`; only the result's historical
+    :class:`ChainFragmentData` type is kept.
     """
     return ChainFragmentData._from_tree_data(
         run_tree_fragments(
@@ -390,6 +526,10 @@ def run_chain_fragments(
             seed=seed,
             pool=pool,
             dtype=dtype,
+            retry=retry,
+            ledger=ledger,
+            on_exhausted=on_exhausted,
+            checkpoint=checkpoint,
         )
     )
 

@@ -1,0 +1,608 @@
+"""Retry, backoff, deadlines, and graceful degradation for fragment runs.
+
+One :class:`RetryEngine` serves both the serial execution path
+(:func:`~repro.cutting.execution.run_tree_fragments`) and the threaded one
+(:func:`~repro.parallel.executor.run_tree_fragments_parallel`), so retry
+semantics, ledger records, and RNG handling cannot drift between them.
+
+**Bit-identity contract.**  The healthy fast path of :meth:`RetryEngine
+.run_batch` issues exactly one batched backend call whose per-variant
+streams are the :func:`~repro.utils.rng.spawn_seed_sequences` children the
+retry-free call would have spawned internally — so with no fault the counts
+are bit-identical to a run without the resilience layer.  When a variant
+fails, only *that* variant is replayed: every attempt rebuilds the
+variant's generator fresh from its SeedSequence child, so a retried
+execution samples the same stream the batch would have, and survivors are
+untouched.
+
+**Degradation bound.**  When a variant family is permanently dead,
+:func:`plan_degradation` demotes basis letters out of the reconstruction
+pools until no dead variant is required.  Dropping the basis set
+``D_c`` at cut ``c`` removes the CPTP-factored channel terms
+``Φ_M(ρ) = ½ Tr_w[(M ⊗ I) ρ] ⊗ M`` for ``M ∈ D_c`` from the exact identity
+``ρ = Σ_M Φ_M(ρ)``.  Each ``Φ_M`` has 1→1 trace-norm at most 1 (the Pauli
+``M`` has trace norm 2, the ½ and the contractive partial trace give
+``‖Φ_M‖₁→₁ ≤ 1``), so telescoping the product over cuts bounds the
+total-variation error of the degraded reconstruction by
+
+    TV  ≤  ½ · ( Π_c (1 + |D_c|) − 1 ),
+
+i.e. ½ per single demoted basis, compounding multiplicatively across cuts.
+:func:`degradation_tv_penalty` implements exactly this;
+``TreeRunResult.tv_bound()`` adds it to the sampling and pruning terms so a
+degraded answer is still a bounded answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.backends.base import ExecutionResult, validate_execution_result
+from repro.exceptions import (
+    CircuitBreakerOpenError,
+    CorruptedResultError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    TransientBackendError,
+)
+
+__all__ = [
+    "AttemptLedger",
+    "AttemptRecord",
+    "CircuitBreaker",
+    "RetryEngine",
+    "RetryPolicy",
+    "degradation_tv_penalty",
+    "plan_degradation",
+    "required_tree_variants",
+    "site_key",
+]
+
+
+def site_key(site) -> int:
+    """Stable 64-bit integer identity of an execution site."""
+    digest = hashlib.sha256(repr(site).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up.
+
+    Attributes
+    ----------
+    max_attempts:
+        Attempts per variant (first try included).
+    base_delay / max_delay:
+        Bounds of the decorrelated-jitter backoff, in modelled seconds.
+    deadline:
+        Total modelled-seconds budget (attempt latencies + backoff) across
+        the whole ledger; ``None`` = unlimited.  Measured from the shared
+        :class:`AttemptLedger` rather than any one backend clock so the
+        threaded executor's per-worker clocks agree on it.
+    attempt_timeout:
+        A single attempt whose modelled latency exceeds this is treated as
+        a hung transient and retried; ``None`` disables hang detection.
+    breaker_threshold:
+        Consecutive failures on one fragment before its circuit breaker
+        opens and remaining variants fail fast; ``None`` disables.
+    jitter_seed:
+        Seed of the backoff jitter stream.  Delays are deterministic per
+        ``(jitter_seed, site, attempt)`` so serial and threaded runs charge
+        identical backoff.
+    sleep:
+        Really ``time.sleep`` the backoff (off by default — backoff is
+        charged to the ledger as modelled time, keeping tests instant).
+    validate:
+        Boundary-validate every payload via
+        :func:`~repro.backends.base.validate_execution_result`.
+    retry_on:
+        Exception classes treated as retryable.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    deadline: float | None = None
+    attempt_timeout: float | None = None
+    breaker_threshold: int | None = None
+    jitter_seed: int = 0
+    sleep: bool = False
+    validate: bool = True
+    retry_on: tuple = (TransientBackendError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
+        if self.breaker_threshold is not None and self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        object.__setattr__(self, "retry_on", tuple(self.retry_on))
+
+    def backoff_delay(self, site, attempt: int, prev_delay: float) -> float:
+        """Decorrelated-jitter backoff: uniform in [base, min(max, 3·prev)].
+
+        Deterministic per ``(jitter_seed, site, attempt)`` — the keystone
+        of serial == thread ledger identity.
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.jitter_seed, site_key(site), attempt])
+        )
+        lo = self.base_delay
+        hi = max(lo, min(self.max_delay, max(prev_delay, lo) * 3.0))
+        return float(rng.uniform(lo, hi))
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution attempt: where, which try, how it went, what it cost."""
+
+    site: tuple
+    attempt: int
+    outcome: str  # ok | transient | corrupt | exhausted | breaker_open | batch_fault
+    latency: float = 0.0
+    backoff: float = 0.0
+    error: str | None = None
+
+
+class AttemptLedger:
+    """Thread-safe append-only log of every execution attempt.
+
+    The ledger is both the observability surface (``summary()``) and the
+    deadline meter: ``elapsed()`` sums modelled latencies and backoff, so
+    one budget spans serial and threaded execution alike.  ``canonical()``
+    returns an order-insensitive form for comparing a threaded run's ledger
+    against a serial one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[AttemptRecord] = []
+
+    def record(
+        self,
+        site,
+        attempt: int,
+        outcome: str,
+        latency: float = 0.0,
+        backoff: float = 0.0,
+        error: str | None = None,
+    ) -> None:
+        rec = AttemptRecord(
+            site=site,
+            attempt=attempt,
+            outcome=outcome,
+            latency=float(latency),
+            backoff=float(backoff),
+            error=error,
+        )
+        with self._lock:
+            self._records.append(rec)
+
+    @property
+    def records(self) -> list[AttemptRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def elapsed(self) -> float:
+        """Modelled seconds consumed so far (latencies + backoff)."""
+        with self._lock:
+            return sum(r.latency + r.backoff for r in self._records)
+
+    def attempts_for(self, site) -> list[AttemptRecord]:
+        return [r for r in self.records if r.site == site]
+
+    def canonical(self) -> tuple:
+        """Execution-order-insensitive form for serial == thread checks."""
+        return tuple(
+            sorted(
+                (
+                    repr(r.site),
+                    r.attempt,
+                    r.outcome,
+                    round(r.latency, 9),
+                    round(r.backoff, 9),
+                    r.error or "",
+                )
+                for r in self.records
+            )
+        )
+
+    def summary(self) -> dict:
+        records = self.records
+        outcomes: dict[str, int] = {}
+        for r in records:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+        return {
+            "attempts": len(records),
+            "sites": len({repr(r.site) for r in records}),
+            "retries": sum(1 for r in records if r.attempt > 1),
+            "failures": sum(1 for r in records if r.outcome != "ok"),
+            "outcomes": outcomes,
+            "total_latency": sum(r.latency for r in records),
+            "total_backoff": sum(r.backoff for r in records),
+        }
+
+
+class CircuitBreaker:
+    """Per-key count of failures since the last success."""
+
+    def __init__(self, threshold: int | None) -> None:
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._failures: dict = {}
+
+    def is_open(self, key) -> bool:
+        if self.threshold is None:
+            return False
+        with self._lock:
+            return self._failures.get(key, 0) >= self.threshold
+
+    def failure(self, key) -> None:
+        with self._lock:
+            self._failures[key] = self._failures.get(key, 0) + 1
+
+    def success(self, key) -> None:
+        with self._lock:
+            self._failures[key] = 0
+
+
+# ----------------------------------------------------------------------
+class RetryEngine:
+    """The shared retry/backoff/deadline executor.
+
+    Stateless apart from its ledger and per-fragment breaker counts; safe
+    to call concurrently from the threaded executor's workers.
+    """
+
+    def __init__(self, policy: RetryPolicy, ledger: AttemptLedger | None = None):
+        self.policy = policy
+        self.ledger = ledger if ledger is not None else AttemptLedger()
+        self.breaker = CircuitBreaker(policy.breaker_threshold)
+
+    # ------------------------------------------------------------------
+    def _check_deadline(self) -> None:
+        deadline = self.policy.deadline
+        if deadline is not None:
+            elapsed = self.ledger.elapsed()
+            if elapsed >= deadline:
+                raise DeadlineExceededError(
+                    f"modelled-time budget of {deadline}s exhausted "
+                    f"({elapsed:.3f}s consumed)"
+                )
+
+    def run_single(
+        self,
+        site,
+        call: Callable[[], ExecutionResult],
+        expected_shots: int,
+        expected_qubits: int,
+        clock,
+        breaker_key=None,
+        on_exhausted: str = "raise",
+    ) -> ExecutionResult | None:
+        """Execute one variant with retries.
+
+        ``call`` must rebuild the variant's RNG stream from scratch on each
+        invocation (e.g. ``default_rng(seed_sequence_child)``) so retries
+        re-sample the exact stream the healthy run would have used.
+        Returns ``None`` instead of raising when ``on_exhausted="degrade"``
+        and the variant is exhausted or breaker-blocked; deadline errors
+        always raise.
+        """
+        policy = self.policy
+        prev_delay = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            self._check_deadline()
+            if breaker_key is not None and self.breaker.is_open(breaker_key):
+                self.ledger.record(site, attempt, "breaker_open")
+                if on_exhausted == "degrade":
+                    return None
+                raise CircuitBreakerOpenError(
+                    f"circuit breaker open for fragment {breaker_key!r}; "
+                    f"failing {site!r} fast"
+                )
+            start = clock.now
+            try:
+                result = call()
+                latency = clock.now - start
+                if (
+                    policy.attempt_timeout is not None
+                    and latency > policy.attempt_timeout
+                ):
+                    raise TransientBackendError(
+                        f"attempt latency {latency:.3f}s exceeded timeout "
+                        f"{policy.attempt_timeout}s (treating as hang)",
+                        site=site,
+                        attempt=attempt,
+                    )
+                if policy.validate:
+                    validate_execution_result(result, expected_shots, expected_qubits)
+            except policy.retry_on as exc:
+                latency = clock.now - start
+                final = attempt == policy.max_attempts
+                delay = (
+                    0.0 if final else policy.backoff_delay(site, attempt, prev_delay)
+                )
+                outcome = (
+                    "exhausted"
+                    if final
+                    else ("corrupt" if isinstance(exc, CorruptedResultError) else "transient")
+                )
+                self.ledger.record(
+                    site, attempt, outcome, latency=latency, backoff=delay,
+                    error=str(exc),
+                )
+                if breaker_key is not None:
+                    self.breaker.failure(breaker_key)
+                if final:
+                    if on_exhausted == "degrade":
+                        return None
+                    raise RetryExhaustedError(
+                        f"variant {site!r} failed after {attempt} attempts: {exc}",
+                        site=site,
+                    ) from exc
+                prev_delay = delay
+                if policy.sleep and delay > 0:
+                    _time.sleep(delay)
+                continue
+            self.ledger.record(site, attempt, "ok", latency=latency)
+            if breaker_key is not None:
+                self.breaker.success(breaker_key)
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def run_batch(
+        self,
+        sites: Sequence[tuple],
+        children: Sequence[np.random.SeedSequence],
+        batch_call: Callable[[list], list],
+        single_call: Callable[[int, np.random.Generator], ExecutionResult],
+        expected_shots: int,
+        expected_qubits,
+        clock,
+        breaker_key=None,
+        on_exhausted: str = "raise",
+    ) -> tuple[list, list[int]]:
+        """Batch-first execution: one batched attempt, per-variant replay.
+
+        The healthy path is a single ``batch_call`` with explicit
+        per-variant generators — bit-identical to the retry-free batched
+        call.  On any retryable failure (or payload validation failure) the
+        whole family is replayed variant-by-variant through
+        :meth:`run_single`; survivors re-sample their original streams so
+        only genuinely faulted variants cost extra attempts.  Returns
+        ``(results, dead)`` where ``results[j]`` is ``None`` for exhausted
+        variants (``on_exhausted="degrade"`` only) and ``dead`` lists their
+        indices.
+        """
+        n = len(sites)
+        widths = (
+            list(expected_qubits)
+            if isinstance(expected_qubits, (list, tuple))
+            else [expected_qubits] * n
+        )
+        policy = self.policy
+        self._check_deadline()
+        if not (breaker_key is not None and self.breaker.is_open(breaker_key)):
+            start = clock.now
+            try:
+                results = list(
+                    batch_call([np.random.default_rng(c) for c in children])
+                )
+                latency = clock.now - start
+                if (
+                    policy.attempt_timeout is not None
+                    and latency > policy.attempt_timeout * max(n, 1)
+                ):
+                    raise TransientBackendError(
+                        f"batched latency {latency:.3f}s exceeded "
+                        f"{policy.attempt_timeout}s per variant",
+                        site=("batch", breaker_key),
+                    )
+                if policy.validate:
+                    for result, width in zip(results, widths):
+                        validate_execution_result(result, expected_shots, width)
+            except policy.retry_on as exc:
+                latency = clock.now - start
+                fault_site = getattr(exc, "site", None) or ("batch", breaker_key)
+                self.ledger.record(
+                    fault_site, 1, "batch_fault", latency=latency, error=str(exc)
+                )
+            else:
+                per_variant = latency / n if n else 0.0
+                for site in sites:
+                    self.ledger.record(site, 1, "ok", latency=per_variant)
+                if breaker_key is not None:
+                    self.breaker.success(breaker_key)
+                return results, []
+        out: list = [None] * n
+        dead: list[int] = []
+        for j, site in enumerate(sites):
+            result = self.run_single(
+                site,
+                lambda j=j: single_call(j, np.random.default_rng(children[j])),
+                expected_shots,
+                widths[j],
+                clock,
+                breaker_key=breaker_key,
+                on_exhausted=on_exhausted,
+            )
+            if result is None:
+                dead.append(j)
+            out[j] = result
+        return out, dead
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: demote dead basis rows into the neglect pool.
+
+
+def degradation_tv_penalty(demotions: dict) -> float:
+    """Rigorous TV widening for demoted bases: ``½(Π_c(1+d_c) − 1)``.
+
+    ``demotions`` maps ``(group, cut) → iterable of demoted letters``; see
+    the module docstring for the superoperator-norm derivation.  A single
+    demoted basis costs exactly ½; demotions compound multiplicatively
+    across cuts.
+    """
+    product = 1.0
+    for letters in demotions.values():
+        product *= 1.0 + len(tuple(letters))
+    return 0.5 * (product - 1.0)
+
+
+def _flat_cut_group(frag, k: int) -> tuple[int, int]:
+    """Map flat exiting-cut index ``k`` to ``(child group, cut-in-group)``."""
+    offset = 0
+    for h in frag.meas_groups:
+        size = len(frag.cut_local_by_group[h])
+        if k < offset + size:
+            return h, k - offset
+        offset += size
+    raise ValueError(f"cut index {k} out of range for fragment")
+
+
+def required_tree_variants(tree, index: int, group_pools, fallback) -> set:
+    """Every ``(inits, setting)`` record fragment ``index`` needs.
+
+    Mirrors the enumeration of
+    :func:`~repro.cutting.reconstruction._chain_row_runs` (``I`` rows
+    resolved through ``fallback``, preparations expanded through the
+    eigenstate pairs) for the given per-group basis pools — the exact
+    demand set reconstruction will place on the fragment's records.
+    """
+    from repro.cutting.reconstruction import _PREP_OF
+
+    frag = tree.fragments[index]
+    prev = group_pools[frag.in_group] if frag.in_group is not None else []
+    nxt = [pool for h in frag.meas_groups for pool in group_pools[h]]
+    rows_prev = list(itertools.product(*prev)) if prev else [()]
+    rows_next = list(itertools.product(*nxt)) if nxt else [()]
+    required = set()
+    for row_n in rows_next:
+        setting = tuple(
+            m if m != "I" else fallback[k] for k, m in enumerate(row_n)
+        )
+        for row_p in rows_prev:
+            for s in range(1 << frag.num_prep):
+                init = tuple(
+                    _PREP_OF[m][(s >> k) & 1] for k, m in enumerate(row_p)
+                )
+                required.add((init, setting))
+    return required
+
+
+def plan_degradation(tree, records, pools, dead_sites):
+    """Demote basis letters until no dead variant is demanded.
+
+    Parameters
+    ----------
+    tree:
+        The :class:`~repro.cutting.tree.FragmentTree` being reconstructed.
+    records:
+        Per-fragment surviving record dicts (dead variants absent).
+    pools:
+        Current per-group basis pools, ``pools[g][c]`` = cut ``c`` of group
+        ``g``.
+    dead_sites:
+        ``[(fragment_index, (inits, setting)), ...]`` of exhausted
+        variants.
+
+    Returns ``(new_pools, demotions, penalty)`` where ``demotions`` maps
+    ``(group, cut) → tuple of demoted letters`` and ``penalty`` is the
+    rigorous TV widening from :func:`degradation_tv_penalty`.
+
+    Strategy: greedy cover.  Each round recomputes the exact record-demand
+    set per fragment (fallbacks included), collects the demotion candidates
+    that would release each still-demanded dead variant — its setting
+    letters on the owning cut, and entering ``X``/``Y`` preparation bases
+    (``Z±`` preparations also serve the undemotable ``I`` row, so a dead
+    ``Z``-preparation family is unrecoverable) — and demotes the letter
+    covering the most dead variants (deterministic tie-break).  Raises
+    :class:`~repro.exceptions.RetryExhaustedError` when no demotion can
+    release a demanded dead variant or a fragment has no surviving records.
+    """
+    from repro.cutting.reconstruction import _chain_fallback
+
+    pools = [[tuple(pool) for pool in group] for group in pools]
+    dead_by_frag: dict[int, set] = {}
+    for index, combo in dead_sites:
+        inits, setting = combo
+        dead_by_frag.setdefault(index, set()).add((tuple(inits), tuple(setting)))
+
+    def fallback_of(index):
+        if not records[index]:
+            raise RetryExhaustedError(
+                f"fragment {index} has no surviving variants; cannot degrade"
+            )
+        return _chain_fallback(records[index], tree.fragments[index].num_meas)
+
+    demotions: dict[tuple[int, int], set] = {}
+    max_rounds = sum(len(group) for group in pools) * 4 + 1
+    for _ in range(max_rounds):
+        demanded: list[tuple[int, tuple]] = []
+        for index, dead in sorted(dead_by_frag.items()):
+            required = required_tree_variants(
+                tree, index, pools, fallback_of(index)
+            )
+            demanded.extend((index, combo) for combo in sorted(dead) if combo in required)
+        if not demanded:
+            break
+        tally: dict[tuple[int, int, str], int] = {}
+        for index, (inits, setting) in demanded:
+            frag = tree.fragments[index]
+            for k, letter in enumerate(setting):
+                if letter == "I":
+                    continue
+                h, c = _flat_cut_group(frag, k)
+                if letter in pools[h][c]:
+                    tally[(h, c, letter)] = tally.get((h, c, letter), 0) + 1
+            if frag.in_group is not None:
+                for c, prep in enumerate(inits):
+                    basis = prep[0]
+                    if basis in ("X", "Y") and basis in pools[frag.in_group][c]:
+                        key = (frag.in_group, c, basis)
+                        tally[key] = tally.get(key, 0) + 1
+        if not tally:
+            raise RetryExhaustedError(
+                "dead variant families cannot be demoted (Z-preparation "
+                "families serve the I row and are unrecoverable): "
+                f"{demanded[:3]}"
+            )
+        h, c, letter = min(tally, key=lambda key: (-tally[key], key))
+        demotions.setdefault((h, c), set()).add(letter)
+        pools[h][c] = tuple(m for m in pools[h][c] if m != letter)
+    else:  # pragma: no cover - bounded by construction
+        raise RetryExhaustedError("degradation planning did not converge")
+
+    for index in range(tree.num_fragments):
+        if not records[index]:
+            continue
+        required = required_tree_variants(tree, index, pools, fallback_of(index))
+        missing = sorted(required - set(records[index]))
+        if missing:
+            raise RetryExhaustedError(
+                f"degraded pools still demand unavailable variants of "
+                f"fragment {index}: {missing[:3]}"
+            )
+    demotions_out = {key: tuple(sorted(vals)) for key, vals in demotions.items()}
+    return pools, demotions_out, degradation_tv_penalty(demotions_out)

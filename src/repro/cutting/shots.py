@@ -22,6 +22,7 @@ __all__ = [
     "allocate_shots",
     "allocate_tree_pilot_shots",
     "allocate_tree_shots",
+    "reallocate_shots",
 ]
 
 #: default pilot sizing (matches ``cut_and_run``'s detect mode): a quarter
@@ -149,6 +150,48 @@ def allocate_tree_pilot_shots(
         "pilot_executions": pilot_shots * sum(counts),
     }
     return pilot_shots, report
+
+
+def reallocate_shots(
+    variants_per_fragment: Sequence[int],
+    failed_per_fragment: Sequence[int],
+    shots_per_variant: int,
+) -> tuple[int, dict]:
+    """Fold dead variant families' shot budget back into the survivors.
+
+    When graceful degradation retires variants, the shots they would have
+    consumed are not free capacity to waste: redistributing the *original
+    total budget* evenly over the surviving variants gives each survivor
+    ``total // survivors`` shots.  Returns ``(boosted_shots_per_variant,
+    report)``; the pipeline surfaces the report so a re-run (or a serving
+    layer topping up live) knows the boosted budget that keeps total device
+    time flat.
+    """
+    totals = [int(c) for c in variants_per_fragment]
+    failed = [int(f) for f in failed_per_fragment]
+    if len(totals) != len(failed):
+        raise CutError("variant and failure counts must align per fragment")
+    if shots_per_variant <= 0:
+        raise CutError("shots_per_variant must be positive")
+    if any(f < 0 or f > c for f, c in zip(failed, totals)):
+        raise CutError("failed variant counts must be within [0, variants]")
+    survivors_per_fragment = [c - f for c, f in zip(totals, failed)]
+    if any(s <= 0 for s in survivors_per_fragment):
+        raise CutError(
+            "a fragment lost every variant; reallocation cannot recover it"
+        )
+    survivors = sum(survivors_per_fragment)
+    budget = shots_per_variant * sum(totals)
+    per = budget // survivors
+    report = {
+        "shots_per_variant": per,
+        "original_shots_per_variant": shots_per_variant,
+        "survivors": survivors,
+        "failed": sum(failed),
+        "total_budget": budget,
+        "boost_factor": per / shots_per_variant,
+    }
+    return per, report
 
 
 #: Chains are linear trees; the chain names remain as aliases of the single

@@ -234,7 +234,9 @@ def tree_predicted_stddev_tv(data, bases=None) -> float:
     return float(0.5 * np.sqrt(np.clip(var, 0, None)).sum())
 
 
-def tree_tv_bound(data, bases=None, prune_bound: float = 0.0) -> float:
+def tree_tv_bound(
+    data, bases=None, prune_bound: float = 0.0, degradation_bound: float = 0.0
+) -> float:
     """Total predicted TV error of a (possibly pruned) tree reconstruction.
 
     The delta-method sampling stddev summary plus the rigorous L1 bound
@@ -242,11 +244,20 @@ def tree_tv_bound(data, bases=None, prune_bound: float = 0.0) -> float:
     :mod:`repro.cutting.sparse`): the two error sources are independent —
     shot noise perturbs the kept entries, pruning removes entries — so
     the total TV error is bounded (to first order in each) by their sum.
-    The variance model densifies intermediates, so call this for
-    small-``n`` diagnostics; on exact fragment data the sampling term is
-    exactly zero and ``prune_bound`` alone bounds the TV error.
+    ``degradation_bound`` adds the superoperator-norm penalty for basis
+    rows graceful degradation demoted after permanent backend failures
+    (see :func:`~repro.cutting.resilience.degradation_tv_penalty`) — a
+    third independent error source: demotion removes channel terms the
+    surviving rows never see.  The variance model densifies
+    intermediates, so call this for small-``n`` diagnostics; on exact
+    fragment data the sampling term is exactly zero and the structural
+    bounds alone bound the TV error.
     """
-    return tree_predicted_stddev_tv(data, bases) + float(prune_bound)
+    return (
+        tree_predicted_stddev_tv(data, bases)
+        + float(prune_bound)
+        + float(degradation_bound)
+    )
 
 
 def chain_reconstruction_variance(data, bases=None) -> np.ndarray:

@@ -31,6 +31,42 @@ class BackendError(ReproError):
     """Backend cannot execute the requested job (too many qubits, ...)."""
 
 
+class TransientBackendError(BackendError):
+    """A backend failure expected to succeed on retry (queue hiccup, lost
+    job, injected fault).  Carries the execution ``site`` — the
+    (fragment, variant)-style key the retry engine uses — and the attempt
+    number when known, so ledgers and error messages can pinpoint it.
+    """
+
+    def __init__(self, message: str = "", site=None, attempt=None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.attempt = attempt
+
+
+class CorruptedResultError(TransientBackendError):
+    """An :class:`~repro.backends.base.ExecutionResult` payload failed
+    boundary validation (counts key outside ``2^n``, negative count, shot
+    total mismatch).  Retryable: re-executing the variant re-samples.
+    """
+
+
+class RetryExhaustedError(BackendError):
+    """A variant kept failing through every attempt the policy allowed."""
+
+    def __init__(self, message: str = "", site=None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class DeadlineExceededError(BackendError):
+    """The retry policy's wall-clock (modelled-seconds) budget ran out."""
+
+
+class CircuitBreakerOpenError(BackendError):
+    """Too many consecutive failures on one fragment; failing fast."""
+
+
 class TranspileError(ReproError):
     """Circuit cannot be lowered to the target device."""
 

@@ -59,7 +59,7 @@ from repro.cutting.variants import (
     downstream_init_tuples,
     upstream_setting_tuples,
 )
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawn_rngs, spawn_seed_sequences
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -97,20 +97,23 @@ def _fan_out(
     probe: Backend,
     tasks: Sequence,
     run_task: Callable,
-    seed: "int | np.random.Generator | None",
+    streams: Sequence,
     max_workers: int | None,
     mode: str,
 ) -> tuple[list, float, int]:
     """Shared worker scaffolding of both parallel executors.
 
     Each pool thread lazily builds one backend from ``backend_factory`` and
-    reuses it for every task it picks up; ``run_task(backend, task, rng)``
-    executes one variant.  Returns the ordered results plus the summed
-    worker-clock seconds (the device-time ledger).  Results are independent
-    of worker count and of ``mode`` because every task's RNG stream is
-    derived from its index.
+    reuses it for every task it picks up; ``run_task(backend, task,
+    streams[t])`` executes one variant.  ``streams`` carries one RNG source
+    per task — Generators on the plain path, SeedSequence children on the
+    retry path (each attempt rebuilds its Generator fresh so a retry
+    re-samples the same stream).  Returns the ordered results plus the
+    summed worker-clock seconds (the device-time ledger).  Results are
+    independent of worker count and of ``mode`` because every task's RNG
+    stream is derived from its index.
     """
-    rngs = spawn_rngs(seed, len(tasks))
+    rngs = list(streams)
     backends = [probe]
     local = threading.local()
     local.backend = probe  # the calling thread reuses the probe
@@ -180,7 +183,13 @@ def run_fragments_parallel(
         )[0]
 
     results, seconds, num_backends = _fan_out(
-        backend_factory, probe, variants, run_task, seed, max_workers, mode
+        backend_factory,
+        probe,
+        variants,
+        run_task,
+        spawn_rngs(seed, len(variants)),
+        max_workers,
+        mode,
     )
     upstream = {
         s: _split_upstream_probs(res.probabilities(), pair)
@@ -213,6 +222,9 @@ def run_tree_fragments_parallel(
     max_workers: int | None = None,
     mode: str = "thread",
     dtype=np.float64,
+    retry=None,
+    ledger=None,
+    on_exhausted: str = "raise",
 ) -> TreeFragmentData:
     """Threaded equivalent of :func:`repro.cutting.execution.run_tree_fragments`.
 
@@ -224,6 +236,16 @@ def run_tree_fragments_parallel(
     (``"thread"``/``"serial"``) because every task's RNG stream is derived
     from its global index.  ``dtype`` sets the record precision (sampling
     happens in float64 before the cast, so RNG streams are unchanged).
+
+    ``retry`` (a :class:`~repro.cutting.resilience.RetryPolicy`) routes
+    every task through the same :class:`~repro.cutting.resilience
+    .RetryEngine` the serial path uses: each attempt rebuilds the task's
+    generator from its SeedSequence child, so with no fault the counts are
+    bit-identical to the retry-free run in both modes, and a retried
+    variant re-samples its original stream.  Attempts land in ``ledger``
+    (order nondeterministic under threads — compare ``canonical()`` forms).
+    ``on_exhausted="degrade"`` records exhausted variants in metadata
+    ``degraded_sites`` instead of raising.
     """
     variants = _tree_variant_lists(tree, variants)
     tasks = [
@@ -238,37 +260,77 @@ def run_tree_fragments_parallel(
     if pool is not None:
         pool.warm(variants)
 
-    def run_task(backend, task, rng):
+    engine = None
+    if retry is not None:
+        from repro.cutting.resilience import RetryEngine
+
+        engine = RetryEngine(retry, ledger=ledger)
+        streams = spawn_seed_sequences(seed, len(tasks))
+    elif on_exhausted != "raise":
+        raise ValueError("on_exhausted='degrade' requires a retry policy")
+    else:
+        streams = spawn_rngs(seed, len(tasks))
+
+    def run_task(backend, task, stream):
         index, combo = task
-        return backend.run_tree_variants(
-            tree,
-            index,
-            [combo],
-            shots=shots,
-            seed=rng,
-            cache=pool[index] if pool is not None else None,
-        )[0]
+        cache = pool[index] if pool is not None else None
+        if engine is None:
+            return backend.run_tree_variants(
+                tree, index, [combo], shots=shots, seed=stream, cache=cache
+            )[0]
+        site = ("tree", index, combo[0], combo[1])
+
+        def call():
+            # fresh generator per attempt: the backend draws the same
+            # sampling child the retry-free task would
+            return backend.run_tree_variants(
+                tree,
+                index,
+                [combo],
+                shots=shots,
+                seed=np.random.default_rng(stream),
+                cache=cache,
+            )[0]
+
+        return engine.run_single(
+            site,
+            call,
+            expected_shots=shots,
+            expected_qubits=tree.fragments[index].num_qubits,
+            clock=backend.clock,
+            breaker_key=index,
+            on_exhausted=on_exhausted,
+        )
 
     results, seconds, num_backends = _fan_out(
-        backend_factory, probe, tasks, run_task, seed, max_workers, mode
+        backend_factory, probe, tasks, run_task, streams, max_workers, mode
     )
     records: list[dict] = [{} for _ in tree.fragments]
+    degraded = []
     for (index, combo), res in zip(tasks, results):
+        if res is None:  # exhausted under on_exhausted="degrade"
+            degraded.append((index, combo))
+            continue
         frag = tree.fragments[index]
         records[index][combo] = _split_joint_probs(
             res.probabilities(), frag.out_local, frag.cut_local, dtype
         )
+    metadata = {
+        "parallel": True,
+        "num_variants": len(tasks),
+        "num_worker_backends": num_backends,
+        "cached": pool is not None,
+    }
+    if degraded:
+        metadata["degraded_sites"] = degraded
+    if engine is not None:
+        metadata["retry"] = engine.ledger.summary()
     return TreeFragmentData(
         tree=tree,
         records=records,
         shots_per_variant=shots,
         modeled_seconds=seconds,
-        metadata={
-            "parallel": True,
-            "num_variants": len(tasks),
-            "num_worker_backends": num_backends,
-            "cached": pool is not None,
-        },
+        metadata=metadata,
     )
 
 
@@ -281,6 +343,9 @@ def run_chain_fragments_parallel(
     max_workers: int | None = None,
     mode: str = "thread",
     dtype=np.float64,
+    retry=None,
+    ledger=None,
+    on_exhausted: str = "raise",
 ) -> TreeFragmentData:
     """Chain alias of :func:`run_tree_fragments_parallel` (a linear tree)."""
     from repro.cutting.execution import ChainFragmentData
@@ -295,5 +360,8 @@ def run_chain_fragments_parallel(
             max_workers=max_workers,
             mode=mode,
             dtype=dtype,
+            retry=retry,
+            ledger=ledger,
+            on_exhausted=on_exhausted,
         )
     )

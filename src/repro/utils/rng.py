@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "derive_rng", "spawn_rngs"]
+__all__ = ["as_generator", "derive_rng", "spawn_rngs", "spawn_seed_sequences"]
 
 SeedLike = "int | np.random.Generator | None"
 
@@ -39,15 +39,42 @@ def derive_rng(rng: np.random.Generator, *tags: int) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([base, *salt]))
 
 
-def spawn_rngs(seed: "int | np.random.Generator | None", n: int) -> list[np.random.Generator]:
-    """Create ``n`` independent child generators from one seed.
+def spawn_seed_sequences(
+    seed: "int | np.random.Generator | None", n: int
+) -> list[np.random.SeedSequence]:
+    """The ``n`` SeedSequence children behind :func:`spawn_rngs`.
 
-    Used by the parallel executor: each fragment variant gets its own stream
-    so results do not depend on execution order.
+    ``np.random.default_rng(spawn_seed_sequences(seed, n)[j])`` is exactly
+    the generator ``spawn_rngs(seed, n)[j]`` would be — including the one
+    parent draw consumed when ``seed`` is a Generator.  The retry engine
+    uses this to rebuild variant ``j``'s stream fresh on every attempt, so
+    a retried execution samples the same counts the retry-free batch would.
     """
     if isinstance(seed, np.random.Generator):
         base = int(seed.integers(0, 2**63 - 1))
         ss = np.random.SeedSequence(base)
     else:
         ss = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in ss.spawn(n)]
+    return list(ss.spawn(n))
+
+
+def spawn_rngs(
+    seed: "int | np.random.Generator | None | list | tuple", n: int
+) -> list[np.random.Generator]:
+    """Create ``n`` independent child generators from one seed.
+
+    Used by the parallel executor: each fragment variant gets its own stream
+    so results do not depend on execution order.  A list/tuple of pre-built
+    Generators passes through unchanged (length-checked) — how the retry
+    engine and fault-injection wrapper hand a backend the exact per-variant
+    streams a batched call would have spawned itself.
+    """
+    if isinstance(seed, (list, tuple)):
+        if len(seed) != n:
+            raise ValueError(
+                f"need {n} pre-built generators, got {len(seed)}"
+            )
+        if not all(isinstance(g, np.random.Generator) for g in seed):
+            raise ValueError("seed list must contain numpy Generators only")
+        return list(seed)
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]

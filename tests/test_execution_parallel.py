@@ -209,6 +209,72 @@ class TestTreeParallelExecutor:
         self._assert_identical(a, b)
         assert a.metadata["cached"] and b.metadata["cached"]
 
+    def test_retry_serial_equals_thread_under_faults(self):
+        """Satellite (ISSUE 7): with a seeded transient fault plan and a
+        retry policy, serial and threaded execution stay bit-identical to
+        each other *and* to the fault-free retry-free run, and their
+        attempt ledgers agree in canonical (order-insensitive) form."""
+        from repro.backends import FaultInjectionBackend, FaultPlan
+        from repro.cutting import AttemptLedger, RetryPolicy
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        plan = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
+        policy = RetryPolicy(max_attempts=4)
+        clean = run_tree_fragments_parallel(
+            tree, IdealBackend, shots=300, seed=5, mode="serial"
+        )
+        ledgers = {}
+        runs = {}
+        for mode in ("serial", "thread"):
+            ledgers[mode] = AttemptLedger()
+            runs[mode] = run_tree_fragments_parallel(
+                tree,
+                lambda: FaultInjectionBackend(IdealBackend(), plan),
+                shots=300,
+                seed=5,
+                max_workers=4,
+                mode=mode,
+                retry=policy,
+                ledger=ledgers[mode],
+            )
+        self._assert_identical(clean, runs["serial"])
+        self._assert_identical(clean, runs["thread"])
+        assert ledgers["serial"].canonical() == ledgers["thread"].canonical()
+        assert ledgers["serial"].summary()["failures"] > 0  # faults fired
+
+    def test_retry_healthy_parallel_is_bit_identical(self):
+        from repro.cutting import AttemptLedger, RetryPolicy
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        clean = run_tree_fragments_parallel(
+            tree, IdealBackend, shots=300, seed=5, mode="serial"
+        )
+        ledger = AttemptLedger()
+        guarded = run_tree_fragments_parallel(
+            tree,
+            IdealBackend,
+            shots=300,
+            seed=5,
+            max_workers=4,
+            mode="thread",
+            retry=RetryPolicy(),
+            ledger=ledger,
+        )
+        self._assert_identical(clean, guarded)
+        assert ledger.summary()["retries"] == 0
+        assert ledger.summary()["failures"] == 0
+
+    def test_degrade_without_retry_rejected(self):
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        with pytest.raises(ValueError):
+            run_tree_fragments_parallel(
+                tree, IdealBackend, shots=100, seed=0, on_exhausted="degrade"
+            )
+
     def test_parallel_tree_reconstructs_truth(self):
         from repro.cutting.reconstruction import reconstruct_tree_distribution
         from repro.parallel import run_tree_fragments_parallel

@@ -1,0 +1,608 @@
+"""Tests for fault injection, retry/backoff/deadline, and degradation.
+
+The contracts under test (ISSUE 7):
+
+* boundary validation rejects corrupted payloads at ``Backend.run``;
+* a seeded :class:`FaultPlan` is deterministic per (site, attempt);
+* with transient faults and a retry policy, ``run_tree_fragments`` /
+  ``cut_and_run_tree`` complete **bit-identical** to the fault-free run;
+* a permanently dead variant family degrades gracefully: its basis rows
+  are demoted, the answer carries a rigorous widened ``tv_bound()``;
+* deadlines and circuit breakers bound how long failure can burn;
+* checkpoints resume aborted tree runs without re-executing (or shifting
+  the RNG streams of) finished fragments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DeadVariantFamily,
+    FaultInjectionBackend,
+    FaultPlan,
+    IdealBackend,
+    fake_5q_device,
+    validate_execution_result,
+)
+from repro.backends.base import Backend, ExecutionResult
+from repro.circuits import Circuit
+from repro.cutting import (
+    AttemptLedger,
+    CircuitBreaker,
+    RetryPolicy,
+    TreeCheckpoint,
+    degradation_tv_penalty,
+    partition_tree,
+    plan_degradation,
+    reallocate_shots,
+    required_tree_variants,
+    run_tree_fragments,
+    tree_run_signature,
+)
+from repro.core import cut_and_run_tree
+from repro.exceptions import (
+    BackendError,
+    CorruptedResultError,
+    DeadlineExceededError,
+    ReconstructionError,
+    ReproError,
+    RetryExhaustedError,
+    TransientBackendError,
+)
+from repro.metrics import total_variation
+from repro.sim import simulate_statevector
+
+
+def _tree(seed=83, parents=(0, 0)):
+    from repro.harness.scaling import tree_cut_circuit
+
+    qc, specs = tree_cut_circuit(
+        list(parents), 1, fresh_per_fragment=2, depth=2, seed=seed
+    )
+    return qc, specs, partition_tree(qc, specs)
+
+
+def _assert_identical_records(a, b):
+    for i in range(a.tree.num_fragments):
+        assert set(a.records[i]) == set(b.records[i])
+        for k in a.records[i]:
+            np.testing.assert_array_equal(a.records[i][k], b.records[i][k])
+
+
+class TestExceptionHierarchy:
+    def test_transient_is_backend_error(self):
+        exc = TransientBackendError("boom", site=("tree", 0), attempt=2)
+        assert isinstance(exc, BackendError)
+        assert isinstance(exc, ReproError)
+        assert exc.site == ("tree", 0)
+        assert exc.attempt == 2
+
+    def test_corrupted_is_retryable(self):
+        assert issubclass(CorruptedResultError, TransientBackendError)
+
+    def test_exhausted_carries_site(self):
+        exc = RetryExhaustedError("gone", site=("tree", 1))
+        assert isinstance(exc, BackendError)
+        assert exc.site == ("tree", 1)
+
+
+class TestValidation:
+    def _result(self, **overrides):
+        kwargs = dict(counts={"00": 60, "11": 40}, shots=100, num_qubits=2)
+        kwargs.update(overrides)
+        return ExecutionResult(**kwargs)
+
+    def test_valid_payload_passes(self):
+        validate_execution_result(self._result(), 100, 2)
+
+    def test_bad_key_characters(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(self._result(counts={"2!": 100}), 100, 2)
+
+    def test_bad_key_width(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(self._result(counts={"000": 100}), 100, 2)
+
+    def test_negative_count(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(
+                self._result(counts={"00": -1, "11": 101}), 100, 2
+            )
+
+    def test_non_integer_count(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(
+                self._result(counts={"00": 50.0, "11": 50}), 100, 2
+            )
+
+    def test_total_mismatch(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(self._result(counts={"00": 99}), 100, 2)
+
+    def test_declared_shots_mismatch(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(self._result(), 200, 2)
+
+    def test_width_mismatch(self):
+        with pytest.raises(CorruptedResultError):
+            validate_execution_result(self._result(), 100, 3)
+
+    def test_exact_mode_total_exemption(self):
+        res = self._result(counts={"00": 99}, metadata={"exact": True})
+        validate_execution_result(res, 100, 2)  # rounding may lose shots
+
+    def test_backend_run_boundary(self):
+        class LossyBackend(Backend):
+            name = "lossy"
+
+            def _execute(self, circuit, shots, rng):
+                return ExecutionResult(
+                    counts={"0" * circuit.num_qubits: shots - 3},
+                    shots=shots,
+                    num_qubits=circuit.num_qubits,
+                )
+
+        qc = Circuit(1).h(0)
+        with pytest.raises(CorruptedResultError):
+            LossyBackend().run(qc, shots=100, seed=0)
+
+
+class TestRetryPolicy:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempt_timeout=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(breaker_threshold=0)
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter_seed=7)
+        site = ("tree", 2, (), ("Y",))
+        prev = 0.0
+        for attempt in range(1, 6):
+            d1 = policy.backoff_delay(site, attempt, prev)
+            d2 = policy.backoff_delay(site, attempt, prev)
+            assert d1 == d2  # pure function of (seed, site, attempt)
+            hi = max(0.1, min(1.0, max(prev, 0.1) * 3.0))
+            assert 0.1 <= d1 <= hi
+            prev = d1
+
+    def test_backoff_varies_across_sites(self):
+        policy = RetryPolicy()
+        a = policy.backoff_delay(("tree", 0, (), ("X",)), 1, 0.0)
+        b = policy.backoff_delay(("tree", 1, (), ("X",)), 1, 0.0)
+        assert a != b
+
+
+class TestFaultPlan:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_seconds=-1.0)
+
+    def test_action_deterministic(self):
+        plan = FaultPlan(seed=3, transient_rate=0.5, corrupt_rate=0.3)
+        site = ("tree", 1, (("Z+",),), ("X",))
+        for attempt in (1, 2, 3):
+            assert plan.action(site, attempt) == plan.action(site, attempt)
+
+    def test_zero_plan_never_fires(self):
+        plan = FaultPlan(seed=5)
+        for attempt in range(1, 20):
+            assert plan.action(("tree", 0, (), ("Z",)), attempt) is None
+
+    def test_consecutive_transient_cap(self):
+        plan = FaultPlan(seed=0, transient_rate=1.0, max_consecutive_transients=2)
+        site = ("tree", 0, (), ("X",))
+        assert plan.action(site, 1) == ("transient", 0.0)
+        assert plan.action(site, 2) == ("transient", 0.0)
+        assert plan.action(site, 3) is None
+
+    def test_dead_family_setting_side(self):
+        fam = DeadVariantFamily(2, "Y", 1)
+        assert fam.matches(("tree", 2, (("Z+",),), ("X", "Y")))
+        assert not fam.matches(("tree", 2, (("Z+",),), ("Y", "X")))
+        assert not fam.matches(("tree", 1, (("Z+",),), ("X", "Y")))
+        assert not fam.matches(("pair", "up", ("Y", "Y")))
+
+    def test_dead_family_prep_side(self):
+        fam = DeadVariantFamily(1, "X", 0, side="prep")
+        assert fam.matches(("tree", 1, ("X+",), ("Z",)))
+        assert fam.matches(("tree", 1, ("X-",), ("Z",)))
+        assert not fam.matches(("tree", 1, ("Z+",), ("X",)))
+
+    def test_dead_family_side_validation(self):
+        with pytest.raises(ValueError):
+            DeadVariantFamily(0, "Y", 0, side="both")
+
+    def test_dead_family_overrides_rates(self):
+        fam = DeadVariantFamily(0, "Y", 0)
+        plan = FaultPlan(seed=1, dead=(fam,))
+        site = ("tree", 0, (), ("Y",))
+        for attempt in range(1, 10):
+            assert plan.action(site, attempt) == ("dead", 0.0)
+
+
+class TestFaultBackendTransparency:
+    @pytest.mark.parametrize("factory", [IdealBackend, fake_5q_device])
+    def test_zero_plan_is_bit_identical(self, factory):
+        _, _, tree = _tree()
+        bare = run_tree_fragments(tree, factory(), shots=300, seed=9)
+        wrapped = run_tree_fragments(
+            tree, FaultInjectionBackend(factory(), FaultPlan()), shots=300, seed=9
+        )
+        _assert_identical_records(bare, wrapped)
+
+    def test_healthy_retry_path_is_bit_identical(self):
+        _, _, tree = _tree()
+        bare = run_tree_fragments(tree, IdealBackend(), shots=300, seed=9)
+        ledger = AttemptLedger()
+        guarded = run_tree_fragments(
+            tree,
+            FaultInjectionBackend(IdealBackend(), FaultPlan()),
+            shots=300,
+            seed=9,
+            retry=RetryPolicy(),
+            ledger=ledger,
+        )
+        _assert_identical_records(bare, guarded)
+        summary = ledger.summary()
+        assert summary["retries"] == 0
+        assert summary["failures"] == 0
+        assert summary["attempts"] == guarded.num_variants
+        assert guarded.metadata["retry"]["failures"] == 0
+
+    def test_wrapper_name_and_delegation(self):
+        inner = fake_5q_device()
+        wrapped = FaultInjectionBackend(inner, FaultPlan())
+        assert wrapped.name == f"faulty({inner.name})"
+        assert wrapped.max_qubits == inner.max_qubits
+        assert wrapped.clock is inner.clock
+
+
+class TestRetryBitIdentity:
+    """Acceptance: a transient-fault run completes bit-identical to the
+    fault-free run — every retried attempt re-samples its variant's
+    original RNG stream."""
+
+    PLAN = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
+    POLICY = RetryPolicy(max_attempts=4)
+
+    @pytest.mark.parametrize("factory", [IdealBackend, fake_5q_device])
+    def test_tree_records_identical(self, factory):
+        _, _, tree = _tree()
+        clean = run_tree_fragments(tree, factory(), shots=300, seed=7)
+        ledger = AttemptLedger()
+        faulted = run_tree_fragments(
+            tree,
+            FaultInjectionBackend(factory(), self.PLAN),
+            shots=300,
+            seed=7,
+            retry=self.POLICY,
+            ledger=ledger,
+        )
+        _assert_identical_records(clean, faulted)
+        assert ledger.summary()["failures"] > 0  # faults really fired
+
+    def test_pipeline_probabilities_identical(self):
+        qc, specs, _ = _tree()
+        clean = cut_and_run_tree(qc, IdealBackend(), specs, shots=300, seed=7)
+        faulted = cut_and_run_tree(
+            qc,
+            FaultInjectionBackend(IdealBackend(), self.PLAN),
+            specs,
+            shots=300,
+            seed=7,
+            retry=self.POLICY,
+        )
+        np.testing.assert_array_equal(clean.probabilities, faulted.probabilities)
+        assert faulted.degradation_bound == 0.0
+        assert faulted.costs["retry"]["failures"] > 0
+        assert faulted.tv_bound() == clean.tv_bound()
+
+    def test_latency_faults_keep_counts_but_charge_time(self):
+        _, _, tree = _tree()
+        plan = FaultPlan(seed=2, latency_rate=0.5, latency_seconds=3.0)
+        clean = run_tree_fragments(tree, IdealBackend(), shots=200, seed=4)
+        slow = run_tree_fragments(
+            tree, FaultInjectionBackend(IdealBackend(), plan), shots=200, seed=4
+        )
+        _assert_identical_records(clean, slow)
+        assert slow.modeled_seconds > clean.modeled_seconds
+
+    def test_unretried_transient_propagates(self):
+        _, _, tree = _tree()
+        plan = FaultPlan(seed=1, transient_rate=1.0)
+        with pytest.raises(TransientBackendError):
+            run_tree_fragments(
+                tree, FaultInjectionBackend(IdealBackend(), plan), shots=100, seed=0
+            )
+
+
+class TestDeadlineAndBreaker:
+    def test_deadline_exceeded(self):
+        _, _, tree = _tree()
+        plan = FaultPlan(seed=0, transient_rate=1.0)
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=1.0, max_delay=2.0, deadline=3.0
+        )
+        with pytest.raises(DeadlineExceededError):
+            run_tree_fragments(
+                tree,
+                FaultInjectionBackend(IdealBackend(), plan),
+                shots=100,
+                seed=0,
+                retry=policy,
+            )
+
+    def test_breaker_fails_fast_into_degradation(self):
+        _, _, tree = _tree()
+        plan = FaultPlan(seed=0, transient_rate=1.0)
+        policy = RetryPolicy(max_attempts=2, breaker_threshold=1)
+        ledger = AttemptLedger()
+        data = run_tree_fragments(
+            tree,
+            FaultInjectionBackend(IdealBackend(), plan),
+            shots=100,
+            seed=0,
+            retry=policy,
+            ledger=ledger,
+            on_exhausted="degrade",
+        )
+        outcomes = ledger.summary()["outcomes"]
+        assert outcomes.get("breaker_open", 0) > 0
+        # every variant degraded, none recorded
+        assert data.num_variants == 0
+        assert len(data.metadata["degraded_sites"]) > 0
+        assert all(not rec for rec in data.records)
+
+    def test_breaker_unit(self):
+        breaker = CircuitBreaker(2)
+        assert not breaker.is_open("f0")
+        breaker.failure("f0")
+        assert not breaker.is_open("f0")
+        breaker.failure("f0")
+        assert breaker.is_open("f0")
+        breaker.success("f0")
+        assert not breaker.is_open("f0")
+        assert not CircuitBreaker(None).is_open("anything")
+
+
+class TestLedger:
+    def test_elapsed_and_summary(self):
+        ledger = AttemptLedger()
+        ledger.record(("tree", 0), 1, "transient", latency=0.5, backoff=1.0)
+        ledger.record(("tree", 0), 2, "ok", latency=0.25)
+        ledger.record(("tree", 1), 1, "ok", latency=0.25)
+        assert len(ledger) == 3
+        assert ledger.elapsed() == pytest.approx(2.0)
+        assert len(ledger.attempts_for(("tree", 0))) == 2
+        summary = ledger.summary()
+        assert summary["attempts"] == 3
+        assert summary["sites"] == 2
+        assert summary["retries"] == 1
+        assert summary["failures"] == 1
+        assert summary["outcomes"] == {"transient": 1, "ok": 2}
+
+    def test_canonical_is_order_insensitive(self):
+        a, b = AttemptLedger(), AttemptLedger()
+        a.record(("tree", 0), 1, "ok", latency=0.1)
+        a.record(("tree", 1), 1, "ok", latency=0.2)
+        b.record(("tree", 1), 1, "ok", latency=0.2)
+        b.record(("tree", 0), 1, "ok", latency=0.1)
+        assert a.canonical() == b.canonical()
+
+
+class TestDegradation:
+    def test_penalty_arithmetic(self):
+        assert degradation_tv_penalty({}) == 0.0
+        assert degradation_tv_penalty({(0, 0): ("Y",)}) == 0.5
+        assert degradation_tv_penalty({(0, 0): ("Y",), (1, 0): ("X",)}) == 1.5
+        assert degradation_tv_penalty({(0, 0): ("X", "Y")}) == 1.0
+
+    def test_reallocate_shots_arithmetic(self):
+        per, report = reallocate_shots([9, 6], [3, 0], 100)
+        assert per == 125  # 1500 shots over 12 survivors
+        assert report["survivors"] == 12
+        assert report["failed"] == 3
+        assert report["boost_factor"] == pytest.approx(1.25)
+
+    def test_reallocate_shots_errors(self):
+        from repro.exceptions import CutError
+
+        with pytest.raises(CutError):
+            reallocate_shots([9], [1, 2], 100)
+        with pytest.raises(CutError):
+            reallocate_shots([9, 6], [10, 0], 100)
+        with pytest.raises(CutError):
+            reallocate_shots([9, 6], [9, 0], 100)  # fragment left empty
+        with pytest.raises(CutError):
+            reallocate_shots([9, 6], [1, 0], 0)
+
+    def test_required_variants_subset_of_full_run(self):
+        _, _, tree = _tree()
+        data = run_tree_fragments(tree, IdealBackend(), shots=100, seed=3)
+        pools = [[("I", "X", "Y", "Z")] * k for k in tree.group_sizes]
+        for i in range(tree.num_fragments):
+            frag = tree.fragments[i]
+            required = required_tree_variants(
+                tree, i, pools, ["Z"] * frag.num_meas
+            )
+            assert required <= set(data.records[i])
+
+    def test_plan_degradation_single_dead_setting(self):
+        _, _, tree = _tree()
+        data = run_tree_fragments(tree, IdealBackend(), shots=100, seed=3)
+        pools = [[("I", "X", "Y", "Z")] * k for k in tree.group_sizes]
+        dead = [
+            (0, combo)
+            for combo in data.records[0]
+            if combo[1] and combo[1][0] == "Y"
+        ]
+        assert dead
+        records = [dict(r) for r in data.records]
+        for _, combo in dead:
+            del records[0][combo]
+        new_pools, demotions, penalty = plan_degradation(
+            tree, records, pools, dead
+        )
+        group = tree.fragments[0].meas_groups[0]
+        assert "Y" not in new_pools[group][0]
+        assert demotions == {(group, 0): ("Y",)}
+        assert penalty == 0.5
+
+    def test_pipeline_degrades_with_rigorous_bound(self):
+        qc, specs, tree = _tree()
+        truth = simulate_statevector(qc).probabilities()
+        plan = FaultPlan(seed=0, dead=(DeadVariantFamily(0, "Y", 0),))
+        result = cut_and_run_tree(
+            qc,
+            FaultInjectionBackend(IdealBackend(), plan),
+            specs,
+            shots=4000,
+            seed=21,
+            retry=RetryPolicy(max_attempts=2),
+            on_exhausted="degrade",
+        )
+        assert result.degradation_bound == 0.5
+        assert result.degraded  # the dead family really was demoted
+        group = tree.fragments[0].meas_groups[0]
+        assert result.costs["demoted_bases"] == {f"group{group}/cut0": ["Y"]}
+        assert result.costs["reallocation"]["boost_factor"] > 1.0
+        assert result.costs["degraded_variants"] == len(result.degraded)
+        measured = total_variation(np.asarray(result.probabilities), truth)
+        assert measured <= result.tv_bound()
+        assert result.tv_bound() >= 0.5
+
+    def test_dead_z_preparation_is_unrecoverable(self):
+        qc, specs, tree = _tree()
+        child = next(
+            i
+            for i, f in enumerate(tree.fragments)
+            if f.in_group is not None and f.num_prep
+        )
+        plan = FaultPlan(
+            seed=0, dead=(DeadVariantFamily(child, "Z", 0, side="prep"),)
+        )
+        with pytest.raises(RetryExhaustedError):
+            cut_and_run_tree(
+                qc,
+                FaultInjectionBackend(IdealBackend(), plan),
+                specs,
+                shots=200,
+                seed=21,
+                retry=RetryPolicy(max_attempts=2),
+                on_exhausted="degrade",
+            )
+
+    def test_degrade_requires_retry_policy(self):
+        from repro.exceptions import CutError
+
+        _, _, tree = _tree()
+        with pytest.raises(CutError):
+            run_tree_fragments(
+                tree, IdealBackend(), shots=100, seed=0, on_exhausted="degrade"
+            )
+
+
+class TestCheckpoint:
+    def test_signature_pins_tree_and_shots(self):
+        _, _, tree = _tree()
+        assert tree_run_signature(tree, 400) == tree_run_signature(tree, 400)
+        assert tree_run_signature(tree, 400) != tree_run_signature(tree, 500)
+
+    def test_manifest_mismatch_raises(self, tmp_path):
+        _, _, tree = _tree()
+        TreeCheckpoint(tmp_path / "ck", tree, 400)
+        with pytest.raises(ReconstructionError):
+            TreeCheckpoint(tmp_path / "ck", tree, 500)
+
+    def test_variant_plan_mismatch_raises(self, tmp_path):
+        _, _, tree = _tree()
+        ck = TreeCheckpoint(tmp_path / "ck", tree, 100)
+        combos = [((), ("X",)), ((), ("Y",))]
+        ck.save_fragment(0, {combos[0]: np.zeros((2, 2))})
+        with pytest.raises(ReconstructionError):
+            ck.load_fragment(0, combos)
+
+    def test_save_load_roundtrip_with_dead(self, tmp_path):
+        _, _, tree = _tree()
+        ck = TreeCheckpoint(tmp_path / "ck", tree, 100)
+        combos = [((), ("X",)), ((), ("Y",))]
+        arr = np.arange(4.0).reshape(2, 2)
+        ck.save_fragment(1, {combos[0]: arr}, dead=[combos[1]])
+        records, dead = ck.load_fragment(1, combos)
+        np.testing.assert_array_equal(records[combos[0]], arr)
+        assert dead == [combos[1]]
+        assert ck.completed_fragments() == [1]
+        ck.clear()
+        assert ck.completed_fragments() == []
+
+    def test_resume_never_reexecutes(self, tmp_path):
+        _, _, tree = _tree()
+        ck = TreeCheckpoint(tmp_path / "ck", tree, 300)
+        first = run_tree_fragments(
+            tree, IdealBackend(), shots=300, seed=9, checkpoint=ck
+        )
+        # every fragment is checkpointed: a resume must not execute at all,
+        # so even an always-failing backend completes bit-identically
+        poisoned = FaultInjectionBackend(
+            IdealBackend(), FaultPlan(seed=0, transient_rate=1.0)
+        )
+        resumed = run_tree_fragments(
+            tree,
+            poisoned,
+            shots=300,
+            seed=9,
+            checkpoint=TreeCheckpoint(tmp_path / "ck", tree, 300),
+        )
+        _assert_identical_records(first, resumed)
+
+    def test_partial_resume_is_bit_identical(self, tmp_path):
+        _, _, tree = _tree()
+        uninterrupted = run_tree_fragments(tree, IdealBackend(), shots=300, seed=9)
+        ck = TreeCheckpoint(tmp_path / "ck", tree, 300)
+        run_tree_fragments(tree, IdealBackend(), shots=300, seed=9, checkpoint=ck)
+        # simulate an abort after fragment 0: drop later fragments
+        for i in ck.completed_fragments():
+            if i != 0:
+                (ck.path / f"fragment_{i}.npz").unlink()
+        resumed = run_tree_fragments(
+            tree,
+            IdealBackend(),
+            shots=300,
+            seed=9,
+            checkpoint=TreeCheckpoint(tmp_path / "ck", tree, 300),
+        )
+        # skipped fragment 0 still burned its RNG stream, so re-executed
+        # fragments sample exactly what the uninterrupted run did
+        _assert_identical_records(uninterrupted, resumed)
+
+    def test_pipeline_checkpoint_resume(self, tmp_path):
+        qc, specs, tree = _tree()
+        clean = cut_and_run_tree(
+            qc,
+            IdealBackend(),
+            specs,
+            shots=300,
+            seed=7,
+            checkpoint=TreeCheckpoint(tmp_path / "ck", tree, 300),
+        )
+        poisoned = FaultInjectionBackend(
+            IdealBackend(), FaultPlan(seed=0, transient_rate=1.0)
+        )
+        resumed = cut_and_run_tree(
+            qc,
+            poisoned,
+            specs,
+            shots=300,
+            seed=7,
+            checkpoint=TreeCheckpoint(tmp_path / "ck", tree, 300),
+        )
+        np.testing.assert_array_equal(clean.probabilities, resumed.probabilities)
