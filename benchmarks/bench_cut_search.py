@@ -1,0 +1,119 @@
+"""Benchmarks of the automatic cut-point searcher.
+
+Measures what ``find_cut_specs`` costs and what it finds on the harness
+circuit families:
+
+* ``cut-search-exhaustive`` — the exhaustive reference engine on a small
+  two-block circuit (the regime ``engine="auto"`` still enumerates);
+* ``cut-search-greedy-width`` — the greedy engine minimising fragment
+  width on a 4-fragment chain circuit too large to enumerate;
+* ``cut-search-greedy-cost`` — the greedy engine under the variance-aware
+  ``"cost"`` objective (predicted stddev × executions) on a Y-tree;
+* ``cut-search-auto-pipeline`` — the full spec-free pipeline,
+  ``cut_and_run_tree(qc, backend, cuts=None, max_fragment_qubits=B)``.
+
+A quality table (printed after the run) pits greedy against exhaustive on
+seeds where both run: objective value, cut count, partitions scored.
+
+Baselines live in ``benchmarks/BENCH_cut_search.json``; refresh with
+``python benchmarks/compare.py --write-baseline --suite cut_search``.
+"""
+
+import pytest
+
+from repro.backends import IdealBackend
+from repro.core.pipeline import cut_and_run_tree
+from repro.cutting.search import search_cut_specs
+from repro.harness.report import format_table
+from repro.harness.scaling import chain_cut_circuit, tree_cut_circuit
+from repro.metrics import total_variation
+from repro.sim import simulate_statevector
+
+from conftest import register_report
+
+from tests.helpers import two_block_circuit
+
+_small, _ = two_block_circuit(5, [0, 1, 2], [2, 3, 4], depth=2, seed=0)
+_chain, _ = chain_cut_circuit(4, fresh_per_fragment=2, depth=2, seed=1)
+_tree, _ = tree_cut_circuit([0, 0], fresh_per_fragment=2, depth=2, seed=2)
+
+
+@pytest.mark.benchmark(group="cut-search-exhaustive")
+def test_exhaustive_small(benchmark):
+    res = benchmark(
+        lambda: search_cut_specs(_small, 4, engine="exhaustive")
+    )
+    assert res.engine == "exhaustive"
+    assert max(f.num_qubits for f in res.tree.fragments) <= 4
+
+
+@pytest.mark.benchmark(group="cut-search-greedy-width")
+def test_greedy_width_chain(benchmark):
+    res = benchmark(
+        lambda: search_cut_specs(_chain, 4, engine="greedy", seed=0)
+    )
+    assert res.engine == "greedy"
+    assert max(f.num_qubits for f in res.tree.fragments) <= 4
+
+
+@pytest.mark.benchmark(group="cut-search-greedy-cost")
+def test_greedy_cost_tree(benchmark):
+    def search():
+        return search_cut_specs(
+            _tree, 4, objective="cost", engine="greedy", shots=1000, seed=0
+        )
+
+    res = benchmark.pedantic(search, rounds=3, iterations=1, warmup_rounds=1)
+    assert res.engine == "greedy"
+    assert res.value > 0
+
+
+@pytest.mark.benchmark(group="cut-search-auto-pipeline")
+def test_auto_pipeline(benchmark):
+    truth = simulate_statevector(_chain).probabilities()
+
+    def run():
+        return cut_and_run_tree(
+            _chain,
+            IdealBackend(),
+            cuts=None,
+            max_fragment_qubits=4,
+            shots=4000,
+            seed=3,
+        )
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert total_variation(res.probabilities, truth) < 0.1
+
+
+def test_cut_search_quality_table(benchmark):
+    benchmark.pedantic(
+        lambda: search_cut_specs(_small, 4, engine="greedy", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for seed in range(3):
+        qc, _ = two_block_circuit(5, [0, 1, 2], [2, 3, 4], depth=2, seed=seed)
+        ex = search_cut_specs(qc, 4, objective="cost", engine="exhaustive")
+        gr = search_cut_specs(qc, 4, objective="cost", engine="greedy", seed=0)
+        # a zero optimum means the best cut sits on a deterministic wire
+        ratio = gr.value / ex.value if ex.value > 0 else 1.0
+        rows.append(
+            {
+                "seed": seed,
+                "exhaustive cost": round(ex.value, 2),
+                "greedy cost": round(gr.value, 2),
+                "ratio": round(ratio, 3),
+                "cuts (ex/gr)": (
+                    f"{sum(s.num_cuts for s in ex.specs)}"
+                    f"/{sum(s.num_cuts for s in gr.specs)}"
+                ),
+                "scored (ex/gr)": f"{ex.evaluations}/{gr.evaluations}",
+            }
+        )
+        assert gr.value <= 1.5 * ex.value
+    table = format_table(
+        rows, title="greedy vs exhaustive cut search (cost objective)"
+    )
+    register_report(table)

@@ -17,6 +17,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_sparse_reconstruction.json``
   ← ``bench_sparse_reconstruction.py``
 * ``benchmarks/BENCH_resilience.json``       ← ``bench_resilience.py``
+* ``benchmarks/BENCH_cut_search.json``       ← ``bench_cut_search.py``
 
 Suites that opt into :func:`conftest.record_memory` also carry a
 ``mem_peak_bytes`` per benchmark (tracemalloc high-water mark of one
@@ -59,6 +60,7 @@ SUITES = {
     "BENCH_tree_fragments.json": "bench_tree_fragments.py",
     "BENCH_sparse_reconstruction.json": "bench_sparse_reconstruction.py",
     "BENCH_resilience.json": "bench_resilience.py",
+    "BENCH_cut_search.json": "bench_cut_search.py",
 }
 
 

@@ -16,7 +16,7 @@ Run:  python examples/qaoa_maxcut_cutting.py
 import networkx as nx
 import numpy as np
 
-from repro import IdealBackend, bipartition, cut_and_run, find_cuts
+from repro import IdealBackend, cut_and_run
 from repro.circuits import qaoa_maxcut_circuit
 from repro.cutting.variance import predicted_stddev_tv
 from repro.observables import maxcut_hamiltonian
@@ -36,15 +36,14 @@ def main() -> None:
     exact_energy = cost.expectation_exact(qc)
     truth = simulate_statevector(qc).probabilities()
 
-    cuts = find_cuts(qc, max_fragment_qubits=4, max_cuts=2)
-    pair = bipartition(qc, cuts)
-    print(f"cut search: {cuts.num_cuts} cut(s) on wires {cuts.wires}; "
-          f"{pair.describe()}")
-
+    # spec-free mode: cut_and_run searches for the cuts itself, so all we
+    # supply is the device budget
     run = cut_and_run(
-        qc, IdealBackend(), cuts=cuts, shots=SHOTS,
+        qc, IdealBackend(), cuts=None, max_fragment_qubits=4, shots=SHOTS,
         golden="detect", pilot_shots=5_000, seed=SEED,
     )
+    pair = run.pair
+    print(f"auto cut search: {pair.num_cuts} cut(s); {pair.describe()}")
     print("\ndetector verdicts (QAOA mixers are complex -> expect no golden):")
     for d in run.detection:
         flag = "GOLDEN" if d.is_golden else "keep"

@@ -55,11 +55,13 @@ from repro.core import (
 )
 from repro.cutting import (
     CutPoint,
+    CutSearchResult,
     CutSpec,
     FragmentChain,
     FragmentPair,
     FragmentTree,
     bipartition,
+    find_cut_specs,
     find_cuts,
     partition_chain,
     partition_tree,
@@ -116,6 +118,8 @@ __all__ = [
     # cutting baseline
     "CutPoint",
     "CutSpec",
+    "CutSearchResult",
+    "find_cut_specs",
     "FragmentPair",
     "FragmentChain",
     "FragmentTree",

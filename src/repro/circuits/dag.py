@@ -13,6 +13,7 @@ Built on :mod:`networkx` so partition searches can reuse graph algorithms.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable
 
 import networkx as nx
@@ -106,3 +107,53 @@ class CircuitDag:
             out |= nx.ancestors(self.graph, n)
             out.add(n)
         return out
+
+    # ------------------------------------------------------------------
+    # cut-search helpers
+    # ------------------------------------------------------------------
+    def wire_cut_positions(self) -> list[tuple[int, int]]:
+        """Every valid ``(wire, gate_index)`` cut position of the circuit.
+
+        A wire can be severed after any instruction touching it except the
+        last (cutting after the final gate severs nothing), so this is the
+        candidate pool the cut searchers enumerate.  Returned as plain
+        tuples, not :class:`~repro.cutting.cut.CutPoint`, to keep this
+        module free of cutting imports.
+        """
+        out: list[tuple[int, int]] = []
+        for wire in range(self.circuit.num_qubits):
+            segs = self.wire_segments(wire)
+            out.extend((wire, g) for g in segs[:-1])
+        return out
+
+    def qubit_interaction_graph(self) -> nx.Graph:
+        """Weighted qubit-coupling graph of the circuit.
+
+        Nodes are qubits; an edge ``(a, b)`` carries ``weight`` = the number
+        of multi-qubit instructions acting on both ``a`` and ``b``.  A
+        balanced min-cut of this graph is a natural seed for cut-point
+        search: cheap edges are wires few gates entangle.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(range(self.circuit.num_qubits))
+        for inst in self.circuit:
+            for a, b in itertools.combinations(sorted(set(inst.qubits)), 2):
+                weight = g.get_edge_data(a, b, default={}).get("weight", 0)
+                g.add_edge(a, b, weight=weight + 1)
+        return g
+
+    def balanced_qubit_bisection(
+        self, seed: "int | None" = None
+    ) -> tuple[set[int], set[int]]:
+        """Balanced min-cut-style bisection of the qubit set.
+
+        Kernighan–Lin on :meth:`qubit_interaction_graph` — the two halves
+        are equal-sized (±1) and the total weight of gates crossing them is
+        locally minimal.  ``seed`` makes the heuristic's tie-breaks
+        deterministic.
+        """
+        from networkx.algorithms.community import kernighan_lin_bisection
+
+        graph = self.qubit_interaction_graph()
+        a, b = kernighan_lin_bisection(graph, weight="weight", seed=seed)
+        return set(a), set(b)

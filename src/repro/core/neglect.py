@@ -43,6 +43,7 @@ __all__ = [
     "spanning_init_tuples",
     "chain_pilot_combos",
     "tree_pilot_combos",
+    "tree_reduced_variants",
 ]
 
 #: cut index -> one golden basis or several
@@ -185,6 +186,68 @@ def tree_pilot_combos(
         upstream_setting_tuples(num_meas) if num_meas else [()]
     )
     return [(a, s) for a in contexts for s in settings]
+
+
+def tree_reduced_variants(
+    tree, golden_used: "Sequence[GoldenMap | None]"
+) -> tuple[list, list]:
+    """The full variant plan of a tree under committed per-group neglect.
+
+    ``golden_used[g]`` is the golden map committed for cut group ``g`` (or
+    ``None``).  Returns ``(bases, variants)``:
+
+    * ``bases[g]`` — the reconstruction basis pool per cut of group ``g``
+      (full ``(I, X, Y, Z)`` where nothing was neglected);
+    * ``variants[i]`` — fragment ``i``'s ``(inits, setting)`` combos: the
+      entering group's reduced preparations crossed with the reduced
+      settings over the node's *flat* cut layout, each exiting group's map
+      re-addressed at its :meth:`~repro.cutting.tree.TreeFragment
+      .group_offset`.
+
+    This is the single definition shared by the production pipeline
+    (:func:`repro.core.pipeline.cut_and_run_tree`) and the cut searcher's
+    cost objective, so the searcher prices exactly the variant set the
+    pipeline would run.
+    """
+    if len(golden_used) != tree.num_groups:
+        raise CutError("need one golden map (or None) per cut group")
+    bases = [
+        reduced_bases(tree.group_sizes[g], gm)
+        if gm
+        else [tuple(FULL_BASES)] * tree.group_sizes[g]
+        for g, gm in enumerate(golden_used)
+    ]
+    variants = []
+    for frag in tree.fragments:
+        gm_prev = (
+            golden_used[frag.in_group] if frag.in_group is not None else None
+        )
+        kp = frag.num_prep
+        kn = frag.num_meas
+        if not kp:
+            inits = [()]
+        elif gm_prev:
+            inits = reduced_init_tuples(kp, gm_prev)
+        else:
+            inits = downstream_init_tuples(kp)
+        if not kn:
+            settings = [()]
+        else:
+            # per-group golden maps re-addressed in the node's flat cut
+            # layout (child groups concatenated in group order)
+            flat_gm: dict = {}
+            for h in frag.meas_groups:
+                gm = golden_used[h]
+                if gm:
+                    off = frag.group_offset(h)
+                    for k, v in gm.items():
+                        flat_gm[off + k] = v
+            if flat_gm:
+                settings = reduced_setting_tuples(kn, flat_gm)
+            else:
+                settings = upstream_setting_tuples(kn)
+        variants.append([(a, s) for a in inits for s in settings])
+    return bases, variants
 
 
 #: chains are linear trees; the chain name remains an alias

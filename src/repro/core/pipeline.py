@@ -32,6 +32,7 @@ from repro.core.neglect import (
     reduced_bases,
     reduced_init_tuples,
     reduced_setting_tuples,
+    tree_reduced_variants,
 )
 from repro.circuits.circuit import Circuit
 from repro.cutting.cache import FragmentSimCache
@@ -209,10 +210,47 @@ class TreeRunResult:
 ChainRunResult = TreeRunResult
 
 
+def _resolve_tree_specs(
+    circuit: Circuit,
+    specs,
+    cuts,
+    max_fragment_qubits: "int | None",
+    num_fragments: "int | None",
+    max_cuts: "int | None",
+    search_objective: str,
+    topology: str,
+):
+    """Normalise the multi-fragment entry points' cut arguments.
+
+    ``cuts`` aliases ``specs``; a bare :class:`CutSpec` becomes a one-group
+    list; ``None`` triggers the automatic searcher with the same default
+    width budget as :func:`cut_and_run` (``ceil(n/2) + 1``).
+    """
+    if specs is not None and cuts is not None:
+        raise CutError("pass the cut specs once: cuts= is an alias of specs=")
+    if specs is None:
+        specs = cuts
+    if specs is None:
+        from repro.cutting.search import find_cut_specs
+
+        budget = max_fragment_qubits or (circuit.num_qubits + 1) // 2 + 1
+        return find_cut_specs(
+            circuit,
+            budget,
+            num_fragments=num_fragments,
+            max_cuts=max_cuts,
+            objective=search_objective,
+            topology=topology,
+        )
+    if isinstance(specs, CutSpec):
+        return [specs]
+    return list(specs)
+
+
 def cut_and_run_tree(
     circuit: Circuit,
     backend: Backend,
-    specs,
+    specs=None,
     shots: int = 1000,
     golden: str = "off",
     golden_maps: "list | None" = None,
@@ -227,6 +265,11 @@ def cut_and_run_tree(
     on_exhausted: str = "raise",
     checkpoint=None,
     ledger=None,
+    cuts=None,
+    max_fragment_qubits: "int | None" = None,
+    num_fragments: "int | None" = None,
+    max_cuts: "int | None" = None,
+    search_objective: str = "width",
     _tree=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment tree, run it, reconstruct.
@@ -234,7 +277,13 @@ def cut_and_run_tree(
     The topology-general analogue of :func:`cut_and_run`: ``specs`` lists
     one :class:`~repro.cutting.cut.CutSpec` per cut group (original-circuit
     coordinates, see :func:`repro.cutting.tree.partition_tree`; branched
-    topologies welcome).  Golden modes, per cut group:
+    topologies welcome).  ``cuts`` is an alias for ``specs`` (matching
+    :func:`cut_and_run`); leaving both ``None`` triggers automatic cut
+    search (:func:`repro.cutting.search.find_cut_specs`) constrained by
+    ``max_fragment_qubits`` (default ``ceil(n/2) + 1``), ``num_fragments``
+    and ``max_cuts``, optimising ``search_objective`` (``"width"`` or
+    ``"cost"``).  A bare :class:`~repro.cutting.cut.CutSpec` is accepted
+    as a one-group tree.  Golden modes, per cut group:
 
     * ``"off"`` runs the full CutQC-style variant products;
     * ``"known"`` takes ``golden_maps`` — one
@@ -305,7 +354,20 @@ def cut_and_run_tree(
     from repro.core.golden import find_tree_golden_bases_analytic
 
     rng = as_generator(seed)
-    tree = _tree if _tree is not None else partition_tree(circuit, specs)
+    if _tree is not None:
+        tree = _tree
+    else:
+        specs = _resolve_tree_specs(
+            circuit,
+            specs,
+            cuts,
+            max_fragment_qubits,
+            num_fragments,
+            max_cuts,
+            search_objective,
+            topology="tree",
+        )
+        tree = partition_tree(circuit, specs)
     pool = backend.make_tree_cache_pool(tree, dtype=dtype)
 
     if retry is not None and ledger is None:
@@ -406,49 +468,7 @@ def cut_and_run_tree(
         )
 
     if any(golden_used):
-        from repro.cutting.variants import (
-            downstream_init_tuples,
-            upstream_setting_tuples,
-        )
-
-        bases = [
-            reduced_bases(tree.group_sizes[g], gm)
-            if gm
-            else [("I", "X", "Y", "Z")] * tree.group_sizes[g]
-            for g, gm in enumerate(golden_used)
-        ]
-        variants = []
-        for i, frag in enumerate(tree.fragments):
-            gm_prev = (
-                golden_used[frag.in_group]
-                if frag.in_group is not None
-                else None
-            )
-            kp = frag.num_prep
-            kn = frag.num_meas
-            if not kp:
-                inits = [()]
-            elif gm_prev:
-                inits = reduced_init_tuples(kp, gm_prev)
-            else:
-                inits = downstream_init_tuples(kp)
-            if not kn:
-                settings = [()]
-            else:
-                # per-group golden maps re-addressed in the node's flat
-                # cut layout (child groups concatenated in group order)
-                flat_gm: dict = {}
-                for h in frag.meas_groups:
-                    gm = golden_used[h]
-                    if gm:
-                        off = frag.group_offset(h)
-                        for k, v in gm.items():
-                            flat_gm[off + k] = v
-                if flat_gm:
-                    settings = reduced_setting_tuples(kn, flat_gm)
-                else:
-                    settings = upstream_setting_tuples(kn)
-            variants.append([(a, s) for a in inits for s in settings])
+        bases, variants = tree_reduced_variants(tree, golden_used)
     else:
         bases = None
         variants = None
@@ -535,7 +555,7 @@ def cut_and_run_tree(
 def cut_and_run_chain(
     circuit: Circuit,
     backend: Backend,
-    specs,
+    specs=None,
     shots: int = 1000,
     golden: str = "off",
     golden_maps: "list | None" = None,
@@ -550,6 +570,11 @@ def cut_and_run_chain(
     on_exhausted: str = "raise",
     checkpoint=None,
     ledger=None,
+    cuts=None,
+    max_fragment_qubits: "int | None" = None,
+    num_fragments: "int | None" = None,
+    max_cuts: "int | None" = None,
+    search_objective: str = "width",
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment chain, run it, reconstruct.
 
@@ -558,11 +583,25 @@ def cut_and_run_chain(
     linear shape and points branched specs to ``partition_tree``) and the
     run proceeds on the single tree engine — on a chain the root-to-leaves
     BFS *is* the left-to-right sweep, per-fragment RNG streams included, so
-    results are bit-identical to the pre-tree chain pipeline.
+    results are bit-identical to the pre-tree chain pipeline.  ``cuts`` /
+    ``max_fragment_qubits`` / ``num_fragments`` / ``max_cuts`` /
+    ``search_objective`` mirror :func:`cut_and_run_tree`'s auto mode, with
+    the search constrained to linear topologies
+    (``find_cut_specs(..., topology="chain")``).
     """
     from repro.cutting.chain import partition_chain
     from repro.cutting.execution import ChainFragmentData
 
+    specs = _resolve_tree_specs(
+        circuit,
+        specs,
+        cuts,
+        max_fragment_qubits,
+        num_fragments,
+        max_cuts,
+        search_objective,
+        topology="chain",
+    )
     chain = partition_chain(circuit, specs)
     res = cut_and_run_tree(
         circuit,

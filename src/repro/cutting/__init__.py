@@ -7,6 +7,11 @@ basis sets.
 """
 
 from repro.cutting.cut import CutPoint, CutSpec, find_cuts
+from repro.cutting.search import (
+    CutSearchResult,
+    find_cut_specs,
+    search_cut_specs,
+)
 from repro.cutting.fragments import FragmentPair, bipartition
 from repro.cutting.chain import (
     ChainFragment,
@@ -119,6 +124,9 @@ __all__ = [
     "CutPoint",
     "CutSpec",
     "find_cuts",
+    "CutSearchResult",
+    "find_cut_specs",
+    "search_cut_specs",
     "FragmentPair",
     "bipartition",
     "ChainFragment",

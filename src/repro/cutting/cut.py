@@ -1,21 +1,19 @@
-"""Cut specifications and automatic cut search.
+"""Cut specifications and the single-bipartition cut search entry point.
 
 A :class:`CutPoint` severs one qubit wire immediately *after* a given
 instruction; a :class:`CutSpec` is an ordered collection of such points
 (order defines the cut index ``k`` used by reconstruction tensors).
-:func:`find_cuts` searches for a valid bipartition under a fragment-width
-budget by brute force over wire positions — tractable because the paper's
-circuits are narrow; a greedy DAG-balance heuristic prunes the search on
-wider circuits.
+:func:`find_cuts` finds one bipartition under a fragment-width budget; it
+is a thin ``num_fragments=2`` wrapper over the multi-fragment searcher in
+:mod:`repro.cutting.search`, which solves small circuits exactly and falls
+back to a greedy DAG-prefix heuristic on wider ones.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.dag import CircuitDag
 from repro.exceptions import CutError
 
 __all__ = ["CutPoint", "CutSpec", "find_cuts"]
@@ -41,6 +39,14 @@ class CutPoint:
         if self.wire not in circuit[self.gate_index].qubits:
             raise CutError(
                 f"instruction {self.gate_index} does not touch wire {self.wire}"
+            )
+        last_on_wire = max(
+            i for i, inst in enumerate(circuit) if self.wire in inst.qubits
+        )
+        if self.gate_index == last_on_wire:
+            raise CutError(
+                f"cut after instruction {self.gate_index} severs nothing: "
+                f"it is the last instruction on wire {self.wire}"
             )
 
 
@@ -80,41 +86,20 @@ def find_cuts(
 ) -> CutSpec:
     """Search for a valid cut set that fits both fragments in the budget.
 
-    Tries all combinations of up to ``max_cuts`` single-wire cut positions
-    (smallest cut count first, then smallest larger-fragment width) and
-    returns the first whose bipartition is valid and fits.  Raises
-    :class:`CutError` when no such cut exists.
+    A ``num_fragments=2`` front end for
+    :func:`repro.cutting.search.find_cut_specs` with the CutQC-style
+    ``"width"`` objective (fewest cuts first, then smallest
+    larger-fragment width): small circuits are solved by the exhaustive
+    reference engine, wider ones by the greedy DAG-prefix heuristic with
+    hill-climbing.  Raises :class:`CutError` when no such cut exists.
     """
-    from repro.cutting.fragments import bipartition  # cycle-free local import
+    from repro.cutting.search import find_cut_specs  # cycle-free local import
 
-    dag = CircuitDag(circuit)
-    candidates: list[CutPoint] = []
-    for wire in range(circuit.num_qubits):
-        segs = dag.wire_segments(wire)
-        for g in segs[:-1]:  # cutting after the last gate severs nothing
-            candidates.append(CutPoint(wire, g))
-
-    best: tuple[tuple[int, int], CutSpec] | None = None
-    for k in range(1, max_cuts + 1):
-        for combo in itertools.combinations(candidates, k):
-            wires = [c.wire for c in combo]
-            if len(set(wires)) != len(wires):
-                continue
-            spec = CutSpec(tuple(combo))
-            try:
-                pair = bipartition(circuit, spec)
-            except CutError:
-                continue
-            n1 = pair.upstream.num_qubits
-            n2 = pair.downstream.num_qubits
-            if max(n1, n2) > max_fragment_qubits:
-                continue
-            key = (k, max(n1, n2))
-            if best is None or key < best[0]:
-                best = (key, spec)
-        if best is not None:
-            return best[1]
-    raise CutError(
-        f"no bipartition with <= {max_cuts} cuts fits fragments of "
-        f"<= {max_fragment_qubits} qubits"
+    specs = find_cut_specs(
+        circuit,
+        max_fragment_qubits,
+        num_fragments=2,
+        max_cuts=max_cuts,
+        objective="width",
     )
+    return specs[0]

@@ -37,20 +37,38 @@ def allocate_shots(
     shots_per_variant: int | None = None,
     total_shots: int | None = None,
     scheme: str = "uniform",
+    inits: "Sequence[tuple[str, ...]] | None" = None,
 ) -> tuple[int, dict]:
     """Return ``(shots_per_variant, report)`` for the requested scheme.
 
     Exactly one of ``shots_per_variant`` and ``total_shots`` must be given.
     The report dictionary summarises the resulting budget (used by the
     benchmark tables: total executions is the paper's 4.5e5 vs 3.0e5 claim).
+
+    ``scheme="proportional"`` divides ``total_shots`` by reconstruction-row
+    fan-in: every upstream setting feeds the same ``2^K`` rows and is
+    weighted equally, while a downstream preparation variant earns a share
+    proportional to the number of rows consuming it — ``2^{#Z±}``, because
+    the ``Z±`` eigenstates serve both the ``I`` and ``Z`` rows of their cut
+    whereas ``X±``/``Y±`` serve only their own basis row.  ``inits`` names
+    the downstream preparation tuples (e.g. a golden-reduced pool); when
+    omitted the counts must be the full ``3^K`` / ``6^K`` pools.  The
+    returned scalar is the *smallest* per-variant allocation; the exact
+    per-variant split is in ``report["upstream_shots"]`` /
+    ``report["downstream_shots"]``.
     """
     n_var = num_upstream + num_downstream
     if n_var <= 0:
         raise CutError("no variants to allocate shots to")
     if (shots_per_variant is None) == (total_shots is None):
         raise CutError("specify exactly one of shots_per_variant / total_shots")
-    if scheme not in ("uniform", "fixed_total"):
+    if scheme not in ("uniform", "fixed_total", "proportional"):
         raise CutError(f"unknown allocation scheme {scheme!r}")
+
+    if scheme == "proportional":
+        return _allocate_proportional(
+            num_upstream, num_downstream, shots_per_variant, total_shots, inits
+        )
 
     if shots_per_variant is None:
         per = total_shots // n_var
@@ -71,6 +89,83 @@ def allocate_shots(
         "total_executions": per * n_var,
     }
     return per, report
+
+
+def _largest_remainder(weights: "list[float]", total: int) -> list[int]:
+    """Apportion ``total`` integer shots by weight, conserving the sum."""
+    scale = sum(weights)
+    raw = [total * w / scale for w in weights]
+    alloc = [int(x) for x in raw]
+    leftover = total - sum(alloc)
+    by_fraction = sorted(
+        range(len(raw)), key=lambda i: (alloc[i] - raw[i], i)
+    )
+    for i in by_fraction[:leftover]:
+        alloc[i] += 1
+    return alloc
+
+
+def _allocate_proportional(
+    num_upstream: int,
+    num_downstream: int,
+    shots_per_variant: "int | None",
+    total_shots: "int | None",
+    inits: "Sequence[tuple[str, ...]] | None",
+) -> tuple[int, dict]:
+    """The row-fan-in weighted split documented on :func:`allocate_shots`."""
+    if total_shots is None:
+        raise CutError(
+            "proportional allocation divides a global budget; pass "
+            "total_shots, not shots_per_variant"
+        )
+    if inits is None:
+        num_cuts = 0
+        while 3**num_cuts < num_upstream:
+            num_cuts += 1
+        if 3**num_cuts != num_upstream or 6**num_cuts != num_downstream:
+            raise CutError(
+                "proportional allocation needs the downstream preparation "
+                "tuples (inits=) when the variant counts are not the full "
+                "3^K / 6^K pools"
+            )
+        from repro.cutting.variants import downstream_init_tuples
+
+        inits = downstream_init_tuples(num_cuts)
+    else:
+        inits = [tuple(i) for i in inits]
+        if len(inits) != num_downstream:
+            raise CutError(
+                f"got {len(inits)} preparation tuples for {num_downstream} "
+                "downstream variants"
+            )
+        num_cuts = len(inits[0]) if inits else 0
+    # each setting feeds all 2^K rows; a preparation feeds 2 rows (I and Z)
+    # per Z± entry and 1 row (its own basis) per X±/Y± entry.
+    up_weight = float(2**num_cuts)
+    down_weights = [
+        float(2 ** sum(1 for code in init if code.startswith("Z")))
+        for init in inits
+    ]
+    alloc = _largest_remainder(
+        [up_weight] * num_upstream + down_weights, total_shots
+    )
+    if min(alloc) <= 0:
+        raise CutError(
+            f"total budget {total_shots} too small to give every variant a "
+            "positive proportional share"
+        )
+    upstream_shots = alloc[:num_upstream]
+    downstream_shots = dict(zip(inits, alloc[num_upstream:]))
+    report = {
+        "scheme": "proportional",
+        "num_upstream": num_upstream,
+        "num_downstream": num_downstream,
+        "shots_per_variant": min(alloc),
+        "upstream_shots": upstream_shots,
+        "downstream_shots": downstream_shots,
+        "total_executions": sum(alloc),
+    }
+    return min(alloc), report
 
 
 def allocate_tree_shots(
@@ -94,6 +189,12 @@ def allocate_tree_shots(
         raise CutError("a fragment tree has at least two fragments")
     if any(c <= 0 for c in counts):
         raise CutError("every tree fragment needs at least one variant")
+    if scheme == "proportional":
+        raise CutError(
+            "the proportional scheme weighs one bipartition's "
+            "upstream/downstream pools; tree allocation is per-variant "
+            "uniform (see allocate_shots)"
+        )
     per, report = allocate_shots(
         counts[0],
         sum(counts[1:]),

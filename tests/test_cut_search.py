@@ -1,0 +1,305 @@
+"""Automatic cut-point search: engines, objectives, pipeline auto mode.
+
+The quality pins are the contract of :mod:`repro.cutting.search`:
+
+* the exhaustive engine is the reference — on small circuits the greedy
+  heuristic must match its ``"width"`` optimum and stay within 1.5× of
+  its ``"cost"`` optimum;
+* every returned spec set replays through ``partition_tree`` within the
+  width budget (property-tested over random circuit families);
+* the spec-free pipeline entry points succeed end-to-end on the harness
+  chain/tree circuit families.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import IdealBackend
+from repro.circuits import ghz_circuit, random_circuit
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag
+from repro.core.pipeline import cut_and_run_chain, cut_and_run_tree
+from repro.cutting import CutSpec, find_cut_specs, find_cuts, partition_tree
+from repro.cutting.chain import partition_chain
+from repro.cutting.search import CutSearchResult, search_cut_specs
+from repro.exceptions import CutError
+from repro.harness.scaling import (
+    chain_cut_circuit,
+    ghz_star_circuit,
+    golden_chain_circuit,
+    tree_cut_circuit,
+)
+from repro.metrics import total_variation
+from repro.sim import simulate_statevector
+
+from helpers import two_block_circuit
+
+
+def _search_family(seed: int) -> Circuit:
+    """Small two-block circuits with a known good cut structure."""
+    return two_block_circuit(5, [0, 1, 2], [2, 3, 4], depth=2, seed=seed)[0]
+
+
+class TestSearchBasics:
+    def test_pair_result_fields(self):
+        qc = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        res = search_cut_specs(qc, 2)
+        assert isinstance(res, CutSearchResult)
+        assert res.objective == "width"
+        assert res.engine in ("exhaustive", "greedy")
+        assert res.evaluations >= 1
+        assert res.report["budget"] == 2
+        assert res.specs == find_cut_specs(qc, 2)
+        # the specs replay: same tree shape out of partition_tree
+        tree = partition_tree(qc, res.specs)
+        assert tree.describe() == res.tree.describe()
+
+    def test_width_budget_respected(self):
+        res = search_cut_specs(ghz_circuit(6), 3)
+        assert all(f.num_qubits <= 3 for f in res.tree.fragments)
+        assert res.tree.num_fragments >= 2
+
+    def test_num_fragments_pinned(self):
+        res = search_cut_specs(ghz_circuit(6), 5, num_fragments=3)
+        assert res.tree.num_fragments == 3
+
+    def test_chain_topology(self):
+        qc, _ = chain_cut_circuit(
+            3, cuts_per_group=1, fresh_per_fragment=2, depth=1, seed=3
+        )
+        res = search_cut_specs(qc, 3, topology="chain")
+        assert res.tree.is_chain
+        # the chain partitioner accepts the specs directly
+        chain = partition_chain(qc, res.specs)
+        assert chain.num_fragments == res.tree.num_fragments
+
+    def test_no_fit_raises(self):
+        with pytest.raises(CutError, match="no cut set"):
+            find_cut_specs(ghz_circuit(4), 1)
+
+    def test_max_cuts_too_small_for_fragments(self):
+        with pytest.raises(CutError, match="max_cuts"):
+            find_cut_specs(ghz_circuit(6), 3, num_fragments=4, max_cuts=2)
+
+    def test_knob_validation(self):
+        qc = ghz_circuit(4)
+        with pytest.raises(CutError, match="objective"):
+            find_cut_specs(qc, 3, objective="speed")
+        with pytest.raises(CutError, match="engine"):
+            find_cut_specs(qc, 3, engine="quantum")
+        with pytest.raises(CutError, match="topology"):
+            find_cut_specs(qc, 3, topology="forest")
+        with pytest.raises(CutError, match="at least two"):
+            find_cut_specs(qc, 3, num_fragments=1)
+        with pytest.raises(CutError, match="no instructions"):
+            find_cut_specs(Circuit(2), 1)
+
+
+class TestEngineAgreement:
+    """Greedy vs the exhaustive reference — the search-quality goldens."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_width_matches_exhaustive(self, seed):
+        qc = _search_family(seed)
+        ref = search_cut_specs(qc, 4, engine="exhaustive")
+        heur = search_cut_specs(qc, 4, engine="greedy")
+        assert heur.value == ref.value
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cost_within_1_5x_of_exhaustive(self, seed):
+        qc = _search_family(seed)
+        ref = search_cut_specs(qc, 4, objective="cost", engine="exhaustive")
+        heur = search_cut_specs(qc, 4, objective="cost", engine="greedy")
+        assert heur.value <= 1.5 * ref.value + 1e-9
+
+    def test_exhaustive_is_optimal_on_enumerable_circuit(self):
+        # budget 4 on the two-block family admits a single-cut bipartition;
+        # the width objective must find exactly it (1 cut, width 4)
+        qc = _search_family(0)
+        ref = search_cut_specs(qc, 4, engine="exhaustive")
+        assert ref.value[0] == 1
+
+    def test_greedy_rescue_still_solves(self):
+        # greedy prefix splits always solve GHZ; force the engine anyway
+        res = search_cut_specs(ghz_circuit(8), 5, engine="greedy")
+        assert all(f.num_qubits <= 5 for f in res.tree.fragments)
+
+
+class TestCostObjective:
+    def test_cost_value_is_positive_scalar(self):
+        qc = _search_family(1)
+        res = search_cut_specs(qc, 4, objective="cost")
+        assert isinstance(res.value, float) and res.value > 0
+
+    def test_golden_discount_never_hurts(self):
+        qc, _, _ = golden_chain_circuit(3, planted_groups=(0, 1), seed=5)
+        plain = search_cut_specs(qc, 4, objective="cost")
+        discounted = search_cut_specs(
+            qc, 4, objective="cost", golden_discount=True
+        )
+        assert discounted.value <= plain.value + 1e-9
+
+    def test_cost_scales_with_shots(self):
+        # stddev ∝ 1/sqrt(shots) while executions ∝ shots: doubling the
+        # budget must change the value by exactly sqrt(2)
+        qc = _search_family(2)
+        lo = search_cut_specs(qc, 4, objective="cost", shots=1000)
+        hi = search_cut_specs(qc, 4, objective="cost", shots=2000)
+        assert hi.value == pytest.approx(lo.value * np.sqrt(2), rel=1e-6)
+
+
+class TestSearchProperties:
+    """Every returned spec set validates and partitions within budget."""
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_qubits=st.integers(min_value=3, max_value=6),
+        depth=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_circuits_partition_within_budget(
+        self, num_qubits, depth, seed
+    ):
+        qc = random_circuit(num_qubits, depth=depth, seed=seed)
+        budget = max(2, num_qubits - 1)
+        try:
+            specs = find_cut_specs(qc, budget)
+        except CutError:
+            return  # "no cut fits" is a legitimate outcome
+        for spec in specs:
+            assert isinstance(spec, CutSpec)
+            spec.validate(qc)
+        tree = partition_tree(qc, specs)
+        assert all(f.num_qubits <= budget for f in tree.fragments)
+        assert tree.num_fragments == len(specs) + 1
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_fragments=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_harness_chains_solved_as_chains(self, num_fragments, seed):
+        qc, _ = chain_cut_circuit(
+            num_fragments,
+            cuts_per_group=1,
+            fresh_per_fragment=2,
+            depth=1,
+            seed=seed,
+        )
+        specs = find_cut_specs(qc, 3, topology="chain")
+        chain = partition_chain(qc, specs)
+        assert all(f.num_qubits <= 3 for f in chain.fragments)
+
+
+class TestPipelineAutoMode:
+    """`cut_and_run_tree(circuit, backend, cuts=None, max_fragment_qubits=B)`
+    end-to-end on the harness circuit families (the acceptance pin)."""
+
+    def test_tree_auto_on_chain_family(self):
+        qc, _ = chain_cut_circuit(
+            3, cuts_per_group=1, fresh_per_fragment=2, depth=1, seed=3
+        )
+        res = cut_and_run_tree(
+            qc, IdealBackend(), cuts=None, max_fragment_qubits=3,
+            shots=4000, seed=1,
+        )
+        truth = simulate_statevector(qc).probabilities()
+        assert all(f.num_qubits <= 3 for f in res.tree.fragments)
+        assert total_variation(res.probabilities, truth) < 0.1
+
+    def test_tree_auto_on_tree_family(self):
+        qc, _ = tree_cut_circuit(
+            [0, 0], cuts_per_group=1, fresh_per_fragment=2, depth=1, seed=4
+        )
+        res = cut_and_run_tree(
+            qc, IdealBackend(), cuts=None, max_fragment_qubits=4,
+            shots=4000, seed=2,
+        )
+        truth = simulate_statevector(qc).probabilities()
+        assert all(f.num_qubits <= 4 for f in res.tree.fragments)
+        assert total_variation(res.probabilities, truth) < 0.1
+
+    def test_tree_auto_on_ghz_star(self):
+        qc, _ = ghz_star_circuit(children=2, fresh_per_child=2)
+        res = cut_and_run_tree(
+            qc, IdealBackend(), cuts=None, max_fragment_qubits=4,
+            shots=4000, seed=3,
+        )
+        truth = simulate_statevector(qc).probabilities()
+        assert total_variation(res.probabilities, truth) < 0.1
+
+    def test_chain_auto(self):
+        qc, _ = chain_cut_circuit(
+            3, cuts_per_group=1, fresh_per_fragment=2, depth=1, seed=3
+        )
+        res = cut_and_run_chain(
+            qc, IdealBackend(), max_fragment_qubits=3, shots=4000, seed=4
+        )
+        assert res.tree.is_chain
+        truth = simulate_statevector(qc).probabilities()
+        assert total_variation(res.probabilities, truth) < 0.1
+
+    def test_auto_with_analytic_golden(self):
+        qc, _, _ = golden_chain_circuit(3, planted_groups=(0, 1), seed=5)
+        res = cut_and_run_tree(
+            qc, IdealBackend(), cuts=None, max_fragment_qubits=4,
+            golden="analytic", shots=4000, seed=5,
+        )
+        truth = simulate_statevector(qc).probabilities()
+        assert total_variation(res.probabilities, truth) < 0.1
+
+    def test_bare_cutspec_accepted(self):
+        qc = _search_family(0)
+        spec = find_cuts(qc, 4)
+        res = cut_and_run_tree(qc, IdealBackend(), spec, shots=1000, seed=1)
+        assert res.tree.num_fragments == 2
+
+    def test_specs_and_cuts_conflict(self):
+        qc = _search_family(0)
+        spec = find_cuts(qc, 4)
+        with pytest.raises(CutError, match="alias"):
+            cut_and_run_tree(
+                qc, IdealBackend(), spec, cuts=spec, shots=100, seed=1
+            )
+
+    def test_num_fragments_forwarded(self):
+        qc, _ = chain_cut_circuit(
+            3, cuts_per_group=1, fresh_per_fragment=2, depth=1, seed=3
+        )
+        res = cut_and_run_tree(
+            qc, IdealBackend(), cuts=None, max_fragment_qubits=5,
+            num_fragments=3, shots=1000, seed=6,
+        )
+        assert res.tree.num_fragments == 3
+
+
+class TestDagSearchHelpers:
+    def test_wire_cut_positions_excludes_last(self):
+        qc = Circuit(2).h(0).cx(0, 1).h(1)
+        positions = CircuitDag(qc).wire_cut_positions()
+        # wire 0: gates [0, 1] -> only 0; wire 1: gates [1, 2] -> only 1
+        assert positions == [(0, 0), (1, 1)]
+
+    def test_interaction_graph_weights(self):
+        qc = Circuit(3).cx(0, 1).cx(0, 1).cx(1, 2)
+        graph = CircuitDag(qc).qubit_interaction_graph()
+        assert graph[0][1]["weight"] == 2
+        assert graph[1][2]["weight"] == 1
+        assert not graph.has_edge(0, 2)
+
+    def test_balanced_bisection_partitions_qubits(self):
+        qc = ghz_circuit(6)
+        half_a, half_b = CircuitDag(qc).balanced_qubit_bisection(seed=0)
+        assert half_a | half_b == set(range(6))
+        assert not half_a & half_b
+        assert abs(len(half_a) - len(half_b)) <= 1

@@ -90,6 +90,74 @@ class TestAllocateShots:
             allocate_shots(3, 6, shots_per_variant=10, scheme="greedy")
 
 
+class TestProportionalAllocation:
+    """The row-fan-in weighted scheme the module docstring documents."""
+
+    def test_k1_full_pools(self):
+        # K=1: settings weigh 2 each (total 6); preps weigh 2 (Z±) and
+        # 1 (X±/Y±), total 6 + 8 = 14.  Budget 1400 -> unit weight 100.
+        per, report = allocate_shots(
+            3, 6, total_shots=1400, scheme="proportional"
+        )
+        assert report["upstream_shots"] == [200, 200, 200]
+        down = report["downstream_shots"]
+        assert down[("Z+",)] == down[("Z-",)] == 200
+        for code in ("X+", "X-", "Y+", "Y-"):
+            assert down[(code,)] == 100
+        assert report["total_executions"] == 1400
+        assert per == 100  # the scalar is the smallest share
+
+    def test_budget_conserved_with_rounding(self):
+        _, report = allocate_shots(
+            3, 6, total_shots=1000, scheme="proportional"
+        )
+        assert (
+            sum(report["upstream_shots"])
+            + sum(report["downstream_shots"].values())
+            == 1000
+        )
+
+    def test_explicit_inits_reduced_pool(self):
+        # a Y-golden cut drops Y±: 4 preps left, weights Z±=2, X±=1
+        inits = [("Z+",), ("Z-",), ("X+",), ("X-",)]
+        per, report = allocate_shots(
+            3, 4, total_shots=1200, scheme="proportional", inits=inits
+        )
+        down = report["downstream_shots"]
+        assert down[("Z+",)] == 2 * down[("X+",)]
+        assert report["total_executions"] == 1200
+
+    def test_requires_total_shots(self):
+        with pytest.raises(CutError, match="total_shots"):
+            allocate_shots(
+                3, 6, shots_per_variant=100, scheme="proportional"
+            )
+
+    def test_non_pool_counts_need_inits(self):
+        with pytest.raises(CutError, match="inits"):
+            allocate_shots(3, 5, total_shots=1000, scheme="proportional")
+
+    def test_inits_length_mismatch(self):
+        with pytest.raises(CutError, match="preparation tuples"):
+            allocate_shots(
+                3,
+                6,
+                total_shots=1000,
+                scheme="proportional",
+                inits=[("Z+",)],
+            )
+
+    def test_budget_too_small(self):
+        with pytest.raises(CutError, match="too small"):
+            allocate_shots(3, 6, total_shots=8, scheme="proportional")
+
+    def test_tree_allocation_rejects_proportional(self):
+        from repro.cutting.shots import allocate_tree_shots
+
+        with pytest.raises(CutError, match="proportional"):
+            allocate_tree_shots([3, 6], total_shots=900, scheme="proportional")
+
+
 class TestParallel:
     def test_parallel_map_order(self):
         out = parallel_map(lambda x: x * x, list(range(20)))

@@ -32,6 +32,18 @@ class TestCutSpec:
         with pytest.raises(CutError):
             CutSpec(())
 
+    def test_last_instruction_on_wire_rejected_eagerly(self):
+        # regression: validate() itself must enforce the documented "must
+        # not be the last instruction on that wire" constraint instead of
+        # deferring the failure to CircuitDag.downstream_of_cut
+        qc = Circuit(2).h(0).cx(0, 1)
+        with pytest.raises(CutError, match="severs nothing"):
+            CutPoint(1, 1).validate(qc)
+        # the same instruction is cuttable on wire 0 (h(0) follows nothing)
+        with pytest.raises(CutError, match="severs nothing"):
+            CutPoint(0, 1).validate(qc)
+        CutPoint(0, 0).validate(qc)
+
 
 class TestBipartition:
     def test_simple_structure(self, simple_cut_pair):
