@@ -18,6 +18,7 @@ runs the hot-path suites through pytest-benchmark and dumps
   ← ``bench_sparse_reconstruction.py``
 * ``benchmarks/BENCH_resilience.json``       ← ``bench_resilience.py``
 * ``benchmarks/BENCH_cut_search.json``       ← ``bench_cut_search.py``
+* ``benchmarks/BENCH_dag_contraction.json``  ← ``bench_dag_contraction.py``
 
 Suites that opt into :func:`conftest.record_memory` also carry a
 ``mem_peak_bytes`` per benchmark (tracemalloc high-water mark of one
@@ -61,6 +62,7 @@ SUITES = {
     "BENCH_sparse_reconstruction.json": "bench_sparse_reconstruction.py",
     "BENCH_resilience.json": "bench_resilience.py",
     "BENCH_cut_search.json": "bench_cut_search.py",
+    "BENCH_dag_contraction.json": "bench_dag_contraction.py",
 }
 
 

@@ -1,0 +1,142 @@
+"""Fragment-DAG cutting: dense-graph QAOA beyond trees (PR 9).
+
+Chains and trees cover ansätze whose cut wires fan strictly outward, but
+a dense interaction graph — a DQVA/QAOA MaxCut layer with a triangle in
+it — forces the cut fragments into a genuine *DAG*: two different
+upstream fragments prepare into the same downstream fragment (a joint
+preparation node), and the fragment connectivity graph is cyclic as an
+undirected graph, so no fragment tree exists for these specs.  Earlier
+engines rejected exactly this shape ("the cut specs describe a DAG, not
+a tree"); this example
+
+1. builds a QAOA MaxCut layer on a 6-node graph containing the triangle
+   ``0-1-2`` plus pendant spokes, cuts it into a **diamond** of four
+   fragments (A feeds B and C, B and C jointly prepare D), and
+   reconstructs the uncut distribution exactly;
+2. shows the searched :class:`~repro.cutting.contraction.ContractionPlan`
+   the reconstruction now runs on DAGs — and how much cheaper it is than
+   the fixed leaves-to-root order the tree engine used;
+3. runs the full sampled pipeline (``cut_and_run_tree`` with automatic
+   plan search) and checks the measured total-variation error against
+   the predicted ``tv_bound()``.
+
+Run:  python examples/dqva_dag_cutting.py
+"""
+
+import numpy as np
+
+from repro import IdealBackend, partition_tree, simulate_statevector
+from repro.circuits.circuit import Circuit
+from repro.core.pipeline import cut_and_run_tree
+from repro.cutting.contraction import (
+    dp_plan,
+    fixed_plan,
+    network_spec_for_tree,
+)
+from repro.cutting.cut import CutPoint, CutSpec
+from repro.cutting.execution import exact_tree_data
+from repro.cutting.reconstruction import reconstruct_tree_distribution
+from repro.metrics.distances import total_variation
+
+GAMMA, BETA = 0.7, 0.4
+
+
+def zz(qc: Circuit, a: int, b: int, gamma: float) -> None:
+    """One QAOA cost term ``exp(-i γ Z_a Z_b)`` (cx–rz–cx)."""
+    qc.cx(a, b)
+    qc.rz(2 * gamma, b)
+    qc.cx(a, b)
+
+
+def dense_qaoa() -> "tuple[Circuit, list[CutSpec]]":
+    """A MaxCut layer on the triangle ``0-1-2`` with spokes 3, 4, 5.
+
+    Cluster A owns the triangle's first two edges, clusters B and C the
+    spokes, and cluster D closes the triangle with ``ZZ(1, 2)`` — a gate
+    whose two wires arrive from *different* fragments.  Cutting wires 1
+    and 2 twice each (A→B, A→C, B→D, C→D) yields a diamond fragment DAG.
+    """
+    qc = Circuit(6, name="dense_qaoa")
+    for q in (0, 1, 2):
+        qc.h(q)
+
+    def boundary(wire: int) -> int:
+        return max(i for i, inst in enumerate(qc) if wire in inst.qubits)
+
+    # cluster A: triangle edges (0,1) and (0,2), mixer on its kept qubit
+    zz(qc, 0, 1, GAMMA)
+    cut_a_b = boundary(1)
+    zz(qc, 0, 2, GAMMA)
+    cut_a_c = boundary(2)
+    qc.rx(2 * BETA, 0)
+    # cluster B: spoke (1,3)
+    qc.h(3)
+    zz(qc, 1, 3, GAMMA)
+    qc.rx(2 * BETA, 3)
+    cut_b_d = boundary(1)
+    # cluster C: spoke (2,4)
+    qc.h(4)
+    zz(qc, 2, 4, GAMMA)
+    qc.rx(2 * BETA, 4)
+    cut_c_d = boundary(2)
+    # cluster D: the closing triangle edge (1,2) — wires from B *and* C —
+    # plus spoke (2,5) and the remaining mixers
+    zz(qc, 1, 2, GAMMA)
+    qc.h(5)
+    zz(qc, 2, 5, GAMMA)
+    for q in (1, 2, 5):
+        qc.rx(2 * BETA, q)
+    specs = [
+        CutSpec((CutPoint(1, cut_a_b),)),
+        CutSpec((CutPoint(2, cut_a_c),)),
+        CutSpec((CutPoint(1, cut_b_d),)),
+        CutSpec((CutPoint(2, cut_c_d),)),
+    ]
+    return qc, specs
+
+
+def main() -> None:
+    qc, specs = dense_qaoa()
+    print("cutting a 6-qubit dense-graph QAOA layer (triangle 0-1-2)...")
+    tree = partition_tree(qc, specs)
+    widths = [f.num_qubits for f in tree.fragments]
+    print(f"  fragments: {tree.num_fragments}, widths {widths}")
+    print(f"  is_tree: {tree.is_tree}  (a diamond: B and C jointly prepare D)")
+    assert not tree.is_tree
+    joint = [f.index for f in tree.fragments if f.num_parents > 1]
+    print(f"  joint-preparation fragment(s): {joint}")
+    assert joint, "the diamond must contain a joint-prep node"
+
+    # exact reconstruction through the searched contraction plan
+    truth = simulate_statevector(qc).probabilities()
+    data = exact_tree_data(tree)
+    probs = reconstruct_tree_distribution(data)
+    err = np.abs(probs - truth).max()
+    print(f"  exact planned reconstruction: max |Δp| = {err:.2e}")
+    assert err < 1e-9
+
+    # the plan search: fixed leaves-to-root vs optimal pairwise order
+    spec = network_spec_for_tree(tree)
+    naive, searched = fixed_plan(spec), dp_plan(spec)
+    print(
+        f"  contraction cost: fixed {naive.cost:.0f} FLOPs → "
+        f"searched {searched.cost:.0f} FLOPs "
+        f"({naive.cost / searched.cost:.1f}x cheaper)"
+    )
+    assert searched.cost <= naive.cost
+
+    # full sampled pipeline with automatic plan search
+    result = cut_and_run_tree(
+        qc, IdealBackend(), specs, shots=4000, seed=17
+    )
+    tv = total_variation(np.asarray(result.probabilities), truth)
+    print(
+        f"  sampled pipeline (4000 shots/variant): TV = {tv:.4f}, "
+        f"predicted bound {result.tv_bound():.4f}"
+    )
+    assert tv <= result.tv_bound()
+    print("done: the DAG engine reconstructs what no tree cut could.")
+
+
+if __name__ == "__main__":
+    main()

@@ -236,7 +236,9 @@ def find_tree_golden_bases_analytic(
     exiting cuts is evaluated over every ``(prep context, setting)`` combo,
     where the prep contexts span exactly the operator space its *parent*
     group still injects after its own committed neglect: a basis kept at
-    the parent widens the context pool, a neglected one shrinks it.  That
+    the parent widens the context pool, a neglected one shrinks it.  A
+    joint-prep DAG node conditions on the flat union of *all* entering
+    groups' committed maps (offset by :meth:`TreeFragment.prep_offset`).  That
     conditioning is what makes e.g. a real-amplitude tree jointly Y-golden
     — a fragment fed a ``Y`` row is *not* Y-golden pointwise, but once the
     parent group neglects ``Y`` that context never arises.  The sweep must
@@ -273,10 +275,16 @@ def find_tree_golden_bases_analytic(
     for i, frag in enumerate(tree.fragments):
         if not frag.num_meas:
             continue  # leaves have nothing to test
-        prev = (
-            selected[frag.in_group] if frag.in_group is not None else None
+        prev: dict = {}
+        for h in frag.in_groups:
+            sel_h = selected[h]
+            if sel_h:
+                off = frag.prep_offset(h)
+                for k, v in sel_h.items():
+                    prev[off + k] = v
+        combos = tree_pilot_combos(
+            frag.num_prep, frag.num_meas, prev or None
         )
-        combos = tree_pilot_combos(frag.num_prep, frag.num_meas, prev)
         variants: "list[list | None]" = [None] * tree.num_fragments
         variants[i] = combos
         data = exact_tree_data(tree, variants=variants, pool=pool)

@@ -219,11 +219,18 @@ def tree_reduced_variants(
     ]
     variants = []
     for frag in tree.fragments:
-        gm_prev = (
-            golden_used[frag.in_group] if frag.in_group is not None else None
-        )
         kp = frag.num_prep
         kn = frag.num_meas
+        # per-group golden maps re-addressed in the node's flat prep
+        # layout (entering groups concatenated in group order — joint-prep
+        # DAG nodes have several)
+        gm_prev: dict = {}
+        for h in frag.in_groups:
+            gm = golden_used[h]
+            if gm:
+                off = frag.prep_offset(h)
+                for k, v in gm.items():
+                    gm_prev[off + k] = v
         if not kp:
             inits = [()]
         elif gm_prev:

@@ -270,6 +270,7 @@ def cut_and_run_tree(
     num_fragments: "int | None" = None,
     max_cuts: "int | None" = None,
     search_objective: str = "width",
+    plan=None,
     _tree=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment tree, run it, reconstruct.
@@ -322,6 +323,15 @@ def cut_and_run_tree(
     records and contraction only — simulation and sampling stay exact, so
     RNG streams are unchanged); the float64 default is bit-identical to
     the pre-knob pipeline.
+
+    ``specs`` may describe a fragment *DAG* — several groups entering one
+    fragment (joint preparations) are legal and route through the same
+    pipeline.  ``plan`` controls the reconstruction's contraction order
+    (see :func:`~repro.cutting.reconstruction.reconstruct_tree_distribution`):
+    ``None`` keeps the bit-identical tree kernels on trees and searches a
+    pairwise :class:`~repro.cutting.contraction.ContractionPlan`
+    automatically on DAGs; a method string (``"auto"``/``"fixed"``/
+    ``"greedy"``/``"dp"``) or an explicit plan forces the network path.
 
     Resilience knobs (see :mod:`repro.cutting.resilience`):
 
@@ -418,12 +428,19 @@ def cut_and_run_tree(
         for i, frag in enumerate(tree.fragments):
             if not frag.num_meas:
                 continue  # leaves have nothing to pilot
+            # entering golden maps re-addressed in the node's flat prep
+            # layout (joint-prep DAG nodes merge several groups' maps)
+            gm_prev: dict = {}
+            for h in frag.in_groups:
+                gm = golden_used[h]
+                if gm:
+                    off = frag.prep_offset(h)
+                    for k, v in gm.items():
+                        gm_prev[off + k] = v
             combos = tree_pilot_combos(
                 frag.num_prep,
                 frag.num_meas,
-                golden_used[frag.in_group]
-                if frag.in_group is not None
-                else None,
+                gm_prev or None,
             )
             pilot_counts[i] = len(combos)
             if pilot is None:
@@ -509,6 +526,7 @@ def cut_and_run_tree(
             postprocess=postprocess,
             prune=prune,
             dtype=dtype,
+            plan=plan,
         )
 
     counts = [len(r) for r in data.records]

@@ -145,6 +145,20 @@ def tree_run_signature(tree, shots: int) -> str:
                 "cut_local_by_group": {
                     str(g): list(w) for g, w in sorted(f.cut_local_by_group.items())
                 },
+                # joint-prep DAG nodes carry the per-group entering split;
+                # single-parent fragments omit the keys so historical tree
+                # signatures (and their checkpoints) stay valid
+                **(
+                    {
+                        "in_groups": list(f.in_groups),
+                        "prep_local_by_group": {
+                            str(g): list(w)
+                            for g, w in sorted(f.prep_local_by_group.items())
+                        },
+                    }
+                    if f.num_parents > 1
+                    else {}
+                ),
             }
             for f in tree.fragments
         ],

@@ -362,20 +362,24 @@ def _chain_rows(data, index: int, bases):
     """Shared per-fragment row bookkeeping of all tree/chain builders.
 
     Returns ``(frag, records, prev_bases, next_bases, rows_prev, rows_next,
-    fallback)`` — the entering pools and the **flat** exiting pools (every
-    child group's per-cut pools concatenated in the node's group order)
+    fallback)`` — the **flat** entering pools (every entering group's
+    per-cut pools concatenated in the node's group order; one group on a
+    tree node, several at a joint-prep DAG node) and the **flat** exiting
+    pools (every child group's per-cut pools concatenated the same way)
     resolved from ``bases``, their basis-row products (``[()]`` at the root
     / leaves) and the per-cut ``I``-row fallback letters.  On a chain node
     this is exactly the pre-tree bookkeeping; at a branching node
-    ``rows_next`` runs over the product of the child groups' rows.
+    ``rows_next`` runs over the product of the child groups' rows, and at
+    a joint-prep node ``rows_prev`` over the product of the entering
+    groups' rows.
     """
     tree = _tree_of(data)
     frag = tree.fragments[index]
     records = data.records[index]
     group_bases = _normalise_chain_bases(bases, tree.group_sizes)
-    prev_bases = (
-        group_bases[frag.in_group] if frag.in_group is not None else []
-    )
+    prev_bases = [
+        pool for h in frag.in_groups for pool in group_bases[h]
+    ]
     next_bases = [
         pool for h in frag.meas_groups for pool in group_bases[h]
     ]
@@ -537,6 +541,244 @@ def _contract_tree_pruned(
         kin[i] = k_inside
     values = acc[0][0] / float(1 << tree.total_cuts)
     return vals[0], values, order[0], bound
+
+
+def _resolve_plan(tree, bases, plan):
+    """Normalise the ``plan=`` knob of the tree/DAG reconstruction.
+
+    ``None`` on a pure tree keeps the historical leaves-to-root kernels
+    (bit-identical); ``None`` on a DAG searches a plan automatically
+    (``"auto"``).  A method string (``"auto"``/``"fixed"``/``"greedy"``/
+    ``"dp"``) searches with that planner; an explicit
+    :class:`~repro.cutting.contraction.ContractionPlan` is validated and
+    used as given.  Returns ``None`` exactly when the historical tree
+    kernels should run.
+    """
+    from repro.cutting.contraction import (
+        ContractionPlan,
+        network_spec_for_tree,
+        search_plan,
+    )
+
+    if plan is None:
+        if tree.is_tree:
+            return None
+        plan = "auto"
+    if isinstance(plan, ContractionPlan):
+        plan.validate(tree.num_fragments)
+        return plan
+    return search_plan(network_spec_for_tree(tree, bases), plan)
+
+
+class _NetCluster:
+    """One cluster of the generic network contraction.
+
+    ``groups`` lists the open cut groups, one leading tensor axis each
+    (same order); the trailing axis is the flat joint output, bit ``j``
+    carrying original qubit ``labels[j]``.  ``k_closed`` counts the cuts
+    of groups contracted *inside* the cluster (normalisation bookkeeping
+    of the pruning bound), ``members`` the fragment indices absorbed.
+    """
+
+    __slots__ = ("groups", "t", "labels", "members", "k_closed", "v")
+
+    def __init__(self, groups, t, labels, members, k_closed=0, v=None):
+        self.groups = groups
+        self.t = t
+        self.labels = labels
+        self.members = members
+        self.k_closed = k_closed
+        self.v = v
+
+
+def _network_clusters(tensors, tree, group_bases, vals=None):
+    """Initial one-fragment clusters with per-group row axes.
+
+    ``tensors[i]`` comes from :func:`build_tree_fragment_tensor` —
+    ``(R_in_flat, R_out_1, .., R_out_C, D_i)`` — and the flat entering
+    axis is split into one axis per entering group (C-order, so the
+    first entering group is slowest, matching the flat row product).
+    ``vals`` (pruned path) carries each node's kept output indices.
+    """
+    rows = [
+        int(np.prod([len(p) for p in pools])) if pools else 1
+        for pools in group_bases
+    ]
+    clusters = {}
+    for i in range(tree.num_fragments):
+        frag = tree.fragments[i]
+        t = tensors[i]
+        shape = (
+            tuple(rows[h] for h in frag.in_groups)
+            + t.shape[1:]
+        )
+        clusters[i] = _NetCluster(
+            groups=list(frag.in_groups) + list(frag.meas_groups),
+            t=t.reshape(shape),
+            labels=list(frag.out_original),
+            members={i},
+            v=None if vals is None else vals[i],
+        )
+    return clusters
+
+
+def _merge_clusters(a: "_NetCluster", b: "_NetCluster", group_sizes):
+    """Contract two clusters over their shared open group axes.
+
+    Shared axes are summed by one ``tensordot``; surviving group axes
+    stay leading in ``a``-then-``b`` order and the two output axes merge
+    into one flat axis with ``a``'s bits least significant
+    (``labels = a.labels + b.labels``).  On the dense path the column
+    index *is* the outcome value, so ``a``'s axis is raveled fastest; on
+    the pruned path the kept columns' values live in ``v`` instead
+    (``v_b`` shifted past ``a``'s bits) and the ravel keeps ``a``
+    slowest, mirroring the tree kernel's child-append order.  With no
+    shared group (disconnected halves of a multi-source DAG) the merge
+    degenerates to an outer product.
+    """
+    shared = [g for g in a.groups if g in b.groups]
+    ia = [a.groups.index(g) for g in shared]
+    ib = [b.groups.index(g) for g in shared]
+    t = np.tensordot(a.t, b.t, axes=(ia, ib))
+    na = len(a.groups) - len(shared)
+    # tensordot axes: (gA.., D_a, gB.., D_b)
+    if a.v is None:
+        # dense: (.., D_b, D_a) so the C-order reshape leaves a's bits
+        # least significant in the flat column index
+        t = np.moveaxis(t, na, -1)
+        v = None
+    else:
+        # pruned: (.., kept_a, kept_b) matching the v merge's ravel order
+        t = np.moveaxis(t, na, -2)
+        v = (a.v[:, None] | (b.v << len(a.labels))[None, :]).ravel()
+    t = t.reshape(t.shape[:-2] + (t.shape[-2] * t.shape[-1],))
+    return _NetCluster(
+        groups=[g for g in a.groups if g not in shared]
+        + [g for g in b.groups if g not in shared],
+        t=t,
+        labels=a.labels + b.labels,
+        members=a.members | b.members,
+        k_closed=a.k_closed
+        + b.k_closed
+        + sum(group_sizes[g] for g in shared),
+        v=v,
+    )
+
+
+def _contract_network(
+    tensors, tree, plan, bases
+) -> tuple[np.ndarray, list[int]]:
+    """Planned pairwise contraction of a fragment network (dense).
+
+    The DAG-general counterpart of :func:`_contract_tree`: node tensors
+    are split into one row axis per incident group and merged pairwise in
+    ``plan`` order; each merge is one ``tensordot`` over the groups the
+    two clusters share.  Returns the joint output vector and the original
+    qubit label of each bit, exactly like the tree kernel — on a pure
+    tree with the fixed plan the merge sequence coincides with the
+    historical order (equality to ≤ 1e-9; the tree kernel remains the
+    bit-identical default).
+    """
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    clusters = _network_clusters(tensors, tree, group_bases)
+    rep = list(range(tree.num_fragments))
+
+    def find(x: int) -> int:
+        while rep[x] != x:
+            rep[x] = rep[rep[x]]
+            x = rep[x]
+        return x
+
+    for a, b in plan.steps:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            raise ReconstructionError(
+                f"contraction plan merges cluster of fragment {a} with "
+                "itself"
+            )
+        clusters[ra] = _merge_clusters(
+            clusters[ra], clusters.pop(rb), tree.group_sizes
+        )
+        rep[rb] = ra
+    (last,) = clusters.values()
+    if last.groups:
+        raise ReconstructionError(
+            f"contraction plan leaves groups {last.groups} open"
+        )
+    return last.t, last.labels
+
+
+def _contract_network_pruned(
+    data, tree, bases, prune: PrunePolicy, dtype, plan
+) -> tuple[np.ndarray, np.ndarray, list[int], float]:
+    """Planned pairwise network contraction with outcome pruning.
+
+    The DAG-general counterpart of :func:`_contract_tree_pruned`: after
+    every merge the combined outcome axis is re-pruned by its
+    mixed-input marginal — the all-``I`` row over every *open* group
+    axis, normalised by the ``2^{k_closed}`` of the cuts contracted
+    inside the cluster and scored against ``2^{Σ K_g}`` over the open
+    groups *entering* the cluster (their joint state obeys
+    ``ρ ≤ 2^{K}·I/2^{K}``; open exiting groups' ``I`` rows are plain
+    outcome marginals and carry no scale).  Discarded mass accumulates
+    into the returned rigorous ``prune_bound`` exactly as on the tree
+    path.
+    """
+    group_bases = _normalise_chain_bases(bases, tree.group_sizes)
+    irow = [_identity_row_index(pools) for pools in group_bases]
+    tensors = []
+    vals = []
+    bound = 0.0
+    for i in range(tree.num_fragments):
+        t, _, _, keep, eps = build_tree_fragment_tensor(
+            data, i, bases, dtype, prune
+        )
+        bound += max(eps, 0.0)
+        tensors.append(t)
+        vals.append(keep.astype(np.int64))
+    clusters = _network_clusters(tensors, tree, group_bases, vals=vals)
+    rep = list(range(tree.num_fragments))
+
+    def find(x: int) -> int:
+        while rep[x] != x:
+            rep[x] = rep[rep[x]]
+            x = rep[x]
+        return x
+
+    for a, b in plan.steps:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            raise ReconstructionError(
+                f"contraction plan merges cluster of fragment {a} with "
+                "itself"
+            )
+        merged = _merge_clusters(
+            clusters[ra], clusters.pop(rb), tree.group_sizes
+        )
+        rep[rb] = ra
+        if merged.groups:
+            sel = tuple(irow[g] for g in merged.groups)
+            mass = np.maximum(
+                merged.t[sel] / float(1 << merged.k_closed), 0.0
+            )
+            k_open_prep = sum(
+                tree.group_sizes[g]
+                for g in merged.groups
+                if tree.group_dst[g] in merged.members
+            )
+            keep = prune.select(mass / float(1 << k_open_prep))
+            if keep.size < mass.size:
+                bound += max(float(mass.sum() - mass[keep].sum()), 0.0)
+                merged.t = np.ascontiguousarray(merged.t[..., keep])
+                merged.v = merged.v[keep]
+        clusters[ra] = merged
+    (last,) = clusters.values()
+    if last.groups:
+        raise ReconstructionError(
+            f"contraction plan leaves groups {last.groups} open"
+        )
+    values = last.t / float(1 << tree.total_cuts)
+    return last.v, values, last.labels, bound
 
 
 def build_chain_fragment_tensor(
@@ -730,9 +972,9 @@ def build_tree_fragment_tensor(
     if prune is None:
         return T, rows_prev, rows_per_group
 
-    in_pools = (
-        group_bases[frag.in_group] if frag.in_group is not None else []
-    )
+    in_pools = [
+        pool for h in frag.in_groups for pool in group_bases[h]
+    ]
     sel = (_identity_row_index(in_pools),) + tuple(
         _identity_row_index(group_bases[h]) for h in frag.meas_groups
     )
@@ -780,6 +1022,7 @@ def reconstruct_tree_distribution(
     postprocess: str = "clip",
     prune: "PrunePolicy | None" = None,
     dtype=DEFAULT_DTYPE,
+    plan=None,
 ):
     """Full output distribution of an uncut circuit from tree fragment data.
 
@@ -803,12 +1046,26 @@ def reconstruct_tree_distribution(
     non-negative data) keeps everything and is bit-identical to dense.
     ``dtype`` selects float64 (default, bit-identical to the historical
     path) or the float32 fast path (pinned at ≤ 1e-6).
+
+    ``plan=`` selects the contraction order.  ``None`` keeps the
+    historical leaves-to-root kernels on pure trees (bit-identical) and
+    searches a :class:`~repro.cutting.contraction.ContractionPlan`
+    automatically on DAGs; a method string (``"auto"``/``"fixed"``/
+    ``"greedy"``/``"dp"``) forces a search with that planner, and an
+    explicit plan object is validated and used as given (planned
+    contraction is pinned at ≤ 1e-9 of the tree kernels).
     """
     tree = _tree_of(data)
+    plan = _resolve_plan(tree, bases, plan)
     if prune is not None:
-        idx, values, order, bound = _contract_tree_pruned(
-            data, tree, bases, prune, dtype
-        )
+        if plan is not None:
+            idx, values, order, bound = _contract_network_pruned(
+                data, tree, bases, prune, dtype, plan
+            )
+        else:
+            idx, values, order, bound = _contract_tree_pruned(
+                data, tree, bases, prune, dtype
+            )
         # value-index bit j carries original qubit order[j]: the sparse
         # counterpart of permute_probability_axes' dense reshuffle
         final = np.zeros_like(idx)
@@ -828,7 +1085,10 @@ def reconstruct_tree_distribution(
         build_tree_fragment_tensor(data, i, bases, dtype)[0]
         for i in range(tree.num_fragments)
     ]
-    v, order = _contract_tree(tensors, tree)
+    if plan is not None:
+        v, order = _contract_network(tensors, tree, plan, bases)
+    else:
+        v, order = _contract_tree(tensors, tree)
     full = permute_probability_axes(
         v / float(1 << tree.total_cuts), order
     )
@@ -841,15 +1101,22 @@ def reconstruct_chain_distribution(
     postprocess: str = "clip",
     prune: "PrunePolicy | None" = None,
     dtype=DEFAULT_DTYPE,
+    plan=None,
 ):
     """Full output distribution from chain fragment data.
 
     Thin wrapper over :func:`reconstruct_tree_distribution` — a chain is
     the linear tree, and since the tree refactor there is one contraction
-    engine, not two.  ``prune=``/``dtype=`` carry the same semantics.
+    engine, not two.  ``prune=``/``dtype=``/``plan=`` carry the same
+    semantics.
     """
     return reconstruct_tree_distribution(
-        data, bases=bases, postprocess=postprocess, prune=prune, dtype=dtype
+        data,
+        bases=bases,
+        postprocess=postprocess,
+        prune=prune,
+        dtype=dtype,
+        plan=plan,
     )
 
 
@@ -885,7 +1152,11 @@ def reconstruct_tree_distribution_reference(
         vec = None
         for i in range(tree.num_fragments):
             frag = tree.fragments[i]
-            a = combo[frag.in_group] if frag.in_group is not None else 0
+            # flat entering row: C-order product over the entering groups
+            # (later groups fastest), matching the flat pool concatenation
+            a = 0
+            for h in frag.in_groups:
+                a = a * len(group_rows[h]) + combo[h]
             sel = tuple(combo[h] for h in frag.meas_groups)
             term = tensors[i][(a,) + sel]
             # outer product keeps earlier nodes least significant
@@ -971,6 +1242,7 @@ def reconstruct_counts(
     prune: "PrunePolicy | None" = None,
     dtype=DEFAULT_DTYPE,
     seed: "int | np.random.Generator | None" = None,
+    plan=None,
 ) -> dict[str, int]:
     """Reconstruction rendered as a counts dictionary.
 
@@ -994,6 +1266,7 @@ def reconstruct_counts(
             postprocess=postprocess,
             prune=prune,
             dtype=dtype,
+            plan=plan,
         )
         if isinstance(probs, SparseDistribution):
             if seed is None:
@@ -1003,6 +1276,11 @@ def reconstruct_counts(
         if prune is not None:
             raise ReconstructionError(
                 "prune= needs tree/chain fragment data; pair data is dense"
+            )
+        if plan is not None:
+            raise ReconstructionError(
+                "plan= needs tree/chain fragment data; pair data has no "
+                "fragment network"
             )
         probs = reconstruct_distribution(
             data, bases=bases, postprocess=postprocess

@@ -481,6 +481,17 @@ def _flat_cut_group(frag, k: int) -> tuple[int, int]:
     raise ValueError(f"cut index {k} out of range for fragment")
 
 
+def _flat_prep_group(frag, c: int) -> tuple[int, int]:
+    """Map flat entering-prep index ``c`` to ``(parent group, cut-in-group)``."""
+    offset = 0
+    for h in frag.in_groups:
+        size = len(frag.prep_local_by_group[h])
+        if c < offset + size:
+            return h, c - offset
+        offset += size
+    raise ValueError(f"prep index {c} out of range for fragment")
+
+
 def required_tree_variants(tree, index: int, group_pools, fallback) -> set:
     """Every ``(inits, setting)`` record fragment ``index`` needs.
 
@@ -493,7 +504,7 @@ def required_tree_variants(tree, index: int, group_pools, fallback) -> set:
     from repro.cutting.reconstruction import _PREP_OF
 
     frag = tree.fragments[index]
-    prev = group_pools[frag.in_group] if frag.in_group is not None else []
+    prev = [pool for h in frag.in_groups for pool in group_pools[h]]
     nxt = [pool for h in frag.meas_groups for pool in group_pools[h]]
     rows_prev = list(itertools.product(*prev)) if prev else [()]
     rows_next = list(itertools.product(*nxt)) if nxt else [()]
@@ -576,12 +587,14 @@ def plan_degradation(tree, records, pools, dead_sites):
                 h, c = _flat_cut_group(frag, k)
                 if letter in pools[h][c]:
                     tally[(h, c, letter)] = tally.get((h, c, letter), 0) + 1
-            if frag.in_group is not None:
-                for c, prep in enumerate(inits):
-                    basis = prep[0]
-                    if basis in ("X", "Y") and basis in pools[frag.in_group][c]:
-                        key = (frag.in_group, c, basis)
-                        tally[key] = tally.get(key, 0) + 1
+            for c, prep in enumerate(inits):
+                basis = prep[0]
+                if basis not in ("X", "Y"):
+                    continue
+                hp, cp = _flat_prep_group(frag, c)
+                if basis in pools[hp][cp]:
+                    key = (hp, cp, basis)
+                    tally[key] = tally.get(key, 0) + 1
         if not tally:
             raise RetryExhaustedError(
                 "dead variant families cannot be demoted (Z-preparation "

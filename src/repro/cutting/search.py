@@ -38,7 +38,11 @@ Objectives (``objective=``):
   *and* fewer reconstruction rows, and the searcher sees both.
 
 ``topology="chain"`` restricts the search to linear trees (only the tail
-piece is ever re-split) for :func:`~repro.core.pipeline.cut_and_run_chain`.
+piece is ever re-split) for :func:`~repro.core.pipeline.cut_and_run_chain`;
+``topology="tree"`` (the default) keeps single-parent trees, and
+``topology="dag"`` admits joint-prep candidates — the cost objective then
+prices DAG partitions exactly like trees (the variance model and shot
+allocator both understand multi-parent fragments).
 """
 
 from __future__ import annotations
@@ -159,8 +163,10 @@ def search_cut_specs(
         raise CutError(
             f'engine must be "auto"/"exhaustive"/"greedy", got {engine!r}'
         )
-    if topology not in ("tree", "chain"):
-        raise CutError(f'topology must be "tree" or "chain", got {topology!r}')
+    if topology not in ("tree", "chain", "dag"):
+        raise CutError(
+            f'topology must be "tree", "chain" or "dag", got {topology!r}'
+        )
     if max_fragment_qubits < 1:
         raise CutError("max_fragment_qubits must be at least 1")
     if num_fragments is not None and num_fragments < 2:
@@ -273,7 +279,7 @@ class _SearchContext:
             circuit=self.circuit,
             wire_orig=list(range(self.circuit.num_qubits)),
             inst_orig=list(range(len(self.circuit))),
-            entering=None,
+            entering={},
             exiting={},
         )
 
@@ -289,6 +295,10 @@ class _SearchContext:
         if tree.total_cuts > self.max_cuts:
             return False
         if self.topology == "chain" and not tree.is_chain:
+            return False
+        if self.topology == "tree" and not tree.is_tree:
+            # partition_tree accepts DAG spec sets now; a tree-topology
+            # search must still reject them (topology="dag" scores them)
             return False
         return True
 
@@ -384,7 +394,7 @@ def _split_piece(piece: _Piece, local_points, group: int):
             for w, g in local_points
         )
     )
-    return orig_spec, _cut_piece(piece, orig_spec, group)
+    return orig_spec, _cut_piece(piece, {group: orig_spec})
 
 
 # ---------------------------------------------------------------------------

@@ -35,8 +35,10 @@ from repro.cutting.reconstruction import (
     _basis_rows,
     _chain_row_runs,
     _chain_rows,
+    _contract_network,
     _contract_tree,
     _normalise_bases,
+    _resolve_plan,
     _signs_for,
     _tree_of,
     build_tree_fragment_tensor,
@@ -216,6 +218,7 @@ def tree_reconstruction_variance(data, bases=None) -> np.ndarray:
     stats = [
         _tree_row_stats(data, i, bases) for i in range(tree.num_fragments)
     ]
+    plan = _resolve_plan(tree, bases, None)
     scale = 1.0 / float(4**tree.total_cuts)
     total = np.zeros(1 << n_total)
     for v in range(tree.num_fragments):
@@ -223,7 +226,10 @@ def tree_reconstruction_variance(data, bases=None) -> np.ndarray:
             stats[i][1] if i == v else np.square(stats[i][0])
             for i in range(tree.num_fragments)
         ]
-        vec, order = _contract_tree(tensors, tree)
+        if plan is None:
+            vec, order = _contract_tree(tensors, tree)
+        else:
+            vec, order = _contract_network(tensors, tree, plan, bases)
         total += permute_probability_axes(vec, order)
     return scale * total
 

@@ -30,6 +30,7 @@ from repro.utils.timing import Stopwatch
 
 __all__ = [
     "chain_cut_circuit",
+    "dag_cut_circuit",
     "ghz_star_circuit",
     "ghz_star_truth",
     "golden_chain_circuit",
@@ -251,6 +252,102 @@ def tree_cut_circuit(
                 tuple(CutPoint(w, boundary[w]) for w in edge_wires[c])
             )
     return qc, [specs_by_child[c] for c in range(1, N)]
+
+
+def dag_cut_circuit(
+    edges: "list[tuple[int, int]]",
+    cuts_per_group: "int | list[int]" = 1,
+    fresh_per_fragment: int = 1,
+    depth: int = 2,
+    seed: "int | None" = None,
+    real_blocks: bool = False,
+):
+    """A branched circuit whose cut specs induce an explicit fragment DAG.
+
+    The DAG generalisation of :func:`tree_cut_circuit`: ``edges[g] =
+    (src, dst)`` feeds cut group ``g`` from builder-node ``src`` into
+    builder-node ``dst`` (``src < dst``; nodes are ``0..max(dst)``).  A
+    node with several in-edges becomes a *joint-prep* fragment — exactly
+    the shape the old tree engine rejected with "a DAG, not a tree".
+    Block ``i`` acts on the wires entering from all of its parents plus
+    ``max(fresh_per_fragment, outgoing cut wires)`` fresh qubits; every
+    out-edge takes distinct fresh qubits, so wires only meet where the
+    DAG says they do.  Returns ``(circuit, specs)`` with one
+    :class:`~repro.cutting.cut.CutSpec` per edge in original-circuit
+    coordinates — ready for :func:`repro.cutting.tree.partition_tree`.
+    ``edges = [(i, i + 1), ...]`` degenerates to a chain and a
+    single-parent edge set to a tree.
+
+    ``real_blocks=True`` keeps every block real-amplitude, making every
+    cut wire Y-golden.
+    """
+    edges = [tuple(e) for e in edges]
+    if not edges:
+        raise ValueError("a DAG needs at least one cut group")
+    N = max(dst for _, dst in edges) + 1
+    for g, (src, dst) in enumerate(edges):
+        if not 0 <= src < dst < N:
+            raise ValueError(
+                f"edges[{g}] = {(src, dst)} must satisfy 0 <= src < dst"
+            )
+    if isinstance(cuts_per_group, int):
+        cuts_per_group = [cuts_per_group] * len(edges)
+    if len(cuts_per_group) != len(edges):
+        raise ValueError("need one cut count per edge")
+    in_edges: dict[int, list[int]] = {i: [] for i in range(N)}
+    out_edges: dict[int, list[int]] = {i: [] for i in range(N)}
+    for g, (src, dst) in enumerate(edges):
+        out_edges[src].append(g)
+        in_edges[dst].append(g)
+    rng = as_generator(seed)
+    block = random_real_circuit if real_blocks else random_circuit
+
+    # fresh-qubit allocation: node i owns max(fresh, outgoing cuts) wires
+    fresh_of: dict[int, list[int]] = {}
+    n = 0
+    for i in range(N):
+        total_out = sum(cuts_per_group[g] for g in out_edges[i])
+        width = max(fresh_per_fragment, total_out)
+        fresh_of[i] = list(range(n, n + width))
+        n += width
+    qc = Circuit(n, name=f"dag[N={N}]")
+
+    edge_wires: dict[int, list[int]] = {}  # edge id -> its cut wires
+    specs_by_edge: dict[int, CutSpec] = {}
+    for i in range(N):
+        entering = [w for g in in_edges[i] for w in edge_wires[g]]
+        qubits = entering + fresh_of[i]
+        before = len(qc)
+        # entangling ladder: couples all entering wires through the whole
+        # block, pinning the intended DAG shape; cx is real, so
+        # Y-goldenness survives real_blocks
+        for a, b in zip(qubits, qubits[1:]):
+            qc.cx(a, b)
+        qc = qc.compose(block(len(qubits), depth, seed=rng), qubits=qubits)
+        # each out-edge takes distinct wires off the end of the fresh set
+        pos = len(fresh_of[i])
+        for g in reversed(out_edges[i]):
+            k = cuts_per_group[g]
+            edge_wires[g] = fresh_of[i][pos - k : pos]
+            pos -= k
+        for g in out_edges[i]:
+            for w in edge_wires[g]:  # every cut wire needs an anchor here
+                if not any(
+                    w in qc[j].qubits for j in range(before, len(qc))
+                ):
+                    angle = float(rng.uniform(0, 6.28))
+                    if real_blocks:
+                        qc.ry(angle, w)
+                    else:
+                        qc.rx(angle, w)
+            boundary = {
+                w: max(j for j, inst in enumerate(qc) if w in inst.qubits)
+                for w in edge_wires[g]
+            }
+            specs_by_edge[g] = CutSpec(
+                tuple(CutPoint(w, boundary[w]) for w in edge_wires[g])
+            )
+    return qc, [specs_by_edge[g] for g in range(len(edges))]
 
 
 def ghz_star_circuit(

@@ -228,8 +228,9 @@ class TestPartitionTree:
         with pytest.raises(CutError):
             partition_tree(qc, [])
 
-    def test_dag_specs_rejected(self):
-        """Two groups preparing into one fragment is a DAG, not a tree."""
+    def test_dag_specs_route_to_dag_engine(self):
+        """Two groups preparing into one fragment now builds a joint-prep
+        DAG node instead of raising "a DAG, not a tree"."""
         from repro.circuits.circuit import Circuit
         from repro.cutting.cut import CutPoint, CutSpec
 
@@ -241,8 +242,49 @@ class TestPartitionTree:
             CutSpec((CutPoint(0, 0),)),
             CutSpec((CutPoint(1, 1),)),
         ]
-        with pytest.raises(CutError, match="DAG, not a tree"):
-            partition_tree(qc, specs)
+        tree = partition_tree(qc, specs)
+        assert not tree.is_tree and not tree.is_chain
+        sink = tree.fragments[-1]
+        assert sink.in_groups == [0, 1] and sink.in_group is None
+        assert sink.num_prep == 2 and sink.num_parents == 2
+        # flat prep layout is the group-ordered concatenation
+        assert sink.prep_local == [
+            w for h in sink.in_groups for w in sink.prep_local_by_group[h]
+        ]
+        assert sink.prep_offset(0) == 0 and sink.prep_offset(1) == 1
+        with pytest.raises(CutError):
+            sink.prep_offset(99)
+        assert tree.group_dst == [2, 2]
+        assert tree.parents(2) == [0, 1]
+
+    def test_cyclic_construction_rejected(self):
+        """Genuinely cyclic structures still fail loudly (src ≥ dst)."""
+        import copy
+
+        from repro.circuits.circuit import Circuit
+        from repro.cutting.cut import CutPoint, CutSpec
+        from repro.cutting.tree import FragmentTree
+
+        qc = Circuit(2, name="dag")
+        qc.rx(0.3, 0)          # 0
+        qc.ry(0.2, 1)          # 1
+        qc.cx(1, 0)            # 2
+        tree = partition_tree(
+            qc, [CutSpec((CutPoint(0, 0),)), CutSpec((CutPoint(1, 1),))]
+        )
+        frags = copy.deepcopy(tree.fragments)
+        # re-home group 1 so its source and destination coincide on
+        # fragment 1 — a self-loop, the minimal cycle
+        frags[1].in_group = 1
+        frags[1].prep_local = [0]
+        frags[2].in_group = 0
+        frags[2].in_groups = [0]
+        frags[2].prep_local = [frags[2].prep_local[0]]
+        frags[2].prep_local_by_group = {0: list(frags[2].prep_local)}
+        with pytest.raises(CutError, match="cyclic|must precede"):
+            FragmentTree(
+                fragments=frags, group_sizes=list(tree.group_sizes)
+            )
 
     def test_splitting_a_groups_measured_wires_rejected(self):
         from repro.circuits.circuit import Circuit
@@ -311,14 +353,19 @@ class TestPartitionTree:
         rebuild(root_enters, "root fragment")
 
         def no_entering(frags):
+            # a non-root source is legal in a DAG, but it strands the
+            # group that used to enter this fragment
             frags[1].in_group = None
+            frags[1].in_groups = []
+            frags[1].prep_local = []
+            frags[1].prep_local_by_group = {}
 
-        rebuild(no_entering, "root fragment")
+        rebuild(no_entering, "not attached")
 
         def duplicate_dst(frags):
             frags[1].in_group = frags[2].in_group
 
-        rebuild(duplicate_dst, "is not a tree|not attached")
+        rebuild(duplicate_dst, "enters two fragments|not attached")
 
         def group_out_of_range(frags):
             frags[1].in_group = 99
