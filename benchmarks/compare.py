@@ -19,6 +19,7 @@ runs the hot-path suites through pytest-benchmark and dumps
 * ``benchmarks/BENCH_resilience.json``       ← ``bench_resilience.py``
 * ``benchmarks/BENCH_cut_search.json``       ← ``bench_cut_search.py``
 * ``benchmarks/BENCH_dag_contraction.json``  ← ``bench_dag_contraction.py``
+* ``benchmarks/BENCH_process_executor.json`` ← ``bench_process_executor.py``
 
 Suites that opt into :func:`conftest.record_memory` also carry a
 ``mem_peak_bytes`` per benchmark (tracemalloc high-water mark of one
@@ -63,6 +64,7 @@ SUITES = {
     "BENCH_resilience.json": "bench_resilience.py",
     "BENCH_cut_search.json": "bench_cut_search.py",
     "BENCH_dag_contraction.json": "bench_dag_contraction.py",
+    "BENCH_process_executor.json": "bench_process_executor.py",
 }
 
 

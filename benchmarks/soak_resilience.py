@@ -6,8 +6,8 @@ contracts of :mod:`repro.cutting.resilience`:
 
 * every retried run completes **bit-identical** to the fault-free run
   (retries re-sample the variant's original RNG stream);
-* serial and threaded execution agree on records *and* on the canonical
-  (order-insensitive) attempt ledger;
+* serial, threaded and process-pool execution agree on records *and* on
+  the canonical (order-insensitive) attempt ledger;
 * a permanently dead variant family degrades into a rigorous widened
   ``tv_bound()`` that really bounds the measured TV error;
 * a checkpointed run aborted mid-tree resumes bit-identically without
@@ -34,6 +34,7 @@ from repro.backends import (
     DeadVariantFamily,
     FaultInjectionBackend,
     FaultPlan,
+    FaultyBackendFactory,
     IdealBackend,
 )
 from repro.core import cut_and_run_tree
@@ -127,12 +128,15 @@ def soak_parallel(tree):
     )
     plan = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
     policy = RetryPolicy(max_attempts=4)
+    # FaultyBackendFactory is picklable, so the same factory drives the
+    # in-process modes and the process pool (which ships it to workers)
+    factory = FaultyBackendFactory(IdealBackend, plan)
     ledgers, failures = {}, 0
-    for mode in ("serial", "thread"):
+    for mode in ("serial", "thread", "process"):
         ledgers[mode] = AttemptLedger()
         data = run_tree_fragments_parallel(
             tree,
-            lambda: FaultInjectionBackend(IdealBackend(), plan),
+            factory,
             shots=SHOTS,
             seed=SEED,
             max_workers=4,
@@ -142,10 +146,18 @@ def soak_parallel(tree):
         )
         assert_identical(baseline, data, f"parallel-{mode}")
         failures = ledgers[mode].summary()["failures"]
-    assert ledgers["serial"].canonical() == ledgers["thread"].canonical(), (
-        "serial and threaded ledgers diverged"
-    )
-    return [("parallel serial==thread", len(ledgers["thread"].records), failures)]
+    canon = ledgers["serial"].canonical()
+    for mode in ("thread", "process"):
+        assert ledgers[mode].canonical() == canon, (
+            f"serial and {mode} ledgers diverged"
+        )
+    return [
+        (
+            "parallel serial==thread==process",
+            len(ledgers["process"].records),
+            failures,
+        )
+    ]
 
 
 def soak_degradation(qc, specs, tree):

@@ -4,8 +4,14 @@ from repro.backends.base import Backend, ExecutionResult, validate_execution_res
 from repro.backends.ideal import IdealBackend
 from repro.backends.timing import DeviceTimingModel
 from repro.backends.fake_hardware import FakeHardwareBackend
-from repro.backends.faults import DeadVariantFamily, FaultInjectionBackend, FaultPlan
+from repro.backends.faults import (
+    DeadVariantFamily,
+    FaultInjectionBackend,
+    FaultPlan,
+    FaultyBackendFactory,
+)
 from repro.backends.devices import fake_5q_device, fake_7q_device, fake_device
+from repro.backends.trajectory import TrajectoryBackend, trajectory_5q_device
 
 __all__ = [
     "Backend",
@@ -16,8 +22,11 @@ __all__ = [
     "DeadVariantFamily",
     "FaultInjectionBackend",
     "FaultPlan",
+    "FaultyBackendFactory",
+    "TrajectoryBackend",
     "fake_5q_device",
     "fake_7q_device",
     "fake_device",
+    "trajectory_5q_device",
     "validate_execution_result",
 ]

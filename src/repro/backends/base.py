@@ -206,6 +206,29 @@ class Backend(abc.ABC):
         ]
         return self.run(circuits, shots=shots, seed=seed)
 
+    def make_tree_fragment_cache(self, fragment, dtype=np.float64):
+        """Build one tree fragment's simulation cache (``None`` = none).
+
+        The per-fragment unit the pool, the process-pool workers, and the
+        content-addressed fragment store all build on: backends with an
+        exact engine return a warmable cache bound to ``fragment`` (ideal →
+        :class:`~repro.cutting.cache.TreeFragmentSimCache`, fake hardware →
+        :class:`~repro.cutting.noisy_cache.NoisyTreeFragmentSimCache`);
+        backends that really execute circuits return ``None``.
+        """
+        return None
+
+    def restore_tree_fragment_cache(self, fragment, arrays, meta):
+        """Rebuild a warmed fragment cache from ``export_arrays`` output.
+
+        The process-pool executor exports each warmed cache's numeric banks
+        into shared memory in the parent and calls this hook in every
+        worker, so warming happens once per body rather than once per
+        worker.  Backends without a cache return ``None`` (workers then
+        execute circuits directly, which is their whole point).
+        """
+        return None
+
     def make_tree_cache_pool(self, tree, dtype=np.float64):
         """Build the per-fragment cache pool :meth:`run_tree_variants` uses.
 
@@ -218,8 +241,19 @@ class Backend(abc.ABC):
         ``dtype`` is the requested precision of the cached *probability*
         records (simulation itself stays complex); backends whose caches
         do not support it may ignore the request.
+
+        Assembled from :meth:`make_tree_fragment_cache`, the per-fragment
+        hook backends actually override.
         """
-        return None
+        from repro.cutting.cache import TreeCachePool
+
+        caches = [
+            self.make_tree_fragment_cache(f, dtype=dtype)
+            for f in tree.fragments
+        ]
+        if any(c is None for c in caches):
+            return None
+        return TreeCachePool(tree, caches)
 
     def make_chain_cache_pool(self, chain, dtype=np.float64):
         """Chain alias of :meth:`make_tree_cache_pool` (a linear tree)."""

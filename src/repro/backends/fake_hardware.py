@@ -220,23 +220,27 @@ class FakeHardwareBackend(Backend):
             )
         return out
 
-    def make_tree_cache_pool(self, tree, dtype=np.float64):
-        """One :class:`NoisyTreeFragmentSimCache` per tree fragment.
+    def make_tree_fragment_cache(self, fragment, dtype=np.float64):
+        """A :class:`NoisyTreeFragmentSimCache` bound to ``fragment``.
 
         ``dtype`` is accepted for interface parity but ignored: noisy
         caches serve finite-shot sampling, where shot noise dwarfs any
         float32 rounding, and the density-matrix pipeline is not worth
-        complicating for it.
+        complicating for it.  The pool assembled by the base
+        ``make_tree_cache_pool`` holds one of these per tree fragment.
         """
-        from repro.cutting.cache import TreeCachePool
         from repro.cutting.noisy_cache import NoisyTreeFragmentSimCache
 
-        return TreeCachePool(
-            tree,
-            [
-                NoisyTreeFragmentSimCache(f, self.coupling, self.noise_model)
-                for f in tree.fragments
-            ],
+        return NoisyTreeFragmentSimCache(
+            fragment, self.coupling, self.noise_model
+        )
+
+    def restore_tree_fragment_cache(self, fragment, arrays, meta):
+        """Rebuild a warmed device cache in a pool worker (zero transpiles)."""
+        from repro.cutting.noisy_cache import NoisyTreeFragmentSimCache
+
+        return NoisyTreeFragmentSimCache.from_arrays(
+            fragment, self.coupling, self.noise_model, arrays, meta
         )
 
     def run_tree_variants(

@@ -38,7 +38,12 @@ from repro.circuits.circuit import Circuit
 from repro.exceptions import TransientBackendError
 from repro.utils.rng import spawn_rngs
 
-__all__ = ["DeadVariantFamily", "FaultInjectionBackend", "FaultPlan"]
+__all__ = [
+    "DeadVariantFamily",
+    "FaultInjectionBackend",
+    "FaultPlan",
+    "FaultyBackendFactory",
+]
 
 
 @dataclass(frozen=True)
@@ -170,6 +175,12 @@ class FaultInjectionBackend(Backend):
 
     def make_tree_cache_pool(self, tree, dtype=np.float64):
         return self.inner.make_tree_cache_pool(tree, dtype=dtype)
+
+    def make_tree_fragment_cache(self, fragment, dtype=np.float64):
+        return self.inner.make_tree_fragment_cache(fragment, dtype=dtype)
+
+    def restore_tree_fragment_cache(self, fragment, arrays, meta):
+        return self.inner.restore_tree_fragment_cache(fragment, arrays, meta)
 
     def _execute(self, circuit, shots, rng):  # pragma: no cover - delegated
         return self.inner._execute(circuit, shots, rng)
@@ -321,3 +332,26 @@ class FaultInjectionBackend(Backend):
         return self.run_tree_variants(
             chain, index, combos, shots=shots, seed=seed, cache=cache
         )
+
+
+@dataclass(frozen=True)
+class FaultyBackendFactory:
+    """Picklable zero-arg factory of fault-injected backends.
+
+    The process-pool executor pickles its ``backend_factory`` into every
+    worker, where lambdas (the natural way to write
+    ``lambda: FaultInjectionBackend(IdealBackend(), plan)``) cannot go.
+    This dataclass closes over a picklable ``inner_factory`` (a backend
+    class, a module-level function such as
+    :func:`~repro.backends.devices.fake_5q_device`, or a
+    ``functools.partial`` of one) plus the :class:`FaultPlan`, and builds a
+    fresh wrapped backend per call — one per worker process, each with its
+    own per-site invocation counters, exactly like the thread executor's
+    per-worker wrappers.
+    """
+
+    inner_factory: object
+    plan: FaultPlan
+
+    def __call__(self) -> FaultInjectionBackend:
+        return FaultInjectionBackend(self.inner_factory(), self.plan)

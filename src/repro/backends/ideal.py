@@ -113,19 +113,24 @@ class IdealBackend(Backend):
         ]
         return out
 
-    def make_tree_cache_pool(self, tree, dtype=np.float64):
-        """One :class:`TreeFragmentSimCache` per tree fragment.
+    def make_tree_fragment_cache(self, fragment, dtype=np.float64):
+        """A :class:`TreeFragmentSimCache` bound to ``fragment``.
 
         ``dtype`` sets the precision of the cached probability records
         (float32 is the memory-halving fast path; simulation itself stays
         complex — see :class:`~repro.cutting.cache.TreeFragmentSimCache`).
+        The pool assembled by the base ``make_tree_cache_pool`` holds one
+        of these per tree fragment.
         """
-        from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
+        from repro.cutting.cache import TreeFragmentSimCache
 
-        return TreeCachePool(
-            tree,
-            [TreeFragmentSimCache(f, dtype=dtype) for f in tree.fragments],
-        )
+        return TreeFragmentSimCache(fragment, dtype=dtype)
+
+    def restore_tree_fragment_cache(self, fragment, arrays, meta):
+        """Rebuild a warmed :class:`TreeFragmentSimCache` in a pool worker."""
+        from repro.cutting.cache import TreeFragmentSimCache
+
+        return TreeFragmentSimCache.from_arrays(fragment, arrays, meta)
 
     def run_tree_variants(
         self,

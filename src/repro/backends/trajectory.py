@@ -1,0 +1,118 @@
+"""Monte-Carlo trajectory backend — the CPU-bound noisy workload.
+
+:class:`TrajectoryBackend` executes every job by averaging stochastic
+pure-state trajectories (:mod:`repro.sim.trajectories`) instead of evolving
+a density matrix.  Each trajectory is a Python-level per-gate loop — Kraus
+branch sampling, small-matrix applications — that holds the GIL almost the
+whole time, so this backend is the realistic stand-in for workloads where
+thread pools cannot scale and the process-pool executor
+(:func:`repro.parallel.executor.run_tree_fragments_parallel` with
+``mode="process"``) earns its keep.  It deliberately builds **no** variant
+cache: every variant is a genuine physical execution, exactly the regime
+the thread-vs-process benchmark (``benchmarks/bench_process_executor.py``)
+measures.
+
+Determinism: each job consumes only its own per-circuit RNG stream —
+trajectory Kraus draws first, then the multinomial count draw — so counts
+are bit-identical across serial, thread, and process executors, which
+derive those streams from global task indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, ExecutionResult
+from repro.backends.fake_hardware import finalize_physical_probs
+from repro.backends.timing import DeviceTimingModel
+from repro.circuits.circuit import Circuit
+from repro.noise.model import NoiseModel
+from repro.sim.sampler import sample_counts
+from repro.sim.trajectories import trajectory_probabilities
+from repro.transpile.coupling import CouplingMap
+from repro.transpile.pipeline import transpile
+
+__all__ = ["TrajectoryBackend", "trajectory_5q_device"]
+
+
+class TrajectoryBackend(Backend):
+    """Noisy device simulated by quantum-trajectory sampling.
+
+    Same job pipeline as :class:`~repro.backends.fake_hardware
+    .FakeHardwareBackend` — transpile, noisy evolution, readout confusion,
+    layout un-permutation, multinomial sampling, timing charge — with the
+    density-matrix engine swapped for ``num_trajectories`` averaged
+    stochastic trajectories.  Results carry Monte-Carlo noise of order
+    ``1/sqrt(num_trajectories)`` on top of shot noise; they remain exactly
+    reproducible per seed.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        noise_model: NoiseModel,
+        num_trajectories: int = 48,
+        timing: DeviceTimingModel | None = None,
+        name: str = "trajectory_device",
+    ) -> None:
+        super().__init__()
+        self.coupling = coupling
+        self.noise_model = noise_model
+        self.num_trajectories = int(num_trajectories)
+        self.timing = timing or DeviceTimingModel()
+        self.name = name
+        self.max_qubits = coupling.num_qubits
+
+    def _execute(
+        self, circuit: Circuit, shots: int, rng: np.random.Generator
+    ) -> ExecutionResult:
+        physical, layout = transpile(circuit, self.coupling)
+        probs = trajectory_probabilities(
+            physical, self.noise_model, self.num_trajectories, seed=rng
+        )
+        probs = finalize_physical_probs(
+            probs, self.noise_model.readout, layout, circuit.num_qubits
+        )
+        # trajectory averages carry Monte-Carlo noise; renormalise before
+        # the multinomial draw so sampling sees an exact distribution
+        probs = np.clip(probs, 0.0, None)
+        probs = probs / probs.sum()
+        counts = sample_counts(
+            probs, shots, seed=rng, num_qubits=circuit.num_qubits
+        )
+        seconds = self.timing.job_seconds(physical, shots)
+        self.clock.charge(seconds, label=f"job:{circuit.name}")
+        return ExecutionResult(
+            counts=counts,
+            shots=shots,
+            num_qubits=circuit.num_qubits,
+            seconds=seconds,
+            metadata={
+                "backend": self.name,
+                "num_trajectories": self.num_trajectories,
+                "layout": list(layout),
+            },
+        )
+
+
+def trajectory_5q_device(
+    num_trajectories: int = 48,
+    p1: float = 3e-4,
+    p2: float = 1e-2,
+    p01: float = 0.015,
+    p10: float = 0.03,
+) -> TrajectoryBackend:
+    """5-qubit T-topology trajectory device (module-level, hence picklable).
+
+    The process-pool executor pickles its ``backend_factory`` into worker
+    processes; ``functools.partial(trajectory_5q_device, num_trajectories=N)``
+    is the intended spelling there.
+    """
+    from repro.backends.devices import _standard_noise
+
+    return TrajectoryBackend(
+        CouplingMap.ibm_t_shape_5q(),
+        _standard_noise(5, p1, p2, p01, p10),
+        num_trajectories=num_trajectories,
+        name="trajectory_lima_5q",
+    )

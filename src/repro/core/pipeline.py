@@ -271,6 +271,10 @@ def cut_and_run_tree(
     max_cuts: "int | None" = None,
     search_objective: str = "width",
     plan=None,
+    executor: str = "serial",
+    max_workers: "int | None" = None,
+    runner=None,
+    fragment_store=None,
     _tree=None,
 ) -> TreeRunResult:
     """Cut ``circuit`` into a fragment tree, run it, reconstruct.
@@ -352,6 +356,28 @@ def cut_and_run_tree(
     * ``checkpoint`` — a :class:`~repro.cutting.io.TreeCheckpoint`;
       completed fragments persist as they finish, and a resumed run
       splices them in (bit-identically) instead of re-executing.
+
+    Execution-scaling knobs (see :mod:`repro.parallel`):
+
+    * ``executor`` — ``"serial"`` (default, the historical in-process
+      path), ``"thread"`` or ``"process"``.  Non-serial modes route the
+      production run through :func:`~repro.parallel.executor
+      .run_tree_fragments_parallel` with ``mode=executor`` and require
+      ``backend`` to be a **zero-arg factory** (a backend class,
+      module-level function or ``functools.partial`` — picklable for
+      ``"process"``); pilot sweeps still run on one probe instance
+      (they are sequential by construction).  ``checkpoint`` requires
+      ``executor="serial"``.  ``max_workers`` caps the pool.
+    * ``runner`` — a drop-in replacement for
+      :func:`~repro.cutting.execution.run_tree_fragments` used for the
+      pilot *and* (serial) production calls; this is how
+      :class:`~repro.parallel.service.CutRunService` routes requests
+      through its coalescer.
+    * ``fragment_store`` — a :class:`~repro.cutting.fingerprint
+      .FragmentStore`; the cache pool is drawn from the store's
+      content-addressed warmed caches, so repeated runs over circuits
+      sharing fragment bodies transpile each distinct body once per
+      store, not once per call.
     """
     from repro.cutting.cache import TreeCachePool, TreeFragmentSimCache
     from repro.cutting.execution import run_tree_fragments
@@ -364,6 +390,22 @@ def cut_and_run_tree(
     from repro.core.golden import find_tree_golden_bases_analytic
 
     rng = as_generator(seed)
+    if executor not in ("serial", "thread", "process"):
+        raise CutError(
+            f'executor must be "serial"/"thread"/"process", got {executor!r}'
+        )
+    backend_factory = None
+    if executor != "serial":
+        if not callable(backend):
+            raise CutError(
+                f'executor="{executor}" needs a zero-arg backend factory, '
+                f"got a {type(backend).__name__} instance"
+            )
+        if checkpoint is not None:
+            raise CutError('checkpoint requires executor="serial"')
+        backend_factory = backend
+        backend = backend_factory()
+    run = runner if runner is not None else run_tree_fragments
     if _tree is not None:
         tree = _tree
     else:
@@ -378,7 +420,10 @@ def cut_and_run_tree(
             topology="tree",
         )
         tree = partition_tree(circuit, specs)
-    pool = backend.make_tree_cache_pool(tree, dtype=dtype)
+    if fragment_store is not None:
+        pool = fragment_store.pool_for(tree, backend, dtype)
+    else:
+        pool = backend.make_tree_cache_pool(tree, dtype=dtype)
 
     if retry is not None and ledger is None:
         from repro.cutting.resilience import AttemptLedger
@@ -453,7 +498,7 @@ def cut_and_run_tree(
                 )
             pilot_variants: list = [None] * tree.num_fragments
             pilot_variants[i] = combos
-            pilot_data = run_tree_fragments(
+            pilot_data = run(
                 tree,
                 backend,
                 shots=pilot,
@@ -490,19 +535,36 @@ def cut_and_run_tree(
         bases = None
         variants = None
 
-    data = run_tree_fragments(
-        tree,
-        backend,
-        shots=shots,
-        variants=variants,
-        seed=derive_rng(rng, 0x53),
-        pool=pool,
-        dtype=dtype,
-        retry=retry,
-        ledger=ledger,
-        on_exhausted=on_exhausted,
-        checkpoint=checkpoint,
-    )
+    if backend_factory is not None:
+        from repro.parallel.executor import run_tree_fragments_parallel
+
+        data = run_tree_fragments_parallel(
+            tree,
+            backend_factory,
+            shots,
+            variants=variants,
+            seed=derive_rng(rng, 0x53),
+            max_workers=max_workers,
+            mode=executor,
+            dtype=dtype,
+            retry=retry,
+            ledger=ledger,
+            on_exhausted=on_exhausted,
+        )
+    else:
+        data = run(
+            tree,
+            backend,
+            shots=shots,
+            variants=variants,
+            seed=derive_rng(rng, 0x53),
+            pool=pool,
+            dtype=dtype,
+            retry=retry,
+            ledger=ledger,
+            on_exhausted=on_exhausted,
+            checkpoint=checkpoint,
+        )
 
     degraded_sites = list(data.metadata.get("degraded_sites", []))
     degradation_bound = 0.0

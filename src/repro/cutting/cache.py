@@ -300,7 +300,7 @@ class TreeFragmentSimCache:
     __slots__ = (
         "fragment",
         "dtype",
-        "_columns",
+        "_columns_box",
         "_rotated",
         "_probs",
         "_joint",
@@ -310,7 +310,10 @@ class TreeFragmentSimCache:
     def __init__(self, fragment, dtype=np.float64) -> None:
         self.fragment = fragment
         self.dtype = np.dtype(dtype)
-        self._columns: "np.ndarray | None" = None
+        #: one-slot shared box for the response columns — a box, not a
+        #: plain attribute, so rebound clones see a body simulation that
+        #: happens after the rebind (the box is shared, its content mutates)
+        self._columns_box: list = [None]
         #: setting -> rotated amplitude bank, shape ``(2,)*n + (2^{K_prev},)``
         self._rotated: dict[tuple[str, ...], np.ndarray] = {}
         self._probs: dict[tuple, np.ndarray] = {}
@@ -319,6 +322,14 @@ class TreeFragmentSimCache:
         self._axes = tuple(reversed(fragment.out_local)) + tuple(
             reversed(fragment.cut_local)
         )
+
+    @property
+    def _columns(self) -> "np.ndarray | None":
+        return self._columns_box[0]
+
+    @_columns.setter
+    def _columns(self, value) -> None:
+        self._columns_box[0] = value
 
     # ------------------------------------------------------------------
     def _response_columns(self) -> np.ndarray:
@@ -498,6 +509,70 @@ class TreeFragmentSimCache:
         for inits, setting in combos:
             self.probabilities(inits, setting)
         return self
+
+    # ------------------------------------------------------------------
+    # Cross-process state transfer (the process-pool executor's substrate).
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Warmed state as ``(arrays, meta)`` for cross-process transfer.
+
+        ``arrays`` maps stable names to the large read-only banks (the
+        response columns, per-setting rotated banks, and memoised flat
+        distributions) — suitable for a shared-memory segment so every
+        worker process maps one copy.  ``meta`` is a small picklable
+        manifest pairing those names back to their dict keys.  ``_joint``
+        records are derivable and deliberately not shipped.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        meta = {"dtype": self.dtype.str, "rotated": [], "probs": []}
+        if self._columns is not None:
+            arrays["columns"] = self._columns
+        for j, setting in enumerate(sorted(self._rotated)):
+            arrays[f"rot{j}"] = self._rotated[setting]
+            meta["rotated"].append(setting)
+        for j, key in enumerate(sorted(self._probs)):
+            arrays[f"p{j}"] = self._probs[key]
+            meta["probs"].append(key)
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(cls, fragment, arrays, meta) -> "TreeFragmentSimCache":
+        """Rebuild a warmed cache around ``fragment`` from exported state.
+
+        The inverse of :meth:`export_arrays`.  ``fragment`` must be the
+        worker's own (pickled) copy of the same fragment — backends compare
+        cache identity with ``cache.fragment is frag`` before serving from
+        it, so the restored cache binds to the consumer's object, not the
+        exporter's.
+        """
+        cache = cls(fragment, dtype=np.dtype(meta["dtype"]))
+        cache._columns = arrays.get("columns")
+        cache._rotated = {
+            tuple(s): arrays[f"rot{j}"] for j, s in enumerate(meta["rotated"])
+        }
+        cache._probs = {
+            (tuple(a), tuple(s)): arrays[f"p{j}"]
+            for j, (a, s) in enumerate(meta["probs"])
+        }
+        return cache
+
+    def rebind(self, fragment) -> "TreeFragmentSimCache":
+        """A cache serving ``fragment`` from this cache's warmed state.
+
+        The content-addressed fragment store hands one warmed cache to many
+        structurally-identical fragments from different requests; the clone
+        *shares* the memo dicts and the response-column box, so anything
+        either copy warms benefits both (the cross-request cache-hit law)
+        no matter which clone computes first.  Rebinding to the cache's own
+        fragment is the identity.
+        """
+        if fragment is self.fragment:
+            return self
+        clone = type(self)(fragment, dtype=self.dtype)
+        clone._columns_box = self._columns_box
+        clone._rotated = self._rotated
+        clone._probs = self._probs
+        clone._joint = self._joint
+        return clone
 
 
 class TreeCachePool:

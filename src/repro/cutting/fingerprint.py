@@ -1,0 +1,224 @@
+"""Content-addressed fragment identity.
+
+Two cut requests that share a fragment *body* — same local circuit, same
+entering/exiting cut-group layout, same device physics — should share one
+warmed simulation cache, even when the :class:`~repro.cutting.tree
+.TreeFragment` objects are distinct (two callers cutting the same circuit
+build independent trees).  This module defines that identity: a canonical
+SHA-256 fingerprint over
+
+* the fragment's local circuit (instruction names, qubit tuples, exact
+  parameter bytes),
+* the flat preparation/measurement layouts and their group decomposition
+  (``in_groups``/``prep_local_by_group``, ``meas_groups``/
+  ``cut_local_by_group``) — the part of fragment identity the cut protocol
+  reads,
+* the executing backend's physics: device class, coupling graph, noise
+  model (rules' gate names, qubit restrictions and exact Kraus bytes;
+  readout confusion entries), timing constants, and knobs like
+  ``num_trajectories``.
+
+Transpilation is deterministic given (circuit, coupling), so hashing the
+*logical* body plus the coupling map addresses the transpiled body without
+paying for a transpile per lookup.
+
+:class:`FragmentStore` is the content-addressed cache built on these
+fingerprints: ``get_or_create`` returns a warmed-once-per-body cache
+rebound to the caller's fragment object (backends verify ``cache.fragment
+is frag`` before serving), and ``pool_for`` assembles a whole tree's
+:class:`~repro.cutting.cache.TreeCachePool` from the store so concurrent
+requests over overlapping circuits transpile each distinct body exactly
+once per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+from repro.cutting.cache import TreeCachePool
+
+__all__ = [
+    "FragmentStore",
+    "backend_fingerprint",
+    "circuit_fingerprint",
+    "coupling_fingerprint",
+    "fragment_fingerprint",
+    "noise_fingerprint",
+]
+
+
+def _hash(parts) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return h.hexdigest()
+
+
+def circuit_fingerprint(circuit) -> str:
+    """Canonical hash of a circuit: width + exact instruction stream.
+
+    Parameters are hashed as float64 bytes, so gates that differ only in
+    the last ulp of an angle hash differently — content addressing must
+    never conflate distributions that the simulator would distinguish.
+    """
+    parts = [b"circuit", circuit.num_qubits]
+    for inst in circuit:
+        parts.append(inst.name)
+        parts.append(inst.qubits)
+        parts.append(np.asarray(inst.params, dtype=np.float64).tobytes())
+    return _hash(parts)
+
+
+def noise_fingerprint(noise_model) -> str:
+    """Canonical hash of a noise model: rules in order + readout entries."""
+    parts = [b"noise"]
+    for rule in noise_model.rules:
+        parts.append(rule.gate_names)
+        parts.append(rule.qubits)
+        parts.append(rule.channel.name)
+        for op in rule.channel.operators:
+            parts.append(np.ascontiguousarray(op, dtype=np.complex128).tobytes())
+    for qubit in sorted(noise_model.readout):
+        err = noise_model.readout[qubit]
+        parts.append((qubit, float(err.p01), float(err.p10)))
+    return _hash(parts)
+
+
+def coupling_fingerprint(coupling) -> str:
+    """Canonical hash of a coupling map: qubit count + sorted edge set."""
+    return _hash([b"coupling", coupling.num_qubits, sorted(coupling.edges())])
+
+
+def _timing_parts(timing) -> tuple:
+    return (
+        float(timing.gate_time_1q),
+        float(timing.gate_time_2q),
+        float(timing.readout_time),
+        float(timing.reset_time),
+        float(timing.job_overhead),
+    )
+
+
+def backend_fingerprint(backend) -> str:
+    """Canonical hash of the physics a backend would apply to a fragment.
+
+    Covers the backend's class, and — where present — its coupling map,
+    noise model, timing constants and trajectory count.  Fault-injection
+    wrappers are transparent here on purpose: injected faults perturb
+    *executions*, not the cached body physics, and the wrapper delegates
+    cache construction to its inner backend.
+    """
+    inner = getattr(backend, "inner", None)
+    if inner is not None:  # fault wrapper: cache physics is the inner device's
+        return backend_fingerprint(inner)
+    parts: list = [b"backend", type(backend).__name__]
+    coupling = getattr(backend, "coupling", None)
+    if coupling is not None:
+        parts.append(coupling_fingerprint(coupling))
+    noise = getattr(backend, "noise_model", None)
+    if noise is not None:
+        parts.append(noise_fingerprint(noise))
+    timing = getattr(backend, "timing", None)
+    if timing is not None:
+        parts.append(_timing_parts(timing))
+    trajectories = getattr(backend, "num_trajectories", None)
+    if trajectories is not None:
+        parts.append(int(trajectories))
+    return _hash(parts)
+
+
+def fragment_fingerprint(fragment, backend, dtype=np.float64) -> str:
+    """Content address of one fragment body under one backend's physics."""
+    parts = [
+        b"fragment",
+        circuit_fingerprint(fragment.circuit),
+        tuple(fragment.prep_local),
+        tuple(fragment.cut_local),
+        tuple(fragment.out_local),
+        tuple(fragment.in_groups),
+        tuple(
+            (g, tuple(fragment.prep_local_by_group[g]))
+            for g in sorted(fragment.prep_local_by_group)
+        ),
+        tuple(fragment.meas_groups),
+        tuple(
+            (g, tuple(fragment.cut_local_by_group[g]))
+            for g in sorted(fragment.cut_local_by_group)
+        ),
+        backend_fingerprint(backend),
+        np.dtype(dtype).str,
+    ]
+    return _hash(parts)
+
+
+class FragmentStore:
+    """Process-wide content-addressed store of warmed fragment caches.
+
+    One canonical cache lives in the store per distinct
+    :func:`fragment_fingerprint`; every consumer receives a
+    :meth:`~repro.cutting.cache.TreeFragmentSimCache.rebind` view bound to
+    its own fragment object (satisfying the backends' ``cache.fragment is
+    frag`` identity check) that shares the canonical cache's memoised
+    arrays — and, for noisy caches, its stats counters, so the
+    transpile-once-per-body law is observable across requests.
+
+    Thread-safe; intended to be shared by every request of a
+    :class:`~repro.parallel.service.CutRunService`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._caches: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._caches)
+
+    def get_or_create(self, fragment, backend, dtype=np.float64):
+        """The shared cache for ``fragment`` under ``backend``, or ``None``.
+
+        ``None`` means the backend builds no cache for this fragment type
+        (e.g. :class:`~repro.backends.trajectory.TrajectoryBackend`) — the
+        caller should execute uncached, and nothing is stored.
+        """
+        key = fragment_fingerprint(fragment, backend, dtype)
+        with self._lock:
+            cache = self._caches.get(key)
+            if cache is not None:
+                self.hits += 1
+                return cache.rebind(fragment)
+            cache = backend.make_tree_fragment_cache(fragment, dtype=dtype)
+            if cache is None:
+                return None
+            self._caches[key] = cache
+            self.misses += 1
+            return cache  # freshly built around this very fragment object
+
+    def pool_for(self, tree, backend, dtype=np.float64):
+        """A :class:`TreeCachePool` for ``tree`` served from the store.
+
+        Returns ``None`` when the backend caches none of the fragments
+        (matching ``backend.make_tree_cache_pool`` semantics).
+        """
+        caches = [
+            self.get_or_create(frag, backend, dtype) for frag in tree.fragments
+        ]
+        if any(cache is None for cache in caches):
+            return None
+        return TreeCachePool(tree, caches)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "bodies": len(self._caches),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

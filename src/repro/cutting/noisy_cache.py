@@ -457,7 +457,7 @@ class NoisyTreeFragmentSimCache:
         "coupling",
         "noise_model",
         "stats",
-        "_body",
+        "_body_box",
         "_rotated_diag",
         "_probs",
         "_phys",
@@ -474,7 +474,10 @@ class NoisyTreeFragmentSimCache:
             "body_evolutions": 0,
             "rotation_evolutions": 0,
         }
-        self._body: "tuple | None" = None  # (physical, layout, rho batch)
+        #: one-slot shared box for (physical, layout, rho batch) — a box,
+        #: not a plain attribute, so rebound clones see a warm that happens
+        #: after the rebind (the box is shared, the value inside mutates)
+        self._body_box: list = [None]
         #: setting -> raw diagonals, shape (4^{K_prev}, 2^{n_phys})
         self._rotated_diag: dict[tuple[str, ...], np.ndarray] = {}
         self._probs: dict[tuple, np.ndarray] = {}
@@ -486,6 +489,14 @@ class NoisyTreeFragmentSimCache:
     _finalize = NoisyFragmentSimCache._finalize
     _lowered_prep = NoisyFragmentSimCache._lowered_prep
     _prep_coefficients = NoisyFragmentSimCache._prep_coefficients
+
+    @property
+    def _body(self) -> "tuple | None":
+        return self._body_box[0]
+
+    @_body.setter
+    def _body(self, value) -> None:
+        self._body_box[0] = value
 
     # ------------------------------------------------------------------
     def _body_state(self) -> tuple:
@@ -633,6 +644,86 @@ class NoisyTreeFragmentSimCache:
             self.probabilities(inits, setting)
             self.physical(inits, setting)
         return self
+
+    # ------------------------------------------------------------------
+    # Cross-process state transfer (the process-pool executor's substrate).
+    def export_arrays(self) -> tuple[dict, dict]:
+        """Warmed state as ``(arrays, meta)`` for cross-process transfer.
+
+        ``arrays`` holds the large numeric banks — the batched body
+        response tensor, the per-setting rotated diagonals, and memoised
+        logical distributions — which the process pool places in shared
+        memory so the one-transpile-per-body law survives fan-out: workers
+        map the evolved body instead of re-transpiling and re-evolving it.
+        ``meta`` is a small picklable manifest carrying the transpiled
+        physical circuit, its layout, and the memoised variant circuits.
+        """
+        arrays: dict[str, np.ndarray] = {}
+        meta: dict = {"body": None, "rotated": [], "probs": [], "phys": []}
+        if self._body is not None:
+            physical, layout, rho = self._body
+            arrays["body_rho"] = rho
+            meta["body"] = (physical, list(layout))
+        for j, setting in enumerate(sorted(self._rotated_diag)):
+            arrays[f"diag{j}"] = self._rotated_diag[setting]
+            meta["rotated"].append(setting)
+        for j, key in enumerate(sorted(self._probs)):
+            arrays[f"p{j}"] = self._probs[key]
+            meta["probs"].append(key)
+        meta["phys"] = sorted(self._phys.items())
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls, fragment, coupling, noise_model, arrays, meta
+    ) -> "NoisyTreeFragmentSimCache":
+        """Rebuild a warmed cache around ``fragment`` from exported state.
+
+        The inverse of :meth:`export_arrays`.  The restored cache performs
+        **zero** transpiles (``stats`` start at zero and stay there for any
+        already-warmed variant) — the assertion behind the per-worker
+        warm-once tests.  Unwarmed variants still work: the body tensor
+        travels with the export, so a cold setting costs one rotation
+        evolution, never a new transpile.
+        """
+        cache = cls(fragment, coupling, noise_model)
+        if meta["body"] is not None:
+            physical, layout = meta["body"]
+            cache._body = (physical, list(layout), arrays["body_rho"])
+        cache._rotated_diag = {
+            tuple(s): arrays[f"diag{j}"] for j, s in enumerate(meta["rotated"])
+        }
+        cache._probs = {
+            (tuple(a), tuple(s)): arrays[f"p{j}"]
+            for j, (a, s) in enumerate(meta["probs"])
+        }
+        cache._phys = {
+            (tuple(a), tuple(s)): circ for (a, s), circ in meta["phys"]
+        }
+        return cache
+
+    def rebind(self, fragment) -> "NoisyTreeFragmentSimCache":
+        """A cache serving ``fragment`` from this cache's warmed state.
+
+        Used by the content-addressed fragment store to hand one warmed
+        device cache to structurally-identical fragments from different
+        requests.  Memo dicts, ``stats`` *and the body box* are shared, so
+        warming accumulates across requests no matter which clone computes
+        first, and the transpile count stays one per distinct body however
+        many requests hit it.  Rebinding to the cache's own fragment is the
+        identity.
+        """
+        if fragment is self.fragment:
+            return self
+        clone = type(self)(fragment, self.coupling, self.noise_model)
+        clone.stats = self.stats
+        clone._body_box = self._body_box
+        clone._rotated_diag = self._rotated_diag
+        clone._probs = self._probs
+        clone._phys = self._phys
+        clone._prep_lowered = self._prep_lowered
+        clone._prep_coeff = self._prep_coeff
+        return clone
 
 
 #: Chains are linear trees; the chain name remains an alias so existing

@@ -2,6 +2,14 @@
 
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures without catching unrelated bugs.
+
+Every class here pickle-round-trips losslessly (type, message, and extra
+attributes such as ``site``/``attempt``).  The process-pool executor relies
+on this: a worker's typed failure crosses the process boundary intact
+instead of degrading to an opaque ``RuntimeError``, so the parent's retry
+and degradation logic sees exactly what the serial path would have seen.
+Classes whose ``__init__`` stores state outside ``args`` define
+``__reduce__`` accordingly.
 """
 
 from __future__ import annotations
@@ -43,6 +51,14 @@ class TransientBackendError(BackendError):
         self.site = site
         self.attempt = attempt
 
+    def __reduce__(self):
+        # site/attempt live outside args; rebuild with them so pickling
+        # across the process-pool boundary keeps the retry engine's context
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.site, self.attempt),
+        )
+
 
 class CorruptedResultError(TransientBackendError):
     """An :class:`~repro.backends.base.ExecutionResult` payload failed
@@ -57,6 +73,9 @@ class RetryExhaustedError(BackendError):
     def __init__(self, message: str = "", site=None) -> None:
         super().__init__(message)
         self.site = site
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.site))
 
 
 class DeadlineExceededError(BackendError):

@@ -33,9 +33,27 @@ worker threads; each worker samples any (fragment, variant) task straight
 from the warmed distributions, so fragment bodies are
 transpiled/simulated exactly once however many workers run.
 
-Next scaling lever (see ROADMAP.md): a process-pool mode for noisy
-density-matrix backends whose Python-side overhead does not release the
-GIL, with per-worker caches replacing the shared pool.
+``mode="process"`` (tree/chain executors) swaps the thread pool for a
+fork-server/spawn-safe process pool (:mod:`repro.parallel.pool`): the
+parent warms the cache pool once, exports each cache's numeric banks into
+shared memory, and every worker process rebuilds real cache instances
+around zero-copy read-only views — warming stays once per *body*, never
+once per worker.  Results are bit-identical across all three modes
+because each task's RNG stream is derived from its global index.
+
+Choosing a mode:
+
+* **thread** — BLAS/tensordot-bound workloads (statevector and
+  density-matrix backends): NumPy releases the GIL inside its kernels,
+  threads share the warmed pool without any serialisation cost.
+* **process** — CPU-bound Python workloads (per-gate trajectory loops
+  such as :class:`~repro.backends.trajectory.TrajectoryBackend`, heavy
+  per-variant Python bookkeeping): the GIL serialises threads, so fan
+  out across processes; the shared-memory cache banks keep the
+  per-worker cost at one attach instead of one warm-up.
+  (Benchmarked in ``benchmarks/bench_process_executor.py``.)
+* **serial** — debugging and single-core runs; also the reference the
+  equivalence suites pin both pools against.
 """
 
 from __future__ import annotations
@@ -82,10 +100,24 @@ def parallel_map(
 
     ``mode="serial"`` executes in the calling thread (useful for debugging
     and for backends that are not thread-safe); results are identical in
-    both modes because work items carry their own RNG streams.
+    all modes because work items carry their own RNG streams.
+    ``mode="process"`` fans out over a process pool — ``fn`` and the items
+    must then be picklable (module-level functions, not closures); the
+    fragment executors below use the richer
+    :mod:`repro.parallel.pool` machinery instead, which also ships warmed
+    caches through shared memory.
     """
     if mode == "serial" or len(items) <= 1:
         return [fn(x) for x in items]
+    if mode == "process":
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel.pool import resolve_start_method
+
+        ctx = multiprocessing.get_context(resolve_start_method())
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx) as pool:
+            return list(pool.map(fn, items))
     if mode != "thread":
         raise ValueError(f"unknown parallel mode {mode!r}")
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -156,6 +188,12 @@ def run_fragments_parallel(
     count and of ``mode`` because every variant's RNG stream is derived from
     its index.
     """
+    if mode == "process":
+        raise ValueError(
+            "mode='process' is implemented for the tree executors "
+            "(run_tree_fragments_parallel / run_chain_fragments_parallel); "
+            "the legacy pair path stays serial/thread"
+        )
     if settings is None:
         settings = upstream_setting_tuples(pair.num_cuts)
     if inits is None:
@@ -233,9 +271,15 @@ def run_tree_fragments_parallel(
     warmed **once** eagerly and then shared read-only by all workers, so
     each fragment body is transpiled/simulated exactly once regardless of
     worker count.  Results are independent of worker count and of ``mode``
-    (``"thread"``/``"serial"``) because every task's RNG stream is derived
-    from its global index.  ``dtype`` sets the record precision (sampling
-    happens in float64 before the cast, so RNG streams are unchanged).
+    (``"serial"``/``"thread"``/``"process"``) because every task's RNG
+    stream is derived from its global index.  ``mode="process"`` ships the
+    warmed pool to worker processes through shared memory
+    (:mod:`repro.parallel.pool`) and merges per-worker attempt records back
+    into ``ledger`` in task order; retry policies carrying a shared
+    ``deadline`` or ``breaker_threshold`` are rejected there (their meters
+    cannot span processes — use ``mode="thread"``).  ``dtype`` sets the
+    record precision (sampling happens in float64 before the cast, so RNG
+    streams are unchanged).
 
     ``retry`` (a :class:`~repro.cutting.resilience.RetryPolicy`) routes
     every task through the same :class:`~repro.cutting.resilience
@@ -271,49 +315,93 @@ def run_tree_fragments_parallel(
     else:
         streams = spawn_rngs(seed, len(tasks))
 
-    def run_task(backend, task, stream):
-        index, combo = task
-        cache = pool[index] if pool is not None else None
-        if engine is None:
-            return backend.run_tree_variants(
-                tree, index, [combo], shots=shots, seed=stream, cache=cache
-            )[0]
-        site = ("tree", index, combo[0], combo[1])
+    if mode == "process":
+        if retry is not None and (
+            retry.deadline is not None or retry.breaker_threshold is not None
+        ):
+            raise ValueError(
+                "mode='process' cannot share a deadline meter or circuit "
+                "breaker across worker processes; use mode='thread' for "
+                "policies with deadline/breaker_threshold"
+            )
+        from repro.parallel.pool import run_tree_tasks_process
 
-        def call():
-            # fresh generator per attempt: the backend draws the same
-            # sampling child the retry-free task would
-            return backend.run_tree_variants(
+        probs_list, seconds, num_backends, task_records = (
+            run_tree_tasks_process(
+                backend_factory,
                 tree,
-                index,
-                [combo],
-                shots=shots,
-                seed=np.random.default_rng(stream),
-                cache=cache,
-            )[0]
-
-        return engine.run_single(
-            site,
-            call,
-            expected_shots=shots,
-            expected_qubits=tree.fragments[index].num_qubits,
-            clock=backend.clock,
-            breaker_key=index,
-            on_exhausted=on_exhausted,
+                tasks,
+                streams,
+                shots,
+                pool=pool,
+                dtype=dtype,
+                retry=retry,
+                on_exhausted=on_exhausted,
+                max_workers=max_workers,
+                warm_variants=variants,
+            )
         )
+        if engine is not None:
+            # merge worker ledgers in deterministic task order; canonical()
+            # forms then match serial/thread runs exactly
+            for recs in task_records:
+                for r in recs:
+                    engine.ledger.record(
+                        r.site,
+                        r.attempt,
+                        r.outcome,
+                        latency=r.latency,
+                        backoff=r.backoff,
+                        error=r.error,
+                    )
+    else:
 
-    results, seconds, num_backends = _fan_out(
-        backend_factory, probe, tasks, run_task, streams, max_workers, mode
-    )
+        def run_task(backend, task, stream):
+            index, combo = task
+            cache = pool[index] if pool is not None else None
+            if engine is None:
+                return backend.run_tree_variants(
+                    tree, index, [combo], shots=shots, seed=stream, cache=cache
+                )[0]
+            site = ("tree", index, combo[0], combo[1])
+
+            def call():
+                # fresh generator per attempt: the backend draws the same
+                # sampling child the retry-free task would
+                return backend.run_tree_variants(
+                    tree,
+                    index,
+                    [combo],
+                    shots=shots,
+                    seed=np.random.default_rng(stream),
+                    cache=cache,
+                )[0]
+
+            return engine.run_single(
+                site,
+                call,
+                expected_shots=shots,
+                expected_qubits=tree.fragments[index].num_qubits,
+                clock=backend.clock,
+                breaker_key=index,
+                on_exhausted=on_exhausted,
+            )
+
+        results, seconds, num_backends = _fan_out(
+            backend_factory, probe, tasks, run_task, streams, max_workers, mode
+        )
+        probs_list = [
+            None if res is None else res.probabilities() for res in results
+        ]
     records: list[dict] = [{} for _ in tree.fragments]
     degraded = []
-    for (index, combo), res in zip(tasks, results):
-        if res is None:  # exhausted under on_exhausted="degrade"
+    for (index, combo), probs in zip(tasks, probs_list):
+        if probs is None:  # exhausted under on_exhausted="degrade"
             degraded.append((index, combo))
             continue
         frag = tree.fragments[index]
         records[index][combo] = _split_joint_probs(
-            res.probabilities(), frag.out_local, frag.cut_local, dtype
+            probs, frag.out_local, frag.cut_local, dtype
         )
     metadata = {
         "parallel": True,

@@ -1,0 +1,76 @@
+"""Every typed exception must pickle-round-trip losslessly.
+
+The process-pool executor (:mod:`repro.parallel.pool`) ships worker
+failures back to the parent through pickle; an exception class that loses
+its message or extra attributes in transit (the classic trap for
+``__init__`` signatures that don't match ``args``) would turn a precise
+``TransientBackendError(site=..., attempt=...)`` into a bare crash.  This
+suite walks the *entire* hierarchy reflectively, so any future exception
+class is covered the day it is added.
+"""
+
+import pickle
+
+import pytest
+
+import repro.exceptions as exc_mod
+from repro.exceptions import (
+    ReproError,
+    RetryExhaustedError,
+    TransientBackendError,
+)
+
+
+def _all_exception_types():
+    """Every exception class defined in :mod:`repro.exceptions`."""
+    found = [
+        obj
+        for obj in vars(exc_mod).values()
+        if isinstance(obj, type) and issubclass(obj, ReproError)
+    ]
+    assert len(found) >= 13  # the hierarchy, not a lucky subset
+    return found
+
+
+def _make_instance(cls):
+    """A maximally-populated instance of ``cls``."""
+    if issubclass(cls, TransientBackendError):
+        return cls("boom at site", site=("tree", 1, ("Z+",), ("X",)), attempt=3)
+    if issubclass(cls, RetryExhaustedError):
+        return cls("gave up", site=("tree", 0, (), ("Y",)))
+    return cls("plain message")
+
+
+@pytest.mark.parametrize("cls", _all_exception_types(), ids=lambda c: c.__name__)
+def test_pickle_round_trip(cls):
+    original = _make_instance(cls)
+    clone = pickle.loads(pickle.dumps(original))
+    assert type(clone) is cls
+    assert str(clone) == str(original)
+    assert clone.args == original.args
+    for attr in ("site", "attempt"):
+        assert getattr(clone, attr, None) == getattr(original, attr, None)
+
+
+def test_site_and_attempt_survive_default_args():
+    """The keyword-only extras survive even with an empty message."""
+    err = TransientBackendError(site=("pair", "up", ("X",)), attempt=2)
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.site == ("pair", "up", ("X",))
+    assert clone.attempt == 2
+    err2 = RetryExhaustedError(site=("tree", 2, (), ()))
+    clone2 = pickle.loads(pickle.dumps(err2))
+    assert clone2.site == ("tree", 2, (), ())
+
+
+def test_cause_chain_is_reraisable():
+    """A worker-side raise-from survives a round trip well enough to re-raise."""
+    try:
+        try:
+            raise ValueError("root cause")
+        except ValueError as inner:
+            raise TransientBackendError("wrapped", site=("s",), attempt=1) from inner
+    except TransientBackendError as outer:
+        clone = pickle.loads(pickle.dumps(outer))
+    with pytest.raises(TransientBackendError, match="wrapped"):
+        raise clone

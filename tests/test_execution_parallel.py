@@ -355,3 +355,112 @@ class TestTreeParallelExecutor:
         p = reconstruct_tree_distribution(data, postprocess="clip")
         assert total_variation(p, truth) < 0.02
         assert data.metadata["parallel"] is True
+
+
+class TestTreeProcessExecutor:
+    """Tentpole (ISSUE 10): ``mode="process"`` ships the warmed cache pool
+    to worker processes through shared memory and stays bit-identical to
+    serial and thread execution — counts, RNG streams, clocks (to float
+    summation order) — healthy and fault-injected alike."""
+
+    _tree = staticmethod(TestTreeParallelExecutor._tree)
+    _assert_identical = staticmethod(TestTreeParallelExecutor._assert_identical)
+
+    @pytest.mark.parametrize("factory", [IdealBackend, fake_5q_device])
+    def test_serial_thread_process_identical(self, factory):
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        runs = {
+            mode: run_tree_fragments_parallel(
+                tree, factory, shots=400, seed=5, max_workers=2, mode=mode
+            )
+            for mode in ("serial", "thread", "process")
+        }
+        self._assert_identical(runs["serial"], runs["process"])
+        self._assert_identical(runs["thread"], runs["process"])
+        assert np.isclose(
+            runs["serial"].modeled_seconds, runs["process"].modeled_seconds
+        )
+        assert runs["process"].metadata["cached"]
+
+    def test_retry_ledger_canonical_across_all_modes(self):
+        """Satellite: under a seeded fault plan, process-mode per-worker
+        ledgers merged in task order agree with serial/thread ledgers in
+        canonical form, and the counts still match the fault-free run."""
+        from repro.backends import FaultPlan, FaultyBackendFactory
+        from repro.cutting import AttemptLedger, RetryPolicy
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0, 0))
+        plan = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
+        factory = FaultyBackendFactory(IdealBackend, plan)
+        policy = RetryPolicy(max_attempts=4)
+        clean = run_tree_fragments_parallel(
+            tree, IdealBackend, shots=300, seed=5, mode="serial"
+        )
+        ledgers = {}
+        for mode in ("serial", "thread", "process"):
+            ledgers[mode] = AttemptLedger()
+            run = run_tree_fragments_parallel(
+                tree,
+                factory,
+                shots=300,
+                seed=5,
+                max_workers=2,
+                mode=mode,
+                retry=policy,
+                ledger=ledgers[mode],
+            )
+            self._assert_identical(clean, run)
+        assert (
+            ledgers["serial"].canonical()
+            == ledgers["thread"].canonical()
+            == ledgers["process"].canonical()
+        )
+        assert ledgers["process"].summary()["failures"] > 0  # faults fired
+
+    def test_uncached_backend_runs_in_process_mode(self):
+        """A backend with no cache hooks (trajectory sampling) executes
+        every variant for real in the workers, still bit-identically."""
+        from functools import partial
+
+        from repro.backends import trajectory_5q_device
+        from repro.parallel import run_tree_fragments_parallel
+
+        factory = partial(trajectory_5q_device, num_trajectories=6)
+        _, tree = self._tree(parents=(0,))
+        a = run_tree_fragments_parallel(
+            tree, factory, shots=200, seed=3, mode="serial"
+        )
+        b = run_tree_fragments_parallel(
+            tree, factory, shots=200, seed=3, max_workers=2, mode="process"
+        )
+        self._assert_identical(a, b)
+        assert not b.metadata["cached"]
+
+    def test_process_rejects_cross_process_meters(self):
+        from repro.cutting import RetryPolicy
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, tree = self._tree(parents=(0,))
+        for policy in (
+            RetryPolicy(deadline=60.0),
+            RetryPolicy(breaker_threshold=3),
+        ):
+            with pytest.raises(ValueError, match="process"):
+                run_tree_fragments_parallel(
+                    tree,
+                    IdealBackend,
+                    shots=100,
+                    seed=0,
+                    mode="process",
+                    retry=policy,
+                )
+
+    def test_run_fragments_parallel_rejects_process(self, simple_cut_pair):
+        _, _, pair = simple_cut_pair
+        with pytest.raises(ValueError, match="tree"):
+            run_fragments_parallel(
+                pair, IdealBackend, shots=100, seed=0, mode="process"
+            )

@@ -606,3 +606,84 @@ class TestCheckpoint:
             checkpoint=TreeCheckpoint(tmp_path / "ck", tree, 300),
         )
         np.testing.assert_array_equal(clean.probabilities, resumed.probabilities)
+
+
+class TestProcessModeResilience:
+    """Tentpole (ISSUE 10): the resilience contract crosses the process
+    boundary — per-worker retry engines replay transient faults exactly as
+    one shared engine would, graceful degradation survives pickling, and
+    the merged ledgers agree with thread mode in canonical form."""
+
+    PLAN = FaultPlan(seed=11, transient_rate=0.3, max_consecutive_transients=2)
+    POLICY = RetryPolicy(max_attempts=4)
+
+    def test_faulted_process_run_matches_clean_serial(self):
+        from repro.backends import FaultyBackendFactory
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, _, tree = _tree()
+        clean = run_tree_fragments_parallel(
+            tree, IdealBackend, shots=300, seed=7, mode="serial"
+        )
+        ledger = AttemptLedger()
+        faulted = run_tree_fragments_parallel(
+            tree,
+            FaultyBackendFactory(IdealBackend, self.PLAN),
+            shots=300,
+            seed=7,
+            max_workers=2,
+            mode="process",
+            retry=self.POLICY,
+            ledger=ledger,
+        )
+        _assert_identical_records(clean, faulted)
+        assert ledger.summary()["failures"] > 0
+
+    def test_degradation_crosses_the_process_boundary(self):
+        """A permanently dead variant family degrades identically in
+        thread and process mode: same surviving records, same
+        ``degraded_sites``, canonical-equal ledgers."""
+        from repro.backends import FaultyBackendFactory
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, _, tree = _tree()
+        plan = FaultPlan(dead=(DeadVariantFamily(0, "Y", 0),))
+        factory = FaultyBackendFactory(IdealBackend, plan)
+        runs = {}
+        ledgers = {}
+        for mode in ("thread", "process"):
+            ledgers[mode] = AttemptLedger()
+            runs[mode] = run_tree_fragments_parallel(
+                tree,
+                factory,
+                shots=200,
+                seed=3,
+                max_workers=2,
+                mode=mode,
+                retry=RetryPolicy(max_attempts=2),
+                ledger=ledgers[mode],
+                on_exhausted="degrade",
+            )
+        _assert_identical_records(runs["thread"], runs["process"])
+        assert sorted(runs["thread"].metadata["degraded_sites"]) == sorted(
+            runs["process"].metadata["degraded_sites"]
+        )
+        assert runs["process"].metadata["degraded_sites"]
+        assert ledgers["thread"].canonical() == ledgers["process"].canonical()
+
+    def test_worker_exception_arrives_typed(self):
+        """An unretried transient raised inside a worker process reaches
+        the parent as the same typed exception, site and attempt intact."""
+        from repro.backends import FaultyBackendFactory
+        from repro.parallel import run_tree_fragments_parallel
+
+        _, _, tree = _tree()
+        factory = FaultyBackendFactory(
+            IdealBackend, FaultPlan(seed=1, transient_rate=1.0)
+        )
+        with pytest.raises(TransientBackendError) as info:
+            run_tree_fragments_parallel(
+                tree, factory, shots=100, seed=0, max_workers=2, mode="process"
+            )
+        assert info.value.site is not None
+        assert info.value.attempt == 1
